@@ -1,0 +1,78 @@
+//===- bench/BenchCommon.h - Shared benchmark harness helpers --*- C++ -*-===//
+//
+// Part of the Thistle reproduction (CGO 2022).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Shared configuration for the figure/table reproduction binaries. Every
+/// binary prints the corresponding paper artifact first (that is the
+/// reproduction), then runs a few google-benchmark timings of the
+/// machinery involved.
+///
+/// Scale note: the paper ran the Timeloop Mapper with timeout and victory
+/// condition of 100000 and a 3-hour cap per layer. The harness uses a
+/// proportionally reduced budget so the full suite completes in minutes;
+/// the baseline search is seeded and deterministic.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef THISTLE_BENCH_BENCHCOMMON_H
+#define THISTLE_BENCH_BENCHCOMMON_H
+
+#include "ir/Builders.h"
+#include "nestmodel/Mapper.h"
+#include "thistle/Optimizer.h"
+#include "workloads/Workloads.h"
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+namespace thistle::bench {
+
+/// Baseline search budget (scaled-down stand-in for the paper's
+/// 100000/100000/3h Timeloop Mapper setting).
+inline MapperOptions mapperOptions(SearchObjective Objective,
+                                   std::uint64_t Seed = 1) {
+  MapperOptions O;
+  O.Objective = Objective;
+  O.MaxTrials = 20000;
+  O.VictoryCondition = 4000;
+  O.Seed = Seed;
+  return O;
+}
+
+/// Thistle configuration used by all figure reproductions.
+inline ThistleOptions thistleOptions(DesignMode Mode,
+                                     SearchObjective Objective) {
+  ThistleOptions O;
+  O.Mode = Mode;
+  O.Objective = Objective;
+  // Delay rounding is more sensitive to integer PE-grid choices: widen
+  // the divisor candidate window (the paper's n = 2 or 3) and let the
+  // cross product explore more PE-grid combinations.
+  if (Objective == SearchObjective::Delay) {
+    O.Rounding.NumCandidates = 3;
+    O.Rounding.MaxMappingCandidates = 16000;
+  }
+  return O;
+}
+
+/// Prints the standard bench header.
+inline void printHeader(const char *Artifact, const char *Description) {
+  std::printf("==== %s ====\n%s\n\n", Artifact, Description);
+}
+
+/// Runs the registered google-benchmark timings (call at the end of
+/// main). Passes through argv so --benchmark_* flags work.
+inline int runTimings(int Argc, char **Argv) {
+  benchmark::Initialize(&Argc, Argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}
+
+} // namespace thistle::bench
+
+#endif // THISTLE_BENCH_BENCHCOMMON_H

@@ -1,0 +1,73 @@
+//===- bench/bench_ablation_rounding.cpp - Rounding width ablation --------===//
+//
+// Ablates the paper's integerization parameter n ("typically 2 or 3"):
+// the number of divisor / power-of-two candidates taken around the real
+// GP solution, for dataflow optimization and co-design on representative
+// layers. Larger n explores more integer candidates at higher cost.
+//
+//===----------------------------------------------------------------------===//
+
+#include "bench/BenchCommon.h"
+#include "support/TablePrinter.h"
+
+#include <iostream>
+
+using namespace thistle;
+using namespace thistle::bench;
+
+namespace {
+
+void printRoundingAblation() {
+  TechParams Tech = TechParams::cgo45nm();
+  ArchConfig Eyeriss = eyerissArch();
+  double Budget = eyerissAreaUm2(Tech);
+  std::vector<ConvLayer> Layers = {resnet18Layers()[1], resnet18Layers()[8],
+                                   yolo9000Layers()[6]};
+
+  for (DesignMode Mode : {DesignMode::DataflowOnly, DesignMode::CoDesign}) {
+    std::printf("%s:\n", Mode == DesignMode::DataflowOnly
+                             ? "dataflow optimization (Eyeriss)"
+                             : "co-design (equal area)");
+    TablePrinter Table({"layer", "n", "pJ/MAC", "candidates evaluated"});
+    for (const ConvLayer &L : Layers) {
+      Problem P = makeConvProblem(L);
+      for (unsigned N : {1u, 2u, 3u}) {
+        ThistleOptions O = thistleOptions(Mode, SearchObjective::Energy);
+        O.Rounding.NumCandidates = N;
+        ThistleResult R = optimizeLayer(P, Eyeriss, Tech, O,
+                                        Mode == DesignMode::CoDesign
+                                            ? Budget
+                                            : 0.0);
+        Table.addRow(
+            {L.Name, std::to_string(N),
+             R.Found ? TablePrinter::formatDouble(R.Eval.EnergyPerMacPj, 2)
+                     : std::string("-"),
+             std::to_string(R.Stats.CandidatesEvaluated)});
+      }
+    }
+    Table.print(std::cout);
+    std::printf("\n");
+  }
+}
+
+void timeRoundingN(benchmark::State &State) {
+  Problem P = makeConvProblem(resnet18Layers()[1]);
+  ThistleOptions O =
+      thistleOptions(DesignMode::DataflowOnly, SearchObjective::Energy);
+  O.Rounding.NumCandidates = static_cast<unsigned>(State.range(0));
+  for (auto _ : State)
+    benchmark::DoNotOptimize(
+        optimizeLayer(P, eyerissArch(), TechParams::cgo45nm(), O));
+}
+BENCHMARK(timeRoundingN)->Arg(1)->Arg(2)->Arg(3)->Unit(
+    benchmark::kMillisecond);
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  printHeader("Ablation: rounding candidates",
+              "Integerization width n (paper section IV: N closest powers "
+              "of two, n closest divisors)");
+  printRoundingAblation();
+  return runTimings(Argc, Argv);
+}

@@ -1,0 +1,97 @@
+//===- bench/bench_ablation_solver.cpp - GP solver performance ------------===//
+//
+// Measures the interior-point GP solver that replaces CVXPY: per-layer
+// solve statistics (variables, constraints, Newton iterations, wall time)
+// for one representative permutation class, and google-benchmark timings
+// across solver tolerances.
+//
+//===----------------------------------------------------------------------===//
+
+#include "bench/BenchCommon.h"
+#include "support/TablePrinter.h"
+#include "thistle/PermutationSpace.h"
+
+#include <chrono>
+#include <cmath>
+#include <iostream>
+
+using namespace thistle;
+using namespace thistle::bench;
+
+namespace {
+
+GpBuildSpec specForLayer(const Problem &P, DesignMode Mode) {
+  GpBuildSpec Spec;
+  Spec.Mode = Mode;
+  std::vector<unsigned> Tiled;
+  for (unsigned I = 0; I < P.numIterators(); ++I) {
+    const Iterator &It = P.iterators()[I];
+    if (It.Extent > 1 && It.Name != "r" && It.Name != "s")
+      Tiled.push_back(I);
+  }
+  Spec.TiledIters = Tiled;
+  std::vector<PermClass> Classes = enumeratePermClasses(P, Tiled);
+  Spec.PePerm = Classes.front().Representative;
+  Spec.DramPerm = Classes.back().Representative;
+  Spec.Arch = eyerissArch();
+  Spec.AreaBudgetUm2 = eyerissAreaUm2(Spec.Tech);
+  return Spec;
+}
+
+void printSolverTable() {
+  TablePrinter Table({"layer", "mode", "vars", "ineqs", "eqs",
+                      "newton iters", "solve ms", "feasible"});
+  for (const ConvLayer &L : allPaperLayers()) {
+    Problem P = makeConvProblem(L);
+    for (DesignMode Mode :
+         {DesignMode::DataflowOnly, DesignMode::CoDesign}) {
+      GpBuildSpec Spec = specForLayer(P, Mode);
+      GpBuild Build = buildGp(P, Spec);
+      auto Start = std::chrono::steady_clock::now();
+      GpSolution S = solveGp(Build.Gp);
+      double Ms = std::chrono::duration<double, std::milli>(
+                      std::chrono::steady_clock::now() - Start)
+                      .count();
+      Table.addRow({L.Name,
+                    Mode == DesignMode::DataflowOnly ? "dataflow" : "co",
+                    std::to_string(Build.Gp.variables().size()),
+                    std::to_string(Build.Gp.constraints().size()),
+                    std::to_string(Build.Gp.equalities().size()),
+                    std::to_string(S.NewtonIterations),
+                    TablePrinter::formatDouble(Ms, 2),
+                    S.Feasible ? "yes" : "no"});
+    }
+  }
+  Table.print(std::cout);
+  std::printf("\n");
+}
+
+void timeGpSolveTolerance(benchmark::State &State) {
+  Problem P = makeConvProblem(resnet18Layers()[1]);
+  GpBuildSpec Spec = specForLayer(P, DesignMode::CoDesign);
+  GpBuild Build = buildGp(P, Spec);
+  GpSolverOptions O;
+  O.Tolerance = std::pow(10.0, -static_cast<double>(State.range(0)));
+  for (auto _ : State)
+    benchmark::DoNotOptimize(solveGp(Build.Gp, O));
+}
+BENCHMARK(timeGpSolveTolerance)->Arg(4)->Arg(6)->Arg(8)->Unit(
+    benchmark::kMillisecond);
+
+void timeGpBuild(benchmark::State &State) {
+  Problem P = makeConvProblem(resnet18Layers()[1]);
+  GpBuildSpec Spec = specForLayer(P, DesignMode::CoDesign);
+  for (auto _ : State)
+    benchmark::DoNotOptimize(buildGp(P, Spec));
+}
+BENCHMARK(timeGpBuild)->Unit(benchmark::kMillisecond);
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  printHeader("Ablation: GP solver",
+              "Interior-point solver statistics per layer (the CVXPY "
+              "replacement)");
+  printSolverTable();
+  return runTimings(Argc, Argv);
+}

@@ -1,0 +1,78 @@
+//===- bench/bench_ext_area_sweep.cpp - Area-budget sweep -----------------===//
+//
+// Extension experiment: the paper fixes the co-design area budget to the
+// Eyeriss area; this sweep varies the budget from 1/4x to 4x and records
+// how the optimal architecture and the achievable energy/throughput
+// scale. Expected shape: energy/MAC falls slowly with area (the register
+// + MAC floor dominates once R is small), while delay-optimal IPC scales
+// roughly linearly with area (more area -> more PEs).
+//
+//===----------------------------------------------------------------------===//
+
+#include "bench/BenchCommon.h"
+#include "support/TablePrinter.h"
+
+#include <cmath>
+#include <iostream>
+
+using namespace thistle;
+using namespace thistle::bench;
+
+namespace {
+
+void printAreaSweep() {
+  TechParams Tech = TechParams::cgo45nm();
+  double Eyeriss = eyerissAreaUm2(Tech);
+  std::vector<ConvLayer> Layers = {resnet18Layers()[1],
+                                   yolo9000Layers()[6]};
+
+  for (SearchObjective Obj :
+       {SearchObjective::Energy, SearchObjective::Delay}) {
+    std::printf("objective: %s\n",
+                Obj == SearchObjective::Energy ? "energy" : "delay");
+    TablePrinter Table({"layer", "area / eyeriss", "pJ/MAC", "IPC", "P",
+                        "R", "S words"});
+    for (const ConvLayer &L : Layers) {
+      Problem P = makeConvProblem(L);
+      for (double Scale : {0.25, 0.5, 1.0, 2.0, 4.0}) {
+        ThistleOptions O = thistleOptions(DesignMode::CoDesign, Obj);
+        ThistleResult R = optimizeLayer(P, eyerissArch(), Tech, O,
+                                        Eyeriss * Scale);
+        if (!R.Found) {
+          Table.addRow({L.Name, TablePrinter::formatDouble(Scale, 2), "-",
+                        "-", "-", "-", "-"});
+          continue;
+        }
+        Table.addRow({L.Name, TablePrinter::formatDouble(Scale, 2),
+                      TablePrinter::formatDouble(R.Eval.EnergyPerMacPj, 2),
+                      TablePrinter::formatDouble(R.Eval.MacIpc, 0),
+                      TablePrinter::formatInt(R.Arch.NumPEs),
+                      TablePrinter::formatInt(R.Arch.RegWordsPerPE),
+                      TablePrinter::formatInt(R.Arch.SramWords)});
+      }
+    }
+    Table.print(std::cout);
+    std::printf("\n");
+  }
+}
+
+void timeAreaSweepPoint(benchmark::State &State) {
+  Problem P = makeConvProblem(resnet18Layers()[1]);
+  TechParams Tech = TechParams::cgo45nm();
+  ThistleOptions O =
+      thistleOptions(DesignMode::CoDesign, SearchObjective::Energy);
+  double Budget = eyerissAreaUm2(Tech) * 2.0;
+  for (auto _ : State)
+    benchmark::DoNotOptimize(
+        optimizeLayer(P, eyerissArch(), Tech, O, Budget));
+}
+BENCHMARK(timeAreaSweepPoint)->Unit(benchmark::kMillisecond);
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  printHeader("Extension: area-budget sweep",
+              "Co-design across 1/4x-4x the Eyeriss silicon area");
+  printAreaSweep();
+  return runTimings(Argc, Argv);
+}

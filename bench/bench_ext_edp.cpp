@@ -1,0 +1,90 @@
+//===- bench/bench_ext_edp.cpp - EDP objective extension ------------------===//
+//
+// Extension experiment: the paper's formulation supports the energy-delay
+// product objective ("or energy-delay product, although we do not").
+// This harness co-designs each ResNet-18 layer for energy, delay, and
+// EDP, and reports all three metrics of each design: the EDP-optimized
+// design should hold the lowest EDP, sitting between the energy-optimal
+// (low power, fewer PEs) and delay-optimal (max PEs) corners.
+//
+//===----------------------------------------------------------------------===//
+
+#include "bench/BenchCommon.h"
+#include "support/TablePrinter.h"
+
+#include <iostream>
+
+using namespace thistle;
+using namespace thistle::bench;
+
+namespace {
+
+void printEdpTable() {
+  TechParams Tech = TechParams::cgo45nm();
+  double Budget = eyerissAreaUm2(Tech);
+  TablePrinter Table({"layer", "design", "pJ/MAC", "IPC", "EDP (pJ*Gcyc)",
+                      "P"});
+  unsigned EdpWins = 0, Rows = 0;
+  for (const ConvLayer &L : resnet18Layers()) {
+    Problem P = makeConvProblem(L);
+    struct Entry {
+      const char *Name;
+      SearchObjective Obj;
+      ThistleResult Res;
+    };
+    std::vector<Entry> Entries = {
+        {"energy-opt", SearchObjective::Energy, {}},
+        {"delay-opt", SearchObjective::Delay, {}},
+        {"edp-opt", SearchObjective::EnergyDelayProduct, {}}};
+    for (Entry &E : Entries) {
+      ThistleOptions O = thistleOptions(DesignMode::CoDesign, E.Obj);
+      E.Res = optimizeLayer(P, eyerissArch(), Tech, O, Budget);
+    }
+    double BestEdp = -1.0;
+    const char *BestName = "-";
+    for (Entry &E : Entries) {
+      if (!E.Res.Found) {
+        Table.addRow({L.Name, E.Name, "-", "-", "-", "-"});
+        continue;
+      }
+      double Edp = E.Res.Eval.EdpPjCycles;
+      if (BestEdp < 0.0 || Edp < BestEdp) {
+        BestEdp = Edp;
+        BestName = E.Name;
+      }
+      Table.addRow({L.Name, E.Name,
+                    TablePrinter::formatDouble(E.Res.Eval.EnergyPerMacPj, 2),
+                    TablePrinter::formatDouble(E.Res.Eval.MacIpc, 0),
+                    TablePrinter::formatDouble(Edp * 1e-9, 1),
+                    TablePrinter::formatInt(E.Res.Arch.NumPEs)});
+    }
+    ++Rows;
+    if (std::string(BestName) == "edp-opt")
+      ++EdpWins;
+  }
+  Table.print(std::cout);
+  std::printf("\nEDP-optimized design holds the lowest EDP on %u of %u "
+              "layers\n\n",
+              EdpWins, Rows);
+}
+
+void timeEdpCoDesign(benchmark::State &State) {
+  Problem P = makeConvProblem(resnet18Layers()[1]);
+  TechParams Tech = TechParams::cgo45nm();
+  ThistleOptions O = thistleOptions(DesignMode::CoDesign,
+                                    SearchObjective::EnergyDelayProduct);
+  for (auto _ : State)
+    benchmark::DoNotOptimize(optimizeLayer(P, eyerissArch(), Tech, O,
+                                           eyerissAreaUm2(Tech)));
+}
+BENCHMARK(timeEdpCoDesign)->Unit(benchmark::kMillisecond);
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  printHeader("Extension: EDP objective",
+              "Energy-delay-product co-design (the objective the paper "
+              "formulates but does not evaluate)");
+  printEdpTable();
+  return runTimings(Argc, Argv);
+}

@@ -1,0 +1,79 @@
+//===- bench/bench_fig5_codesign_energy.cpp - Paper Fig. 5 ----------------===//
+//
+// Reproduces Fig. 5: energy of the best Eyeriss-architecture dataflow
+// versus the layer-wise architecture-dataflow co-design at the same
+// silicon area, for every conv stage of both pipelines. Expected shape:
+// Eyeriss 20-30 pJ/MAC; co-design ~5 pJ/MAC for most layers and < 10 for
+// all. Then times one co-design run.
+//
+//===----------------------------------------------------------------------===//
+
+#include "bench/BenchCommon.h"
+#include "support/TablePrinter.h"
+
+#include <cmath>
+#include <iostream>
+
+using namespace thistle;
+using namespace thistle::bench;
+
+namespace {
+
+void printFig5() {
+  TechParams Tech = TechParams::cgo45nm();
+  ArchConfig Eyeriss = eyerissArch();
+  double Budget = eyerissAreaUm2(Tech);
+  ThistleOptions Dataflow =
+      thistleOptions(DesignMode::DataflowOnly, SearchObjective::Energy);
+  ThistleOptions CoDesign =
+      thistleOptions(DesignMode::CoDesign, SearchObjective::Energy);
+
+  TablePrinter Table({"layer", "eyeriss pJ/MAC", "co-design pJ/MAC",
+                      "improvement", "P", "R", "S words",
+                      "area mm^2"});
+  double WorstCo = 0.0;
+  for (const ConvLayer &L : allPaperLayers()) {
+    Problem P = makeConvProblem(L);
+    ThistleResult Fixed = optimizeLayer(P, Eyeriss, Tech, Dataflow);
+    ThistleResult Co = optimizeLayer(P, Eyeriss, Tech, CoDesign, Budget);
+    if (!Fixed.Found || !Co.Found) {
+      Table.addRow({L.Name, "-", "-", "-", "-", "-", "-", "-"});
+      continue;
+    }
+    WorstCo = std::max(WorstCo, Co.Eval.EnergyPerMacPj);
+    Table.addRow(
+        {L.Name, TablePrinter::formatDouble(Fixed.Eval.EnergyPerMacPj, 2),
+         TablePrinter::formatDouble(Co.Eval.EnergyPerMacPj, 2),
+         TablePrinter::formatDouble(
+             Fixed.Eval.EnergyPerMacPj / Co.Eval.EnergyPerMacPj, 2) + "x",
+         TablePrinter::formatInt(Co.Arch.NumPEs),
+         TablePrinter::formatInt(Co.Arch.RegWordsPerPE),
+         TablePrinter::formatInt(Co.Arch.SramWords),
+         TablePrinter::formatDouble(Co.Arch.areaUm2(Tech) * 1e-6, 3)});
+  }
+  Table.print(std::cout);
+  std::printf("\nworst co-designed layer: %.2f pJ/MAC (paper: < 10 pJ/MAC "
+              "for all layers, ~5 for most)\n\n",
+              WorstCo);
+}
+
+void timeCoDesignLayer(benchmark::State &State) {
+  Problem P = makeConvProblem(resnet18Layers()[1]);
+  TechParams Tech = TechParams::cgo45nm();
+  ThistleOptions O =
+      thistleOptions(DesignMode::CoDesign, SearchObjective::Energy);
+  for (auto _ : State)
+    benchmark::DoNotOptimize(optimizeLayer(P, eyerissArch(), Tech, O,
+                                           eyerissAreaUm2(Tech)));
+}
+BENCHMARK(timeCoDesignLayer)->Unit(benchmark::kMillisecond);
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  printHeader("Fig. 5",
+              "Energy: Eyeriss-architecture best dataflow vs layer-wise "
+              "co-designed architecture at equal area (lower is better)");
+  printFig5();
+  return runTimings(Argc, Argv);
+}

@@ -1,0 +1,91 @@
+//===- bench/bench_fig6_fixed_arch_energy.cpp - Paper Fig. 6 --------------===//
+//
+// Reproduces Fig. 6: per-layer energy for (1) the Eyeriss architecture,
+// (2) the layer-wise optimized architecture, and (3) a single fixed
+// architecture chosen as the one co-designed for the energy-dominant
+// stage across *both* pipelines, with the dataflow then re-optimized for
+// it per layer. Expected shape: the single architecture loses little
+// versus layer-wise co-design and stays far below Eyeriss.
+//
+//===----------------------------------------------------------------------===//
+
+#include "bench/BenchCommon.h"
+#include "support/TablePrinter.h"
+
+#include <cmath>
+#include <iostream>
+
+using namespace thistle;
+using namespace thistle::bench;
+
+namespace {
+
+void printFig6() {
+  TechParams Tech = TechParams::cgo45nm();
+  ArchConfig Eyeriss = eyerissArch();
+  double Budget = eyerissAreaUm2(Tech);
+  ThistleOptions Dataflow =
+      thistleOptions(DesignMode::DataflowOnly, SearchObjective::Energy);
+  ThistleOptions CoDesign =
+      thistleOptions(DesignMode::CoDesign, SearchObjective::Energy);
+
+  std::vector<ConvLayer> Layers = allPaperLayers();
+  std::vector<ThistleResult> FixedRes, CoRes;
+  std::size_t Dominant = 0;
+  double DominantEnergy = -1.0;
+  for (std::size_t I = 0; I < Layers.size(); ++I) {
+    Problem P = makeConvProblem(Layers[I]);
+    FixedRes.push_back(optimizeLayer(P, Eyeriss, Tech, Dataflow));
+    CoRes.push_back(optimizeLayer(P, Eyeriss, Tech, CoDesign, Budget));
+    if (CoRes.back().Found && CoRes.back().Eval.EnergyPj > DominantEnergy) {
+      DominantEnergy = CoRes.back().Eval.EnergyPj;
+      Dominant = I;
+    }
+  }
+  ArchConfig Single = CoRes[Dominant].Arch;
+  std::printf("energy-dominant stage: %s; single architecture: P=%lld "
+              "R=%lld S=%lld (area %.3f mm^2)\n\n",
+              Layers[Dominant].Name.c_str(),
+              static_cast<long long>(Single.NumPEs),
+              static_cast<long long>(Single.RegWordsPerPE),
+              static_cast<long long>(Single.SramWords),
+              Single.areaUm2(Tech) * 1e-6);
+
+  TablePrinter Table({"layer", "eyeriss pJ/MAC", "layer-wise pJ/MAC",
+                      "single-arch pJ/MAC"});
+  for (std::size_t I = 0; I < Layers.size(); ++I) {
+    Problem P = makeConvProblem(Layers[I]);
+    ThistleResult SingleRes = optimizeLayer(P, Single, Tech, Dataflow);
+    auto Cell = [](const ThistleResult &R) {
+      return R.Found ? TablePrinter::formatDouble(R.Eval.EnergyPerMacPj, 2)
+                     : std::string("-");
+    };
+    Table.addRow({Layers[I].Name, Cell(FixedRes[I]), Cell(CoRes[I]),
+                  Cell(SingleRes)});
+  }
+  Table.print(std::cout);
+  std::printf("\n(paper: the single architecture loses little vs the "
+              "layer-wise optimum and stays well below Eyeriss)\n\n");
+}
+
+void timeDominantSelectionPass(benchmark::State &State) {
+  // Times one co-design (the inner step of the dominant-layer scan).
+  Problem P = makeConvProblem(yolo9000Layers()[8]);
+  TechParams Tech = TechParams::cgo45nm();
+  ThistleOptions O =
+      thistleOptions(DesignMode::CoDesign, SearchObjective::Energy);
+  for (auto _ : State)
+    benchmark::DoNotOptimize(optimizeLayer(P, eyerissArch(), Tech, O,
+                                           eyerissAreaUm2(Tech)));
+}
+BENCHMARK(timeDominantSelectionPass)->Unit(benchmark::kMillisecond);
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  printHeader("Fig. 6",
+              "Energy: Eyeriss vs layer-wise optimal architecture vs one "
+              "fixed architecture from the energy-dominant layer");
+  printFig6();
+  return runTimings(Argc, Argv);
+}

@@ -1,0 +1,102 @@
+//===- bench/bench_fig8_delay_codesign.cpp - Paper Fig. 8 -----------------===//
+//
+// Reproduces Fig. 8: throughput for (1) the Eyeriss architecture with a
+// delay-optimized dataflow, (2) the layer-wise co-designed architecture
+// at equal area, and (3) a single fixed architecture chosen from the
+// delay-dominant stage. Expected shape: co-design wins by orders of
+// magnitude over Eyeriss (it trades SRAM/registers for many more PEs),
+// and the single-architecture drop is larger than in the energy case.
+//
+//===----------------------------------------------------------------------===//
+
+#include "bench/BenchCommon.h"
+#include "support/TablePrinter.h"
+
+#include <cmath>
+#include <iostream>
+
+using namespace thistle;
+using namespace thistle::bench;
+
+namespace {
+
+void printFig8() {
+  TechParams Tech = TechParams::cgo45nm();
+  ArchConfig Eyeriss = eyerissArch();
+  double Budget = eyerissAreaUm2(Tech);
+  ThistleOptions Dataflow =
+      thistleOptions(DesignMode::DataflowOnly, SearchObjective::Delay);
+  ThistleOptions CoDesign =
+      thistleOptions(DesignMode::CoDesign, SearchObjective::Delay);
+
+  std::vector<ConvLayer> Layers = allPaperLayers();
+  std::vector<ThistleResult> FixedRes, CoRes;
+  // The delay-dominant stage: largest co-designed cycle count.
+  std::size_t Dominant = 0;
+  double DominantCycles = -1.0;
+  for (std::size_t I = 0; I < Layers.size(); ++I) {
+    Problem P = makeConvProblem(Layers[I]);
+    FixedRes.push_back(optimizeLayer(P, Eyeriss, Tech, Dataflow));
+    CoRes.push_back(optimizeLayer(P, Eyeriss, Tech, CoDesign, Budget));
+    if (CoRes.back().Found && CoRes.back().Eval.Cycles > DominantCycles) {
+      DominantCycles = CoRes.back().Eval.Cycles;
+      Dominant = I;
+    }
+  }
+  ArchConfig Single = CoRes[Dominant].Arch;
+  std::printf("delay-dominant stage: %s; single architecture: P=%lld "
+              "R=%lld S=%lld\n\n",
+              Layers[Dominant].Name.c_str(),
+              static_cast<long long>(Single.NumPEs),
+              static_cast<long long>(Single.RegWordsPerPE),
+              static_cast<long long>(Single.SramWords));
+
+  TablePrinter Table({"layer", "eyeriss IPC", "layer-wise IPC",
+                      "single-arch IPC", "co-design P"});
+  double GeoGain = 0.0;
+  unsigned Count = 0;
+  for (std::size_t I = 0; I < Layers.size(); ++I) {
+    Problem P = makeConvProblem(Layers[I]);
+    ThistleResult SingleRes = optimizeLayer(P, Single, Tech, Dataflow);
+    auto Cell = [](const ThistleResult &R) {
+      return R.Found ? TablePrinter::formatDouble(R.Eval.MacIpc, 1)
+                     : std::string("-");
+    };
+    Table.addRow({Layers[I].Name, Cell(FixedRes[I]), Cell(CoRes[I]),
+                  Cell(SingleRes),
+                  CoRes[I].Found
+                      ? TablePrinter::formatInt(CoRes[I].Arch.NumPEs)
+                      : std::string("-")});
+    if (FixedRes[I].Found && CoRes[I].Found) {
+      GeoGain += std::log(CoRes[I].Eval.MacIpc / FixedRes[I].Eval.MacIpc);
+      ++Count;
+    }
+  }
+  Table.print(std::cout);
+  if (Count)
+    std::printf("\ngeomean co-design IPC gain over Eyeriss: %.1fx (paper: "
+                "often orders of magnitude)\n\n",
+                std::exp(GeoGain / Count));
+}
+
+void timeDelayCoDesignLayer(benchmark::State &State) {
+  Problem P = makeConvProblem(resnet18Layers()[1]);
+  TechParams Tech = TechParams::cgo45nm();
+  ThistleOptions O =
+      thistleOptions(DesignMode::CoDesign, SearchObjective::Delay);
+  for (auto _ : State)
+    benchmark::DoNotOptimize(optimizeLayer(P, eyerissArch(), Tech, O,
+                                           eyerissAreaUm2(Tech)));
+}
+BENCHMARK(timeDelayCoDesignLayer)->Unit(benchmark::kMillisecond);
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  printHeader("Fig. 8",
+              "Delay: Eyeriss vs layer-wise optimal architecture vs fixed "
+              "architecture from the delay-dominant layer (higher IPC is "
+              "better)");
+  printFig8();
+  return runTimings(Argc, Argv);
+}

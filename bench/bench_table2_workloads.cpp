@@ -1,0 +1,54 @@
+//===- bench/bench_table2_workloads.cpp - Paper Table II ------------------===//
+//
+// Reproduces Table II: the conv2D configurations of the Yolo-9000 and
+// ResNet-18 pipelines, plus derived iteration-space sizes. Then times
+// problem construction.
+//
+//===----------------------------------------------------------------------===//
+
+#include "bench/BenchCommon.h"
+#include "support/TablePrinter.h"
+
+#include <iostream>
+
+using namespace thistle;
+
+namespace {
+
+void printPipeline(const char *Name, const std::vector<ConvLayer> &Layers) {
+  std::printf("%s:\n", Name);
+  TablePrinter Table({"Layer", "K", "C", "H=W", "R=S", "stride", "out H=W",
+                      "MACs (G)"});
+  for (std::size_t I = 0; I < Layers.size(); ++I) {
+    const ConvLayer &L = Layers[I];
+    Table.addRow({std::to_string(I + 1), TablePrinter::formatInt(L.K),
+                  TablePrinter::formatInt(L.C),
+                  TablePrinter::formatInt(L.Hin),
+                  TablePrinter::formatInt(L.R),
+                  TablePrinter::formatInt(L.StrideX),
+                  TablePrinter::formatInt(L.outH()),
+                  TablePrinter::formatDouble(
+                      static_cast<double>(L.numMacs()) * 1e-9, 3)});
+  }
+  Table.print(std::cout);
+  std::printf("\n");
+}
+
+void timeProblemConstruction(benchmark::State &State) {
+  std::vector<ConvLayer> Layers = allPaperLayers();
+  for (auto _ : State)
+    for (const ConvLayer &L : Layers)
+      benchmark::DoNotOptimize(makeConvProblem(L));
+}
+BENCHMARK(timeProblemConstruction);
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  thistle::bench::printHeader(
+      "Table II", "Conv2D operator configurations (batch size 1; stride 2 "
+                  "layers are the ones Table II marks with *)");
+  printPipeline("Yolo-9000", yolo9000Layers());
+  printPipeline("ResNet-18", resnet18Layers());
+  return thistle::bench::runTimings(Argc, Argv);
+}

@@ -1,0 +1,71 @@
+//===- bench/bench_table3_tech_params.cpp - Paper Table III ---------------===//
+//
+// Reproduces Table III: the 45nm architecture/technology parameters, plus
+// the derived Eyeriss per-access energies and the Eq. 5 area budget used
+// by every co-design experiment. Then times the energy/area models.
+//
+//===----------------------------------------------------------------------===//
+
+#include "bench/BenchCommon.h"
+#include "support/TablePrinter.h"
+
+#include <iostream>
+
+using namespace thistle;
+
+namespace {
+
+void printTableIII() {
+  TechParams T = TechParams::cgo45nm();
+  TablePrinter Table({"Parameter", "Value", "Unit"});
+  Table.addRow({"Area per MAC", TablePrinter::formatDouble(T.AreaMacUm2, 1),
+                "um^2"});
+  Table.addRow({"Area per register",
+                TablePrinter::formatDouble(T.AreaRegWordUm2, 3), "um^2"});
+  Table.addRow({"Area per SRAM word",
+                TablePrinter::formatDouble(T.AreaSramWordUm2, 3), "um^2"});
+  Table.addRow({"Energy per int16 MAC",
+                TablePrinter::formatDouble(T.EnergyMacPj, 1), "pJ"});
+  Table.addRow({"Register energy-constant",
+                TablePrinter::formatDouble(T.SigmaRegPj * 1e3, 5),
+                "1e-3 pJ/word"});
+  Table.addRow({"SRAM energy-constant",
+                TablePrinter::formatDouble(T.SigmaSramPj * 1e3, 2),
+                "1e-3 pJ/sqrt(word)"});
+  Table.addRow({"Energy per dram-access",
+                TablePrinter::formatDouble(T.EnergyDramPj, 0), "pJ"});
+  Table.print(std::cout);
+
+  EnergyModel E(T);
+  ArchConfig Eyeriss = eyerissArch();
+  std::printf("\nDerived (Eq. 4 / Eq. 5) for the Eyeriss baseline "
+              "(P=168, R=512, S=65536 words):\n");
+  std::printf("  eps_R = sigma_R * R       = %.3f pJ/access\n",
+              E.regAccessPj(static_cast<double>(Eyeriss.RegWordsPerPE)));
+  std::printf("  eps_S = sigma_S * sqrt(S) = %.3f pJ/access\n",
+              E.sramAccessPj(static_cast<double>(Eyeriss.SramWords)));
+  std::printf("  register+MAC floor (4 eps_R + eps_op) = %.2f pJ/MAC\n",
+              4.0 * E.regAccessPj(512) + E.macPj());
+  std::printf("  Eyeriss area (co-design budget) = %.3f mm^2\n\n",
+              eyerissAreaUm2(T) * 1e-6);
+}
+
+void timeEnergyModel(benchmark::State &State) {
+  EnergyModel E(TechParams::cgo45nm());
+  double Acc = 0.0;
+  for (auto _ : State) {
+    for (int R = 1; R <= 1024; R *= 2)
+      Acc += E.regAccessPj(R) + E.sramAccessPj(64.0 * R);
+    benchmark::DoNotOptimize(Acc);
+  }
+}
+BENCHMARK(timeEnergyModel);
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  thistle::bench::printHeader("Table III",
+                              "Architecture parameters (45nm technology)");
+  printTableIII();
+  return thistle::bench::runTimings(Argc, Argv);
+}

@@ -1,0 +1,42 @@
+//===- examples/export_design.cpp - Timeloop spec generation --------------===//
+//
+// The tail end of the paper's workflow (Fig. 2): optimize a layer with
+// Thistle, then emit Timeloop-style YAML specifications (Fig. 3) for the
+// resulting architecture, problem and mapping — the artifacts the paper
+// feeds to the Timeloop model for final evaluation.
+//
+//===----------------------------------------------------------------------===//
+
+#include "export/TimeloopExport.h"
+#include "ir/Builders.h"
+#include "thistle/Optimizer.h"
+#include "workloads/Workloads.h"
+
+#include <cstdio>
+
+using namespace thistle;
+
+int main() {
+  ConvLayer Layer = resnet18Layers()[5]; // 128x128x28x28, 3x3.
+  Problem Prob = makeConvProblem(Layer);
+  TechParams Tech = TechParams::cgo45nm();
+
+  ThistleOptions Options;
+  Options.Mode = DesignMode::CoDesign;
+  ThistleResult R = optimizeLayer(Prob, eyerissArch(), Tech, Options,
+                                  eyerissAreaUm2(Tech));
+  if (!R.Found) {
+    std::printf("no legal design found\n");
+    return 1;
+  }
+
+  std::printf("# Co-designed %s: %.2f pJ/MAC on P=%lld R=%lld S=%lld\n\n",
+              Layer.Name.c_str(), R.Eval.EnergyPerMacPj,
+              static_cast<long long>(R.Arch.NumPEs),
+              static_cast<long long>(R.Arch.RegWordsPerPE),
+              static_cast<long long>(R.Arch.SramWords));
+  std::printf("%s\n", exportTimeloopArch(R.Arch, Tech).c_str());
+  std::printf("%s\n", exportTimeloopProblem(Prob).c_str());
+  std::printf("%s", exportTimeloopMapping(Prob, R.Map).c_str());
+  return 0;
+}

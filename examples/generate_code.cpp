@@ -1,0 +1,73 @@
+//===- examples/generate_code.cpp - Fig. 1(d)-style code emission ---------===//
+//
+// Lowers an optimized mapping to the explicit multi-level tiled loop
+// nest of the paper's Fig. 1(d): buffers at each memory level, copy
+// statements hoisted out of the loops whose iterators are absent from
+// each tensor, forall loops for the PE grid. The same nest is then
+// executed by the built-in interpreter to confirm it computes the exact
+// convolution.
+//
+//===----------------------------------------------------------------------===//
+
+#include "codegen/TiledNest.h"
+#include "ir/Builders.h"
+#include "thistle/Optimizer.h"
+#include "workloads/Workloads.h"
+
+#include <cstdio>
+
+using namespace thistle;
+
+int main() {
+  // A small layer so the verification pass is instant.
+  ConvLayer Layer;
+  Layer.Name = "demo";
+  Layer.K = 8;
+  Layer.C = 8;
+  Layer.Hin = 12;
+  Layer.Win = 12;
+  Layer.R = 3;
+  Layer.S = 3;
+  Problem Prob = makeConvProblem(Layer);
+
+  ThistleOptions Options;
+  ThistleResult R =
+      optimizeLayer(Prob, eyerissArch(), TechParams::cgo45nm(), Options);
+  if (!R.Found) {
+    std::printf("no legal design found\n");
+    return 1;
+  }
+
+  std::printf("optimized mapping (%.2f pJ/MAC):\n%s\n",
+              R.Eval.EnergyPerMacPj, R.Map.toString(Prob).c_str());
+
+  TiledNest Nest = buildTiledNest(Prob, R.Map);
+  std::printf("generated tiled nest:\n%s\n",
+              printTiledNest(Prob, R.Map, Nest).c_str());
+
+  InterpResult Run = interpretTiledNest(Prob, R.Map, Nest);
+  if (!Run.Ok) {
+    std::printf("interpretation failed: %s\n", Run.Error.c_str());
+    return 1;
+  }
+  std::vector<double> Ref = referenceContraction(Prob);
+  for (std::size_t I = 0; I < Ref.size(); ++I)
+    if (Run.Output[I] != Ref[I]) {
+      std::printf("MISMATCH at output word %zu\n", I);
+      return 1;
+    }
+  std::printf("verified: the generated nest computes the exact reference "
+              "convolution (%zu output words).\n",
+              Ref.size());
+  std::printf("copy traffic observed while executing (full-tile copy "
+              "semantics):\n");
+  for (std::size_t TI = 0; TI < Prob.tensors().size(); ++TI)
+    std::printf("  %-4s DRAM->SRAM %8lld, SRAM->DRAM %8lld, SRAM->reg "
+                "%8lld, reg->SRAM %8lld\n",
+                Prob.tensors()[TI].Name.c_str(),
+                static_cast<long long>(Run.PerTensor[TI].DramToSram),
+                static_cast<long long>(Run.PerTensor[TI].SramToDram),
+                static_cast<long long>(Run.PerTensor[TI].SramToReg),
+                static_cast<long long>(Run.PerTensor[TI].RegToSram));
+  return 0;
+}

@@ -1,0 +1,66 @@
+//===- examples/multilevel_hierarchy.cpp - Deeper memory hierarchies ------===//
+//
+// Demonstrates the arbitrary-depth generalization: optimize one conv
+// layer on the classic 3-level machine and on a 4-level machine with a
+// per-PE scratchpad, and show where the traffic goes at each boundary.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/Builders.h"
+#include "multilevel/MultiGp.h"
+#include "workloads/Workloads.h"
+
+#include <cstdio>
+
+using namespace thistle;
+
+namespace {
+
+void report(const char *Title, const Problem &Prob, const Hierarchy &H,
+            const MultiResult &R) {
+  std::printf("--- %s ---\n", Title);
+  if (!R.Found) {
+    std::printf("no legal design found\n\n");
+    return;
+  }
+  std::printf("energy %.2f pJ/MAC, IPC %.1f, PEs used %lld\n",
+              R.Eval.EnergyPerMacPj, R.Eval.MacIpc,
+              static_cast<long long>(R.Eval.Profile.PEsUsed));
+  for (unsigned B = 0; B < H.numBoundaries(); ++B)
+    std::printf("  %-12s <-> %-12s : %lld words\n",
+                H.Levels[B].Name.c_str(), H.Levels[B + 1].Name.c_str(),
+                static_cast<long long>(R.Eval.Profile.boundaryWords(B)));
+  for (unsigned L = 0; L + 1 < H.numLevels(); ++L)
+    std::printf("  %-12s occupancy: %lld / %lld words\n",
+                H.Levels[L].Name.c_str(),
+                static_cast<long long>(R.Eval.Profile.Occupancy[L]),
+                static_cast<long long>(H.Levels[L].CapacityWords));
+  std::printf("\n");
+  (void)Prob;
+}
+
+} // namespace
+
+int main() {
+  ConvLayer Layer = resnet18Layers()[8]; // 256x256x14x14, 3x3.
+  Problem Prob = makeConvProblem(Layer);
+  TechParams Tech = TechParams::cgo45nm();
+  ArchConfig Arch = eyerissArch();
+
+  std::printf("layer %s on %lld PEs\n\n", Layer.Name.c_str(),
+              static_cast<long long>(Arch.NumPEs));
+
+  MultiOptions Opts;
+  Opts.MaxPermCombos = 24;
+
+  Hierarchy Classic = Hierarchy::classic(Arch, Tech);
+  report("3-level: registers / shared SRAM / DRAM", Prob, Classic,
+         optimizeHierarchy(Prob, Classic, Opts));
+
+  Hierarchy Spad =
+      Hierarchy::withScratchpad(Arch, Tech, /*SpadWords=*/1024,
+                                /*SramWords=*/Arch.SramWords);
+  report("4-level: registers / per-PE scratchpad / shared SRAM / DRAM",
+         Prob, Spad, optimizeHierarchy(Prob, Spad, Opts));
+  return 0;
+}

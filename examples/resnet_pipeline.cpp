@@ -1,0 +1,79 @@
+//===- examples/resnet_pipeline.cpp - Whole-pipeline co-design ------------===//
+//
+// The paper's single-architecture workflow (Section V-A, Fig. 6) on
+// ResNet-18: co-design a per-layer optimal architecture for every conv
+// stage, pick the architecture of the energy-dominant stage, re-optimize
+// every layer's dataflow for that one fixed architecture, and report the
+// per-layer and pipeline-total energies of all three configurations.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/Builders.h"
+#include "support/TablePrinter.h"
+#include "thistle/Optimizer.h"
+#include "workloads/Workloads.h"
+
+#include <cstdio>
+#include <iostream>
+#include <vector>
+
+using namespace thistle;
+
+int main() {
+  TechParams Tech = TechParams::cgo45nm();
+  ArchConfig Eyeriss = eyerissArch();
+  double Budget = eyerissAreaUm2(Tech);
+  std::vector<ConvLayer> Layers = resnet18Layers();
+
+  ThistleOptions Dataflow; // Fixed-arch dataflow optimization.
+  ThistleOptions CoDesign;
+  CoDesign.Mode = DesignMode::CoDesign;
+
+  // Pass 1: Eyeriss dataflow + layer-wise co-design; find the
+  // energy-dominant co-designed stage.
+  std::vector<ThistleResult> Fixed, Co;
+  std::size_t DominantLayer = 0;
+  double DominantEnergy = -1.0;
+  for (const ConvLayer &L : Layers) {
+    Problem P = makeConvProblem(L);
+    Fixed.push_back(optimizeLayer(P, Eyeriss, Tech, Dataflow));
+    Co.push_back(optimizeLayer(P, Eyeriss, Tech, CoDesign, Budget));
+    if (Co.back().Found && Co.back().Eval.EnergyPj > DominantEnergy) {
+      DominantEnergy = Co.back().Eval.EnergyPj;
+      DominantLayer = Co.size() - 1;
+    }
+  }
+
+  ArchConfig Single = Co[DominantLayer].Arch;
+  std::printf("energy-dominant stage: %s -> single architecture "
+              "P=%lld R=%lld S=%lld\n\n",
+              Layers[DominantLayer].Name.c_str(),
+              static_cast<long long>(Single.NumPEs),
+              static_cast<long long>(Single.RegWordsPerPE),
+              static_cast<long long>(Single.SramWords));
+
+  // Pass 2: dataflow optimization for the single fixed architecture.
+  TablePrinter Table({"layer", "eyeriss pJ/MAC", "layer-wise pJ/MAC",
+                      "single-arch pJ/MAC"});
+  double TotalEyeriss = 0, TotalCo = 0, TotalSingle = 0;
+  for (std::size_t I = 0; I < Layers.size(); ++I) {
+    Problem P = makeConvProblem(Layers[I]);
+    ThistleResult SingleRes = optimizeLayer(P, Single, Tech, Dataflow);
+    Table.addRow(
+        {Layers[I].Name,
+         TablePrinter::formatDouble(Fixed[I].Eval.EnergyPerMacPj, 2),
+         TablePrinter::formatDouble(Co[I].Eval.EnergyPerMacPj, 2),
+         SingleRes.Found
+             ? TablePrinter::formatDouble(SingleRes.Eval.EnergyPerMacPj, 2)
+             : std::string("-")});
+    TotalEyeriss += Fixed[I].Eval.EnergyPj;
+    TotalCo += Co[I].Eval.EnergyPj;
+    if (SingleRes.Found)
+      TotalSingle += SingleRes.Eval.EnergyPj;
+  }
+  Table.print(std::cout);
+  std::printf("\npipeline totals: eyeriss %.1f uJ, layer-wise %.1f uJ, "
+              "single arch %.1f uJ\n",
+              TotalEyeriss * 1e-6, TotalCo * 1e-6, TotalSingle * 1e-6);
+  return 0;
+}

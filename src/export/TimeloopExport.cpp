@@ -1,0 +1,161 @@
+//===- export/TimeloopExport.cpp - Timeloop YAML emission -----------------===//
+
+#include "export/TimeloopExport.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cctype>
+#include <cmath>
+#include <sstream>
+
+using namespace thistle;
+
+namespace {
+
+/// Timeloop dimension names are conventionally upper case.
+std::string dimName(const Problem &Prob, unsigned Iter) {
+  std::string Name = Prob.iterators()[Iter].Name;
+  std::transform(Name.begin(), Name.end(), Name.begin(),
+                 [](unsigned char C) { return std::toupper(C); });
+  return Name;
+}
+
+/// Renders "K=4 C=2 ..." for the nonunit factors of one level, covering
+/// every dimension (Timeloop requires all products to multiply to the
+/// instance extents, so unit factors are listed explicitly).
+std::string factorString(const Problem &Prob, const Mapping &Map,
+                         TileLevel Level) {
+  std::ostringstream OS;
+  for (unsigned I = 0; I < Prob.numIterators(); ++I) {
+    if (I)
+      OS << " ";
+    OS << dimName(Prob, I) << "=" << Map.factor(I, Level);
+  }
+  return OS.str();
+}
+
+/// Timeloop permutations are written innermost-to-outermost.
+std::string permString(const Problem &Prob,
+                       const std::vector<unsigned> &OuterToInner) {
+  std::string Out;
+  for (auto It = OuterToInner.rbegin(); It != OuterToInner.rend(); ++It) {
+    if (!Out.empty())
+      Out += " ";
+    Out += dimName(Prob, *It);
+  }
+  return Out;
+}
+
+} // namespace
+
+std::string thistle::exportTimeloopArch(const ArchConfig &Arch,
+                                        const TechParams &Tech) {
+  std::ostringstream OS;
+  OS << "architecture:\n";
+  OS << "  version: 0.3\n";
+  OS << "  subtree:\n";
+  OS << "  - name: system\n";
+  OS << "    attributes:\n";
+  OS << "      technology: 45nm\n";
+  OS << "    local:\n";
+  OS << "    - name: DRAM\n";
+  OS << "      class: DRAM\n";
+  OS << "      attributes:\n";
+  OS << "        type: LPDDR4\n";
+  OS << "        word-bits: 16\n";
+  OS << "        read_bandwidth: " << Arch.DramBandwidth / 2 << "\n";
+  OS << "        write_bandwidth: " << Arch.DramBandwidth / 2 << "\n";
+  OS << "    subtree:\n";
+  OS << "    - name: chip\n";
+  OS << "      local:\n";
+  OS << "      - name: SRAM\n";
+  OS << "        class: SRAM\n";
+  OS << "        attributes:\n";
+  OS << "          depth: " << Arch.SramWords << "\n";
+  OS << "          word-bits: 16\n";
+  OS << "          read_bandwidth: " << Arch.SramBandwidth / 2 << "\n";
+  OS << "          write_bandwidth: " << Arch.SramBandwidth / 2 << "\n";
+  OS << "          # access energy (Eq. 4): "
+     << Tech.SigmaSramPj * std::sqrt(static_cast<double>(Arch.SramWords))
+     << " pJ\n";
+  OS << "      subtree:\n";
+  OS << "      - name: PE[0.." << (Arch.NumPEs - 1) << "]\n";
+  OS << "        local:\n";
+  OS << "        - name: RegisterFile\n";
+  OS << "          class: regfile\n";
+  OS << "          attributes:\n";
+  OS << "            depth: " << Arch.RegWordsPerPE << "\n";
+  OS << "            word-bits: 16\n";
+  OS << "            # access energy (Eq. 4): "
+     << Tech.SigmaRegPj * static_cast<double>(Arch.RegWordsPerPE)
+     << " pJ\n";
+  OS << "        - name: MACC\n";
+  OS << "          class: intmac\n";
+  OS << "          attributes:\n";
+  OS << "            datawidth: 16\n";
+  return OS.str();
+}
+
+std::string thistle::exportTimeloopProblem(const Problem &Prob) {
+  std::ostringstream OS;
+  OS << "problem:\n";
+  OS << "  shape:\n";
+  OS << "    name: " << Prob.name() << "\n";
+  OS << "    dimensions: [";
+  for (unsigned I = 0; I < Prob.numIterators(); ++I)
+    OS << (I ? ", " : " ") << dimName(Prob, I);
+  OS << " ]\n";
+  OS << "    data-spaces:\n";
+  for (const Tensor &T : Prob.tensors()) {
+    OS << "    - name: " << T.Name << "\n";
+    OS << "      projection:\n";
+    for (const DimRef &D : T.Dims) {
+      OS << "      - [";
+      for (std::size_t K = 0; K < D.Terms.size(); ++K) {
+        const DimRef::Term &Term = D.Terms[K];
+        OS << (K ? ", " : " ") << "[ " << dimName(Prob, Term.Iter);
+        if (Term.Stride != 1)
+          OS << ", " << Term.Stride;
+        OS << " ]";
+      }
+      OS << " ]\n";
+    }
+    if (T.ReadWrite)
+      OS << "      read-write: true\n";
+  }
+  OS << "  instance:\n";
+  for (unsigned I = 0; I < Prob.numIterators(); ++I)
+    OS << "    " << dimName(Prob, I) << ": "
+       << Prob.iterators()[I].Extent << "\n";
+  return OS.str();
+}
+
+std::string thistle::exportTimeloopMapping(const Problem &Prob,
+                                           const Mapping &Map) {
+  assert(Map.validate(Prob).empty() && "mapping must validate");
+  std::ostringstream OS;
+  OS << "mapping:\n";
+  // DRAM-level temporal loops.
+  OS << "- target: DRAM\n";
+  OS << "  type: temporal\n";
+  OS << "  factors: " << factorString(Prob, Map, TileLevel::DramTemporal)
+     << "\n";
+  OS << "  permutation: " << permString(Prob, Map.DramPerm) << "\n";
+  // The spatial PE grid hangs below the SRAM (paper Fig. 3d: "the
+  // spatial block of mapping targeting SRAM specifies that the PE array
+  // is located below the SRAM").
+  OS << "- target: SRAM\n";
+  OS << "  type: spatial\n";
+  OS << "  factors: " << factorString(Prob, Map, TileLevel::Spatial) << "\n";
+  // Per-PE temporal loops over register tiles.
+  OS << "- target: SRAM\n";
+  OS << "  type: temporal\n";
+  OS << "  factors: " << factorString(Prob, Map, TileLevel::PeTemporal)
+     << "\n";
+  OS << "  permutation: " << permString(Prob, Map.PePerm) << "\n";
+  // Register tiles (the innermost compute loops).
+  OS << "- target: RegisterFile\n";
+  OS << "  type: temporal\n";
+  OS << "  factors: " << factorString(Prob, Map, TileLevel::Register) << "\n";
+  return OS.str();
+}

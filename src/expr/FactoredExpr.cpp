@@ -1,0 +1,87 @@
+//===- expr/FactoredExpr.cpp - Product-of-sums expressions ----------------===//
+
+#include "expr/FactoredExpr.h"
+
+#include <cassert>
+#include <sstream>
+
+using namespace thistle;
+
+void FactoredExpr::pushFactor(const Signomial &Factor) {
+  assert(!Factor.isZero() && "zero factor would zero the whole expression");
+  if (Factor.monomials().size() == 1) {
+    Prefix = Prefix * Factor.monomials().front();
+    return;
+  }
+  Factors.push_back(Factor);
+}
+
+void FactoredExpr::multiplyPrefix(const Monomial &M) { Prefix = Prefix * M; }
+
+FactoredExpr FactoredExpr::substituted(VarId Var, const Monomial &Repl) const {
+  FactoredExpr Out;
+  Out.Prefix = Prefix.substituted(Var, Repl);
+  for (const Signomial &F : Factors)
+    Out.Factors.push_back(F.substituted(Var, Repl));
+  return Out;
+}
+
+Signomial FactoredExpr::expanded() const {
+  Signomial Out{Prefix};
+  for (const Signomial &F : Factors)
+    Out = Out * F;
+  return Out;
+}
+
+FactoredExpr FactoredExpr::posynomialUpperBound() const {
+  FactoredExpr Out;
+  Out.Prefix = Prefix;
+  for (const Signomial &F : Factors) {
+    Signomial Bounded = F.posynomialUpperBound();
+    assert(!Bounded.isZero() && "factor had no positive terms");
+    Out.pushFactor(Bounded);
+  }
+  return Out;
+}
+
+FactoredExpr FactoredExpr::monomialProductUpperBound() const {
+  FactoredExpr Out;
+  Out.multiplyPrefix(Prefix);
+  for (const Signomial &F : Factors) {
+    Monomial Product(1.0);
+    [[maybe_unused]] bool AnyPositive = false;
+    for (const Monomial &M : F.monomials()) {
+      if (M.coefficient() <= 0.0)
+        continue;
+      Product = Product * M;
+      AnyPositive = true;
+    }
+    assert(AnyPositive && "factor had no positive terms");
+    Out.multiplyPrefix(Product);
+  }
+  return Out;
+}
+
+double FactoredExpr::evaluate(const Assignment &Values) const {
+  double V = Prefix.evaluate(Values);
+  for (const Signomial &F : Factors)
+    V *= F.evaluate(Values);
+  return V;
+}
+
+bool FactoredExpr::mentions(VarId Var) const {
+  if (Prefix.mentions(Var))
+    return true;
+  for (const Signomial &F : Factors)
+    if (F.mentions(Var))
+      return true;
+  return false;
+}
+
+std::string FactoredExpr::toString(const VarTable &Table) const {
+  std::ostringstream OS;
+  OS << Prefix.toString(Table);
+  for (const Signomial &F : Factors)
+    OS << " * (" << F.toString(Table) << ")";
+  return OS.str();
+}

@@ -1,0 +1,84 @@
+//===- expr/FactoredExpr.h - Product-of-sums expressions --------*- C++ -*-===//
+//
+// Part of the Thistle reproduction (CGO 2022).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Data footprints and data volumes produced by Algorithm 1 have the
+/// natural shape
+///   Prefix * prod_d Extent_d
+/// where Prefix is a monomial (trip-count products hoisted outside) and
+/// each Extent_d is the signomial extent of one data dimension (e.g.
+/// q_h*r_h + q_r*r_r - 1). FactoredExpr keeps this shape so that
+/// substitution is cheap, printing matches the paper (Table I), and the
+/// posynomial upper bound can be taken factor-wise (a product of
+/// posynomials with positive variables is a posynomial after expansion).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef THISTLE_EXPR_FACTOREDEXPR_H
+#define THISTLE_EXPR_FACTOREDEXPR_H
+
+#include "expr/Signomial.h"
+
+#include <string>
+#include <vector>
+
+namespace thistle {
+
+/// Prefix monomial times a product of signomial factors.
+class FactoredExpr {
+public:
+  /// The expression "1".
+  FactoredExpr() : Prefix(1.0) {}
+
+  /// A bare monomial expression.
+  explicit FactoredExpr(Monomial Prefix) : Prefix(std::move(Prefix)) {}
+
+  const Monomial &prefix() const { return Prefix; }
+  const std::vector<Signomial> &factors() const { return Factors; }
+
+  /// Appends a factor. Single-monomial factors are folded into the prefix.
+  void pushFactor(const Signomial &Factor);
+
+  /// Multiplies the prefix by \p M (the "multiply(DV, c^l)" step of
+  /// Algorithm 1, line 18/20).
+  void multiplyPrefix(const Monomial &M);
+
+  /// Substitutes \p Var := \p Repl in the prefix and in every factor (the
+  /// "replace(DF, c^{l-1}, c^l c^{l-1})" step of Algorithm 1).
+  FactoredExpr substituted(VarId Var, const Monomial &Repl) const;
+
+  /// Expands to a flat signomial (used when building GP constraints).
+  Signomial expanded() const;
+
+  /// Factor-wise posynomial upper bound (drops negative terms per factor).
+  FactoredExpr posynomialUpperBound() const;
+
+  /// Alternative factor-wise upper bound: each factor is replaced by the
+  /// *product* of its positive monomials. For a halo factor
+  /// sum_t m_t - (sum_t coeff_t - 1) with every m_t >= 1 this is a valid
+  /// upper bound (derivative dominance from the all-ones corner) that is
+  /// tighter than dropping the negative constant when the tile extents
+  /// are near 1 — exactly the small-register-file regime where the
+  /// drop-negative bound can make a feasible design look infeasible.
+  FactoredExpr monomialProductUpperBound() const;
+
+  /// Exact numeric evaluation.
+  double evaluate(const Assignment &Values) const;
+
+  /// True if the prefix or any factor mentions \p Var.
+  bool mentions(VarId Var) const;
+
+  /// Renders e.g. "2*q_w*q_n*q_k * (r_n*r_k*q_h*r_h*r_w)" in factored form.
+  std::string toString(const VarTable &Table) const;
+
+private:
+  Monomial Prefix;
+  std::vector<Signomial> Factors;
+};
+
+} // namespace thistle
+
+#endif // THISTLE_EXPR_FACTOREDEXPR_H

@@ -1,0 +1,121 @@
+//===- expr/Monomial.cpp - Monomials over positive variables --------------===//
+
+#include "expr/Monomial.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <sstream>
+
+using namespace thistle;
+
+Monomial Monomial::variable(VarId Var, double Exp, double Coeff) {
+  Monomial M(Coeff);
+  if (Exp != 0.0)
+    M.Exps.push_back({Var, Exp});
+  return M;
+}
+
+double Monomial::exponentOf(VarId Var) const {
+  for (const Term &T : Exps)
+    if (T.Var == Var)
+      return T.Exp;
+  return 0.0;
+}
+
+void Monomial::addExponent(VarId Var, double Exp) {
+  if (Exp == 0.0)
+    return;
+  auto It = std::lower_bound(
+      Exps.begin(), Exps.end(), Var,
+      [](const Term &T, VarId V) { return T.Var < V; });
+  if (It != Exps.end() && It->Var == Var) {
+    It->Exp += Exp;
+    if (It->Exp == 0.0)
+      Exps.erase(It);
+    return;
+  }
+  Exps.insert(It, {Var, Exp});
+}
+
+Monomial Monomial::operator*(const Monomial &Other) const {
+  Monomial Out = *this;
+  Out.Coeff *= Other.Coeff;
+  for (const Term &T : Other.Exps)
+    Out.addExponent(T.Var, T.Exp);
+  return Out;
+}
+
+Monomial Monomial::scaled(double Scale) const {
+  Monomial Out = *this;
+  Out.Coeff *= Scale;
+  return Out;
+}
+
+Monomial Monomial::pow(double Power) const {
+  assert((Coeff > 0.0 || Power == std::round(Power)) &&
+         "non-integer power of a non-positive coefficient");
+  Monomial Out(std::pow(Coeff, Power));
+  for (const Term &T : Exps)
+    Out.Exps.push_back({T.Var, T.Exp * Power});
+  // Zero power collapses every exponent.
+  if (Power == 0.0)
+    Out.Exps.clear();
+  return Out;
+}
+
+Monomial Monomial::substituted(VarId Var, const Monomial &Repl) const {
+  double E = exponentOf(Var);
+  if (E == 0.0)
+    return *this;
+  Monomial Out = *this;
+  Out.addExponent(Var, -E); // Remove the variable entirely...
+  return Out * Repl.pow(E); // ...and splice in Repl^E.
+}
+
+double Monomial::evaluate(const Assignment &Values) const {
+  double V = Coeff;
+  for (const Term &T : Exps) {
+    assert(T.Var < Values.size() && "assignment is missing a variable");
+    assert(Values[T.Var] > 0.0 && "GP variables must be positive");
+    V *= std::pow(Values[T.Var], T.Exp);
+  }
+  return V;
+}
+
+bool Monomial::variablesLessThan(const Monomial &Other) const {
+  return std::lexicographical_compare(
+      Exps.begin(), Exps.end(), Other.Exps.begin(), Other.Exps.end(),
+      [](const Term &A, const Term &B) {
+        if (A.Var != B.Var)
+          return A.Var < B.Var;
+        return A.Exp < B.Exp;
+      });
+}
+
+std::string Monomial::toString(const VarTable &Table) const {
+  std::ostringstream OS;
+  bool NeedCoeff = Exps.empty() || Coeff != 1.0;
+  if (NeedCoeff) {
+    // Print integral coefficients without a decimal point.
+    if (Coeff == std::round(Coeff) && std::abs(Coeff) < 1e15)
+      OS << static_cast<long long>(Coeff);
+    else
+      OS << Coeff;
+  }
+  bool First = !NeedCoeff;
+  for (const Term &T : Exps) {
+    if (!First)
+      OS << "*";
+    First = false;
+    OS << Table.nameOf(T.Var);
+    if (T.Exp != 1.0) {
+      OS << "^";
+      if (T.Exp == std::round(T.Exp))
+        OS << static_cast<long long>(T.Exp);
+      else
+        OS << T.Exp;
+    }
+  }
+  return OS.str();
+}

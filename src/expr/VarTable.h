@@ -1,0 +1,74 @@
+//===- expr/VarTable.h - Variable interning ---------------------*- C++ -*-===//
+//
+// Part of the Thistle reproduction (CGO 2022).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Interns symbolic variable names (trip counts such as "q_h", architecture
+/// parameters such as "R") into dense integer ids, so that monomials can
+/// store sparse (id, exponent) pairs and assignments can be plain vectors.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef THISTLE_EXPR_VARTABLE_H
+#define THISTLE_EXPR_VARTABLE_H
+
+#include <cassert>
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace thistle {
+
+/// Dense id of an interned variable.
+using VarId = std::uint32_t;
+
+/// Bidirectional name <-> id mapping for symbolic variables.
+///
+/// A VarTable is shared by all expressions of one optimization problem.
+/// Ids are assigned in insertion order starting at 0.
+class VarTable {
+public:
+  /// Returns the id of \p Name, interning it if new.
+  VarId intern(const std::string &Name) {
+    auto It = Ids.find(Name);
+    if (It != Ids.end())
+      return It->second;
+    VarId Id = static_cast<VarId>(Names.size());
+    Names.push_back(Name);
+    Ids.emplace(Name, Id);
+    return Id;
+  }
+
+  /// Returns the id of \p Name; the name must already be interned.
+  VarId lookup(const std::string &Name) const {
+    auto It = Ids.find(Name);
+    assert(It != Ids.end() && "variable was never interned");
+    return It->second;
+  }
+
+  /// Returns true if \p Name has been interned.
+  bool contains(const std::string &Name) const { return Ids.count(Name) > 0; }
+
+  /// Returns the name of \p Id.
+  const std::string &nameOf(VarId Id) const {
+    assert(Id < Names.size() && "variable id out of range");
+    return Names[Id];
+  }
+
+  /// Number of interned variables.
+  std::size_t size() const { return Names.size(); }
+
+private:
+  std::vector<std::string> Names;
+  std::unordered_map<std::string, VarId> Ids;
+};
+
+/// A full assignment of positive values to variables, indexed by VarId.
+using Assignment = std::vector<double>;
+
+} // namespace thistle
+
+#endif // THISTLE_EXPR_VARTABLE_H

@@ -1,0 +1,63 @@
+//===- ir/Builders.cpp - CNN and matmul problem builders ------------------===//
+
+#include "ir/Builders.h"
+
+#include "support/MathUtil.h"
+
+using namespace thistle;
+
+std::int64_t ConvLayer::outH() const { return ceilDiv(Hin, StrideX); }
+
+std::int64_t ConvLayer::outW() const { return ceilDiv(Win, StrideY); }
+
+std::int64_t ConvLayer::numMacs() const {
+  return N * K * C * R * S * outH() * outW();
+}
+
+Problem thistle::makeConvProblem(const ConvLayer &Layer) {
+  std::vector<Iterator> Iters = {
+      {"n", Layer.N}, {"k", Layer.K},      {"c", Layer.C},    {"r", Layer.R},
+      {"s", Layer.S}, {"h", Layer.outH()}, {"w", Layer.outW()}};
+  enum : unsigned { ItN, ItK, ItC, ItR, ItS, ItH, ItW };
+
+  Tensor Out;
+  Out.Name = "Out";
+  Out.ReadWrite = true;
+  Out.Dims = {{{{ItN, 1}}}, {{{ItK, 1}}}, {{{ItH, 1}}}, {{{ItW, 1}}}};
+
+  Tensor In;
+  In.Name = "In";
+  In.Dims = {{{{ItN, 1}}},
+             {{{ItC, 1}}},
+             {{{ItH, Layer.StrideX}, {ItR, Layer.DilationX}}},
+             {{{ItW, Layer.StrideY}, {ItS, Layer.DilationY}}}};
+
+  Tensor Ker;
+  Ker.Name = "Ker";
+  Ker.Dims = {{{{ItK, 1}}}, {{{ItC, 1}}}, {{{ItR, 1}}}, {{{ItS, 1}}}};
+
+  return Problem(Layer.Name, std::move(Iters),
+                 {std::move(Out), std::move(In), std::move(Ker)});
+}
+
+Problem thistle::makeMatmulProblem(std::int64_t Ni, std::int64_t Nj,
+                                   std::int64_t Nk) {
+  std::vector<Iterator> Iters = {{"i", Ni}, {"j", Nj}, {"k", Nk}};
+  enum : unsigned { ItI, ItJ, ItK };
+
+  Tensor CMat;
+  CMat.Name = "C";
+  CMat.ReadWrite = true;
+  CMat.Dims = {{{{ItI, 1}}}, {{{ItJ, 1}}}};
+
+  Tensor AMat;
+  AMat.Name = "A";
+  AMat.Dims = {{{{ItI, 1}}}, {{{ItK, 1}}}};
+
+  Tensor BMat;
+  BMat.Name = "B";
+  BMat.Dims = {{{{ItK, 1}}}, {{{ItJ, 1}}}};
+
+  return Problem("matmul", std::move(Iters),
+                 {std::move(CMat), std::move(AMat), std::move(BMat)});
+}

@@ -1,0 +1,64 @@
+//===- ir/Builders.h - CNN and matmul problem builders ----------*- C++ -*-===//
+//
+// Part of the Thistle reproduction (CGO 2022).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Builders for the two tensor programs used throughout the paper: the 7D
+/// CNN loop nest of Listing 1 and the 3D matrix multiplication of Fig. 1.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef THISTLE_IR_BUILDERS_H
+#define THISTLE_IR_BUILDERS_H
+
+#include "ir/Problem.h"
+
+#include <string>
+
+namespace thistle {
+
+/// Shape of one conv2D stage, in the paper's Table II convention.
+struct ConvLayer {
+  std::string Name;
+  std::int64_t N = 1;   ///< Batch size (1 throughout the evaluation).
+  std::int64_t K = 1;   ///< Output channels.
+  std::int64_t C = 1;   ///< Input channels.
+  std::int64_t Hin = 1; ///< Input image height (Table II's H).
+  std::int64_t Win = 1; ///< Input image width (Table II's W).
+  std::int64_t R = 1;   ///< Kernel height.
+  std::int64_t S = 1;   ///< Kernel width.
+  std::int64_t StrideX = 1; ///< Vertical kernel stride (paper's x).
+  std::int64_t StrideY = 1; ///< Horizontal kernel stride (paper's y).
+  /// Convolution dilation (extension; the paper notes dilation "can be
+  /// handled similarly" to strides — it becomes the stride of the r/s
+  /// terms in In's projections).
+  std::int64_t DilationX = 1;
+  std::int64_t DilationY = 1;
+
+  /// Output spatial height: Table II gives input sizes; ResNet/Yolo convs
+  /// use 'same' padding, so Hout = ceil(Hin / stride) (DESIGN.md).
+  std::int64_t outH() const;
+  /// Output spatial width, same convention.
+  std::int64_t outW() const;
+
+  /// Total MACs = N*K*C*R*S*outH()*outW().
+  std::int64_t numMacs() const;
+};
+
+/// Builds the 7D CNN problem of Listing 1 for \p Layer. Iterators appear
+/// in the order n, k, c, r, s, h, w; tensors in the order Out, In, Ker
+/// (Out is read-write). The h/w iterators range over the *output* spatial
+/// extents; In's spatial dimensions are the strided projections
+/// x*h + r and y*w + s.
+Problem makeConvProblem(const ConvLayer &Layer);
+
+/// Builds the 3D matrix-multiplication problem of Fig. 1:
+/// C[i][j] += A[i][k] * B[k][j], iterators i, j, k; tensors C (read-write),
+/// A, B.
+Problem makeMatmulProblem(std::int64_t Ni, std::int64_t Nj, std::int64_t Nk);
+
+} // namespace thistle
+
+#endif // THISTLE_IR_BUILDERS_H

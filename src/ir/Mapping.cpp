@@ -1,0 +1,133 @@
+//===- ir/Mapping.cpp - Multi-level tiled mapping -------------------------===//
+
+#include "ir/Mapping.h"
+
+#include <numeric>
+#include <sstream>
+
+using namespace thistle;
+
+std::vector<std::int64_t> Mapping::registerTileExtents() const {
+  std::vector<std::int64_t> Out(Factors.size());
+  for (std::size_t I = 0; I < Factors.size(); ++I)
+    Out[I] = factor(I, TileLevel::Register);
+  return Out;
+}
+
+std::vector<std::int64_t> Mapping::peTileExtents() const {
+  std::vector<std::int64_t> Out(Factors.size());
+  for (std::size_t I = 0; I < Factors.size(); ++I)
+    Out[I] = factor(I, TileLevel::PeTemporal) * factor(I, TileLevel::Register);
+  return Out;
+}
+
+std::vector<std::int64_t> Mapping::sramTileExtents() const {
+  std::vector<std::int64_t> Out(Factors.size());
+  for (std::size_t I = 0; I < Factors.size(); ++I)
+    Out[I] = factor(I, TileLevel::Spatial) *
+             factor(I, TileLevel::PeTemporal) *
+             factor(I, TileLevel::Register);
+  return Out;
+}
+
+std::int64_t Mapping::numPEsUsed() const {
+  std::int64_t P = 1;
+  for (std::size_t I = 0; I < Factors.size(); ++I)
+    P *= factor(I, TileLevel::Spatial);
+  return P;
+}
+
+std::string Mapping::validate(const Problem &Prob) const {
+  std::ostringstream Err;
+  if (Factors.size() != Prob.numIterators()) {
+    Err << "mapping has " << Factors.size() << " iterators but problem has "
+        << Prob.numIterators();
+    return Err.str();
+  }
+  for (unsigned I = 0; I < Factors.size(); ++I) {
+    std::int64_t Product = 1;
+    for (unsigned L = 0; L < NumTileLevels; ++L) {
+      if (Factors[I][L] < 1) {
+        Err << "iterator " << Prob.iterators()[I].Name << " has factor "
+            << Factors[I][L] << " < 1 at level " << L;
+        return Err.str();
+      }
+      Product *= Factors[I][L];
+    }
+    if (Product != Prob.iterators()[I].Extent) {
+      Err << "iterator " << Prob.iterators()[I].Name << " factors multiply to "
+          << Product << ", expected extent " << Prob.iterators()[I].Extent;
+      return Err.str();
+    }
+  }
+  auto checkPerm = [&](const std::vector<unsigned> &Perm,
+                       const char *What) -> bool {
+    if (Perm.size() != Prob.numIterators()) {
+      Err << What << " permutation has wrong arity";
+      return false;
+    }
+    std::vector<bool> Seen(Prob.numIterators(), false);
+    for (unsigned P : Perm) {
+      if (P >= Prob.numIterators() || Seen[P]) {
+        Err << What << " permutation is not a permutation";
+        return false;
+      }
+      Seen[P] = true;
+    }
+    return true;
+  };
+  if (!checkPerm(DramPerm, "DRAM-level"))
+    return Err.str();
+  if (!checkPerm(PePerm, "PE-level"))
+    return Err.str();
+  return std::string();
+}
+
+std::string Mapping::toString(const Problem &Prob) const {
+  std::ostringstream OS;
+  auto printLevel = [&](const char *Label, TileLevel Level,
+                        const std::vector<unsigned> *Perm) {
+    OS << "  " << Label << ":";
+    bool Any = false;
+    auto printFactor = [&](unsigned I) {
+      if (factor(I, Level) == 1)
+        return;
+      OS << " " << Prob.iterators()[I].Name << "=" << factor(I, Level);
+      Any = true;
+    };
+    if (Perm) {
+      for (unsigned I : *Perm)
+        printFactor(I);
+    } else {
+      for (unsigned I = 0; I < Factors.size(); ++I)
+        printFactor(I);
+    }
+    if (!Any)
+      OS << " (none)";
+    if (Perm) {
+      OS << "  perm=<";
+      for (std::size_t Pos = 0; Pos < Perm->size(); ++Pos)
+        OS << (Pos ? "," : "") << Prob.iterators()[(*Perm)[Pos]].Name;
+      OS << ">";
+    }
+    OS << "\n";
+  };
+  printLevel("DRAM temporal", TileLevel::DramTemporal, &DramPerm);
+  printLevel("spatial      ", TileLevel::Spatial, nullptr);
+  printLevel("PE temporal  ", TileLevel::PeTemporal, &PePerm);
+  printLevel("register tile", TileLevel::Register, nullptr);
+  return OS.str();
+}
+
+Mapping Mapping::untiled(const Problem &Prob) {
+  Mapping M;
+  M.Factors.resize(Prob.numIterators());
+  for (unsigned I = 0; I < Prob.numIterators(); ++I) {
+    M.Factors[I] = {1, 1, 1, 1};
+    M.factor(I, TileLevel::Register) = Prob.iterators()[I].Extent;
+  }
+  M.DramPerm.resize(Prob.numIterators());
+  std::iota(M.DramPerm.begin(), M.DramPerm.end(), 0u);
+  M.PePerm = M.DramPerm;
+  return M;
+}

@@ -1,0 +1,95 @@
+//===- ir/Mapping.h - Multi-level tiled mapping -----------------*- C++ -*-===//
+//
+// Part of the Thistle reproduction (CGO 2022).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A Mapping mirrors a Timeloop mapping specification (paper Fig. 3d): for
+/// every iterator of a Problem, the trip counts at each tiling level, plus
+/// the temporal loop permutations at the DRAM and per-PE levels. Following
+/// the paper's notation (section III), the extent N_d of dimension d
+/// factors as
+///
+///   N_d = s_d * p_d * q_d * r_d
+///
+/// where s_d is the DRAM-level temporal trip count (enumerating SRAM
+/// tiles), p_d the spatial trip count (PE grid), q_d the per-PE temporal
+/// trip count (enumerating register tiles), and r_d the register-level
+/// tile size. The SRAM tile size is S_d = p_d*q_d*r_d and the per-PE tile
+/// is Q_d = q_d*r_d. The spatial level needs no permutation (its order
+/// does not affect cost, paper section III-A), and loops inside the
+/// register tile never move data, so exactly two permutations matter.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef THISTLE_IR_MAPPING_H
+#define THISTLE_IR_MAPPING_H
+
+#include "ir/Problem.h"
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace thistle {
+
+/// Tiling levels, outer to inner.
+enum class TileLevel : unsigned {
+  DramTemporal = 0, ///< s_d: sequential loops enumerating SRAM tiles.
+  Spatial = 1,      ///< p_d: parallel loops across the PE grid.
+  PeTemporal = 2,   ///< q_d: per-PE sequential loops over register tiles.
+  Register = 3,     ///< r_d: register-tile sizes (innermost compute loops).
+};
+inline constexpr unsigned NumTileLevels = 4;
+
+/// A complete multi-level tiling of one Problem.
+struct Mapping {
+  /// Factors[i][l] is the trip count of iterator i at level l.
+  std::vector<std::array<std::int64_t, NumTileLevels>> Factors;
+
+  /// Outer-to-inner iterator order of the DRAM-level temporal tile loops.
+  std::vector<unsigned> DramPerm;
+
+  /// Outer-to-inner iterator order of the per-PE temporal tile loops.
+  std::vector<unsigned> PePerm;
+
+  /// Convenience accessor.
+  std::int64_t factor(unsigned Iter, TileLevel Level) const {
+    return Factors[Iter][static_cast<unsigned>(Level)];
+  }
+  std::int64_t &factor(unsigned Iter, TileLevel Level) {
+    return Factors[Iter][static_cast<unsigned>(Level)];
+  }
+
+  /// Register-tile extents r_d per iterator.
+  std::vector<std::int64_t> registerTileExtents() const;
+
+  /// Per-PE tile extents Q_d = q_d * r_d per iterator.
+  std::vector<std::int64_t> peTileExtents() const;
+
+  /// SRAM tile extents S_d = p_d * q_d * r_d per iterator.
+  std::vector<std::int64_t> sramTileExtents() const;
+
+  /// Number of PEs used: product of spatial trip counts.
+  std::int64_t numPEsUsed() const;
+
+  /// Returns an empty string if the mapping is consistent with \p Prob,
+  /// otherwise a diagnostic: factors must multiply to the extents, all
+  /// factors must be >= 1, and both permutations must be permutations of
+  /// all iterators.
+  std::string validate(const Problem &Prob) const;
+
+  /// The identity mapping: everything at the register level, identity
+  /// permutations. A convenient starting point for tests and search.
+  static Mapping untiled(const Problem &Prob);
+
+  /// Renders the mapping in a Timeloop-flavoured form: one line per
+  /// tiling level with the nonunit factors and the temporal permutation.
+  std::string toString(const Problem &Prob) const;
+};
+
+} // namespace thistle
+
+#endif // THISTLE_IR_MAPPING_H

@@ -1,0 +1,94 @@
+//===- ir/Problem.h - Tensor-program intermediate representation -*- C++ -*-===//
+//
+// Part of the Thistle reproduction (CGO 2022).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The problem IR mirrors a Timeloop problem specification (paper Fig. 3b):
+/// a dense iteration space given by named iterators with extents, and a set
+/// of data spaces (tensors) whose dimensions are affine projections
+/// (sums of stride * iterator terms) of the iterators. Listing 1's CNN and
+/// Fig. 1's matrix multiplication are both instances.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef THISTLE_IR_PROBLEM_H
+#define THISTLE_IR_PROBLEM_H
+
+#include <cassert>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace thistle {
+
+/// A loop iterator of the dense iteration space.
+struct Iterator {
+  std::string Name;
+  std::int64_t Extent;
+};
+
+/// One data dimension of a tensor: an affine projection
+///   sum_t Stride_t * Iter_t
+/// of the iteration space (e.g. In's third dimension is x*h + r).
+struct DimRef {
+  struct Term {
+    unsigned Iter;       ///< Index into Problem::iterators().
+    std::int64_t Stride; ///< Positive compile-time stride.
+  };
+  std::vector<Term> Terms;
+
+  /// The data extent covered when iterator t spans TileExtents[Iter_t]
+  /// points: sum_t Stride_t * (TileExtents_t - 1) + 1.
+  std::int64_t extentFor(const std::vector<std::int64_t> &TileExtents) const;
+
+  /// True if the dimension's projection uses \p Iter.
+  bool uses(unsigned Iter) const;
+};
+
+/// A data space: name, dimension projections, and read/write behaviour.
+struct Tensor {
+  std::string Name;
+  std::vector<DimRef> Dims;
+  /// True for tensors that are both read and written (the output of the
+  /// CNN / the C matrix); their traffic counts twice (paper section III-A).
+  bool ReadWrite = false;
+
+  /// True if any dimension's projection uses \p Iter.
+  bool usesIter(unsigned Iter) const;
+
+  /// Words touched when each iterator t spans TileExtents[t] points.
+  std::int64_t footprintWords(
+      const std::vector<std::int64_t> &TileExtents) const;
+};
+
+/// A dense-iteration-space tensor program (one CNN layer / one matmul).
+class Problem {
+public:
+  Problem(std::string Name, std::vector<Iterator> Iters,
+          std::vector<Tensor> Tensors);
+
+  const std::string &name() const { return ProblemName; }
+  const std::vector<Iterator> &iterators() const { return Iters; }
+  const std::vector<Tensor> &tensors() const { return Tensors; }
+  unsigned numIterators() const { return Iters.size(); }
+
+  /// Index of the iterator named \p Name; asserts existence.
+  unsigned iteratorIndex(const std::string &Name) const;
+
+  /// Total multiply-accumulate count = product of all extents.
+  std::int64_t numOps() const;
+
+  /// Full per-iterator extents as a vector (for footprint computations).
+  std::vector<std::int64_t> fullExtents() const;
+
+private:
+  std::string ProblemName;
+  std::vector<Iterator> Iters;
+  std::vector<Tensor> Tensors;
+};
+
+} // namespace thistle
+
+#endif // THISTLE_IR_PROBLEM_H

@@ -1,0 +1,18 @@
+//===- model/TechModel.cpp - Technology, energy and area models -----------===//
+
+#include "model/TechModel.h"
+
+#include <cmath>
+
+using namespace thistle;
+
+double ArchConfig::areaUm2(const TechParams &Tech) const {
+  return (Tech.AreaRegWordUm2 * static_cast<double>(RegWordsPerPE) +
+          Tech.AreaMacUm2) *
+             static_cast<double>(NumPEs) +
+         Tech.AreaSramWordUm2 * static_cast<double>(SramWords);
+}
+
+double EnergyModel::sramAccessPj(double SramWords) const {
+  return Tech.SigmaSramPj * std::sqrt(SramWords);
+}

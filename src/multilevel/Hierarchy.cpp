@@ -1,0 +1,89 @@
+//===- multilevel/Hierarchy.cpp - Arbitrary-depth memory hierarchies ------===//
+
+#include "multilevel/Hierarchy.h"
+
+#include <sstream>
+
+using namespace thistle;
+
+std::string Hierarchy::validate() const {
+  std::ostringstream Err;
+  if (Levels.size() < 2)
+    return "hierarchy needs at least two levels";
+  if (FanoutLevel < 1 || FanoutLevel >= Levels.size()) {
+    Err << "fan-out level " << FanoutLevel << " out of range [1, "
+        << Levels.size() - 1 << "]";
+    return Err.str();
+  }
+  if (NumPEs < 1)
+    return "hierarchy needs at least one PE";
+  for (std::size_t L = 0; L + 1 < Levels.size(); ++L)
+    if (Levels[L].CapacityWords < 1) {
+      Err << "level " << Levels[L].Name << " has no capacity";
+      return Err.str();
+    }
+  for (const HierarchyLevel &L : Levels) {
+    if (L.AccessEnergyPj < 0.0)
+      return "negative access energy at level " + L.Name;
+    if (L.Bandwidth <= 0.0)
+      return "non-positive bandwidth at level " + L.Name;
+  }
+  return std::string();
+}
+
+double Hierarchy::areaUm2(const TechParams &Tech) const {
+  double PerPE = Tech.AreaMacUm2 +
+                 Tech.AreaRegWordUm2 * static_cast<double>(
+                                           Levels[0].CapacityWords);
+  for (unsigned L = 1; L < FanoutLevel; ++L)
+    PerPE += Tech.AreaSramWordUm2 *
+             static_cast<double>(Levels[L].CapacityWords);
+  double Shared = 0.0;
+  for (unsigned L = FanoutLevel; L + 1 < Levels.size(); ++L)
+    Shared += Tech.AreaSramWordUm2 *
+              static_cast<double>(Levels[L].CapacityWords);
+  return PerPE * static_cast<double>(NumPEs) + Shared;
+}
+
+Hierarchy Hierarchy::classic(const ArchConfig &Arch, const TechParams &Tech) {
+  EnergyModel Energy(Tech);
+  Hierarchy H;
+  H.FanoutLevel = 1;
+  H.NumPEs = Arch.NumPEs;
+  H.MacEnergyPj = Energy.macPj();
+  H.Levels = {
+      {"RegisterFile", Arch.RegWordsPerPE,
+       Energy.regAccessPj(static_cast<double>(Arch.RegWordsPerPE)),
+       /*Bandwidth=*/1e9}, // Register accesses are part of the MAC pipe.
+      {"SRAM", Arch.SramWords,
+       Energy.sramAccessPj(static_cast<double>(Arch.SramWords)),
+       Arch.SramBandwidth},
+      {"DRAM", 0, Energy.dramAccessPj(), Arch.DramBandwidth},
+  };
+  return H;
+}
+
+Hierarchy Hierarchy::withScratchpad(const ArchConfig &Arch,
+                                    const TechParams &Tech,
+                                    std::int64_t SpadWords,
+                                    std::int64_t SramWords) {
+  EnergyModel Energy(Tech);
+  Hierarchy H;
+  H.FanoutLevel = 2; // Registers and scratchpad are per PE.
+  H.NumPEs = Arch.NumPEs;
+  H.MacEnergyPj = Energy.macPj();
+  H.Levels = {
+      {"RegisterFile", Arch.RegWordsPerPE,
+       Energy.regAccessPj(static_cast<double>(Arch.RegWordsPerPE)),
+       /*Bandwidth=*/1e9},
+      // The per-PE scratchpad is priced like a small SRAM (Eq. 4).
+      {"Scratchpad", SpadWords,
+       Energy.sramAccessPj(static_cast<double>(SpadWords)),
+       /*Bandwidth=*/4.0},
+      {"SRAM", SramWords,
+       Energy.sramAccessPj(static_cast<double>(SramWords)),
+       Arch.SramBandwidth},
+      {"DRAM", 0, Energy.dramAccessPj(), Arch.DramBandwidth},
+  };
+  return H;
+}

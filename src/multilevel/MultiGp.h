@@ -1,0 +1,76 @@
+//===- multilevel/MultiGp.h - L-level GP generation & optimizer -*- C++ -*-===//
+//
+// Part of the Thistle reproduction (CGO 2022).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Generates and solves the constrained geometric programs of the paper
+/// for hierarchies of arbitrary depth — the "arbitrary number of tiling
+/// levels" generality that section III claims for Algorithm 1, carried
+/// through symbolic generation, capacity constraints per level, energy /
+/// delay objectives, divisor-chain rounding and evaluation. Architecture
+/// parameters are fixed here (the hierarchy is given); the co-design of
+/// a fixed 3-level machine is the thistle/ optimizer's job.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef THISTLE_MULTILEVEL_MULTIGP_H
+#define THISTLE_MULTILEVEL_MULTIGP_H
+
+#include "multilevel/MultiNestAnalysis.h"
+#include "nestmodel/Mapper.h"
+#include "solver/GpSolver.h"
+
+#include <string>
+#include <vector>
+
+namespace thistle {
+
+/// Multilevel optimizer configuration.
+struct MultiOptions {
+  SearchObjective Objective = SearchObjective::Energy;
+  /// When true, the per-level capacities and the PE count become GP
+  /// variables under AreaBudgetUm2 (the Eq. 5 co-design generalized to
+  /// arbitrary depth): level 0 is priced as a register file
+  /// (eps = sigma_R * C, Area_R per word, per PE), intermediate levels
+  /// as SRAMs (eps = sigma_S * sqrt(C); per-PE levels pay area once per
+  /// PE), the outermost level as DRAM. The input hierarchy supplies the
+  /// structure (depth, fan-out, bandwidths); its capacities serve as
+  /// upper bounds for the rounded candidates.
+  bool CoDesignCapacities = false;
+  double AreaBudgetUm2 = 0.0;
+  TechParams Tech = TechParams::cgo45nm();
+  /// Iterator names never tiled temporally (whole at level 0; may still
+  /// be unrolled spatially).
+  std::vector<std::string> UntiledIterNames = {"r", "s"};
+  /// Cap on permutation-class combinations across the L-1 permuted
+  /// levels (the combination space grows as classes^(L-1)).
+  unsigned MaxPermCombos = 48;
+  /// Divisor candidates per rounding step (the paper's n).
+  unsigned NumCandidates = 2;
+  /// Cap on integer candidates evaluated per rounded solution.
+  std::size_t MaxMappingCandidates = 4000;
+  GpSolverOptions Solver;
+};
+
+/// Best multilevel design found.
+struct MultiResult {
+  bool Found = false;
+  MultiMapping Map;
+  MultiEvalResult Eval;
+  /// The hierarchy the winner runs on: the input hierarchy, or the
+  /// co-designed one when CoDesignCapacities is set.
+  Hierarchy Arch;
+  double ModelObjective = 0.0;
+  unsigned CombosSolved = 0;
+  unsigned GpInfeasible = 0;
+};
+
+/// Optimizes the tiling of \p Prob onto the fixed hierarchy \p H.
+MultiResult optimizeHierarchy(const Problem &Prob, const Hierarchy &H,
+                              const MultiOptions &Options = MultiOptions());
+
+} // namespace thistle
+
+#endif // THISTLE_MULTILEVEL_MULTIGP_H

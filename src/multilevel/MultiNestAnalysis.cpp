@@ -1,0 +1,169 @@
+//===- multilevel/MultiNestAnalysis.cpp - L-level analytical model --------===//
+
+#include "multilevel/MultiNestAnalysis.h"
+
+#include <algorithm>
+#include <cassert>
+#include <optional>
+#include <sstream>
+
+using namespace thistle;
+
+namespace {
+
+/// Result of the Algorithm-1 walk of one level for one tensor (shared
+/// with nestmodel's fixed-depth version in spirit; reimplemented here
+/// over the generic level structure).
+struct LevelWalk {
+  std::int64_t Multiplier = 1;
+  std::optional<unsigned> StreamIter;
+  std::int64_t StreamTrip = 1;
+};
+
+LevelWalk walkLevel(const Tensor &T, const std::vector<unsigned> &Perm,
+                    const std::vector<std::int64_t> &Trips) {
+  LevelWalk Walk;
+  bool CanHoist = true;
+  for (std::size_t Pos = Perm.size(); Pos > 0; --Pos) {
+    unsigned It = Perm[Pos - 1];
+    std::int64_t Trip = Trips[It];
+    if (Trip == 1)
+      continue;
+    if (CanHoist) {
+      if (T.usesIter(It)) {
+        CanHoist = false;
+        Walk.StreamIter = It;
+        Walk.StreamTrip = Trip;
+      }
+    } else {
+      Walk.Multiplier *= Trip;
+    }
+  }
+  return Walk;
+}
+
+/// Exact union of StreamTrip consecutive tiles (min(E, shift) per dim).
+std::int64_t unionWords(const Tensor &T,
+                        const std::vector<std::int64_t> &Extents,
+                        const LevelWalk &Walk) {
+  std::int64_t Words = 1;
+  for (const DimRef &D : T.Dims) {
+    std::int64_t DimExtent = D.extentFor(Extents);
+    if (Walk.StreamIter && D.uses(*Walk.StreamIter)) {
+      std::int64_t Stride = 0;
+      for (const DimRef::Term &Term : D.Terms)
+        if (Term.Iter == *Walk.StreamIter)
+          Stride = Term.Stride;
+      std::int64_t Shift = Stride * Extents[*Walk.StreamIter];
+      DimExtent += (Walk.StreamTrip - 1) * std::min(DimExtent, Shift);
+    }
+    Words *= DimExtent;
+  }
+  return Words;
+}
+
+} // namespace
+
+std::int64_t MultiProfile::boundaryWords(unsigned B) const {
+  std::int64_t Sum = 0;
+  for (std::int64_t W : Words[B])
+    Sum += W;
+  return Sum;
+}
+
+MultiProfile thistle::analyzeMultiNest(const Problem &Prob,
+                                       const Hierarchy &H,
+                                       const MultiMapping &Map) {
+  assert(H.validate().empty() && "hierarchy must validate");
+  assert(Map.validate(Prob, H).empty() && "mapping must validate");
+  const unsigned NumIters = Prob.numIterators();
+  const unsigned L = H.numLevels();
+  const unsigned F = H.FanoutLevel;
+
+  MultiProfile Profile;
+  Profile.Words.assign(H.numBoundaries(),
+                       std::vector<std::int64_t>(Prob.tensors().size(), 0));
+  Profile.Occupancy.assign(L, 0);
+  Profile.PEsUsed = Map.numPEsUsed();
+
+  for (std::size_t TI = 0; TI < Prob.tensors().size(); ++TI) {
+    const Tensor &T = Prob.tensors()[TI];
+    for (unsigned B = 0; B < H.numBoundaries(); ++B) {
+      const unsigned WalkLevel = B + 1;
+      std::vector<std::int64_t> StartExtents = Map.tileExtents(H, B);
+      LevelWalk Walk =
+          walkLevel(T, Map.Perms[WalkLevel], Map.TempFactors[WalkLevel]);
+
+      std::int64_t M = Walk.Multiplier;
+      // Every trip count of the levels above the walked one.
+      for (unsigned Lv = WalkLevel + 1; Lv < L; ++Lv)
+        for (unsigned I = 0; I < NumIters; ++I)
+          M *= Map.TempFactors[Lv][I];
+      // Spatial contribution (see file header).
+      if (WalkLevel < F) {
+        for (unsigned I = 0; I < NumIters; ++I)
+          M *= Map.SpatialFactors[I];
+      } else if (WalkLevel == F) {
+        for (unsigned I = 0; I < NumIters; ++I)
+          if (T.usesIter(I))
+            M *= Map.SpatialFactors[I];
+      }
+
+      std::int64_t Volume = M * unionWords(T, StartExtents, Walk);
+      if (T.ReadWrite)
+        Volume *= 2;
+      Profile.Words[B][TI] = Volume;
+    }
+    for (unsigned Lv = 0; Lv < L; ++Lv)
+      Profile.Occupancy[Lv] += T.footprintWords(Map.tileExtents(H, Lv));
+  }
+  return Profile;
+}
+
+MultiEvalResult thistle::evaluateMultiMapping(const Problem &Prob,
+                                              const Hierarchy &H,
+                                              const MultiMapping &Map) {
+  MultiEvalResult Result;
+  Result.Profile = analyzeMultiNest(Prob, H, Map);
+  const MultiProfile &P = Result.Profile;
+
+  Result.Legal = true;
+  std::ostringstream Why;
+  for (unsigned Lv = 0; Lv + 1 < H.numLevels(); ++Lv)
+    if (P.Occupancy[Lv] > H.Levels[Lv].CapacityWords) {
+      Result.Legal = false;
+      Why << H.Levels[Lv].Name << " tile " << P.Occupancy[Lv]
+          << " words > capacity " << H.Levels[Lv].CapacityWords << "; ";
+    }
+  if (P.PEsUsed > H.NumPEs) {
+    Result.Legal = false;
+    Why << "uses " << P.PEsUsed << " PEs > available " << H.NumPEs << "; ";
+  }
+  Result.IllegalReason = Why.str();
+
+  const double Nops = static_cast<double>(Prob.numOps());
+  // Energy: MAC + registers per operation, plus each boundary's words
+  // priced at both adjacent levels' access energies.
+  double Energy = (4.0 * H.Levels[0].AccessEnergyPj + H.MacEnergyPj) * Nops;
+  for (unsigned B = 0; B < H.numBoundaries(); ++B)
+    Energy += static_cast<double>(P.boundaryWords(B)) *
+              (H.Levels[B].AccessEnergyPj + H.Levels[B + 1].AccessEnergyPj);
+  Result.EnergyPj = Energy;
+  Result.EnergyPerMacPj = Energy / Nops;
+
+  // Delay: compute bound plus each level's bandwidth over its adjacent
+  // boundaries; private levels have one instance per used PE.
+  double Cycles = Nops / static_cast<double>(P.PEsUsed);
+  for (unsigned Lv = 1; Lv < H.numLevels(); ++Lv) {
+    double W = static_cast<double>(P.boundaryWords(Lv - 1));
+    if (Lv < H.numBoundaries())
+      W += static_cast<double>(P.boundaryWords(Lv));
+    double Instances =
+        Lv < H.FanoutLevel ? static_cast<double>(P.PEsUsed) : 1.0;
+    Cycles = std::max(Cycles, W / (H.Levels[Lv].Bandwidth * Instances));
+  }
+  Result.Cycles = std::max(Cycles, 1.0);
+  Result.MacIpc = Nops / Result.Cycles;
+  Result.EdpPjCycles = Result.EnergyPj * Result.Cycles;
+  return Result;
+}

@@ -1,0 +1,75 @@
+//===- multilevel/MultiNestAnalysis.h - L-level analytical model -*- C++ -*-===//
+//
+// Part of the Thistle reproduction (CGO 2022).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The arbitrary-depth generalization of nestmodel/NestAnalysis: for each
+/// tensor and each adjacent-level boundary b (between level b and b+1),
+/// the words moved across it under the Algorithm-1 counting rules:
+///
+///  - walk level (b+1)'s loops inner-to-outer with hoisting and the
+///    streaming union on the innermost present iterator;
+///  - multiply by every trip count of the levels above b+1 (per-level
+///    model, no reuse across outer tiles);
+///  - spatial factors: boundaries strictly below the fan-out are per-PE
+///    private traffic (multiply by all spatial trips); the boundary
+///    crossing the fan-out multicast-collapses absent iterators
+///    (multiply by present spatial trips only, Eq. 2); boundaries above
+///    the fan-out carry tiles that already span the grid (no spatial
+///    multiplier).
+///
+/// Plus occupancy per level and the energy/delay evaluation:
+/// energy = (4 eps_0 + eps_op) Nops + sum_b W_b (eps_b + eps_{b+1});
+/// cycles = max(Nops / PEs, max_l (W_{l-1} + W_l) / (BW_l * instances)).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef THISTLE_MULTILEVEL_MULTINESTANALYSIS_H
+#define THISTLE_MULTILEVEL_MULTINESTANALYSIS_H
+
+#include "multilevel/MultiMapping.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace thistle {
+
+/// Access volumes of one mapping on one hierarchy.
+struct MultiProfile {
+  /// Words[b][t]: words moved across boundary b (levels b <-> b+1) for
+  /// tensor t, reads + writes (read-write tensors count twice).
+  std::vector<std::vector<std::int64_t>> Words;
+  /// Occupancy[l]: sum of tensor tile footprints resident at level l.
+  std::vector<std::int64_t> Occupancy;
+  std::int64_t PEsUsed = 1;
+
+  /// Total words across boundary \p B over all tensors.
+  std::int64_t boundaryWords(unsigned B) const;
+};
+
+/// Analyzes \p Map on \p H (both must validate).
+MultiProfile analyzeMultiNest(const Problem &Prob, const Hierarchy &H,
+                              const MultiMapping &Map);
+
+/// Evaluated metrics of one multilevel design.
+struct MultiEvalResult {
+  bool Legal = false;
+  std::string IllegalReason;
+  double EnergyPj = 0.0;
+  double EnergyPerMacPj = 0.0;
+  double Cycles = 0.0;
+  double MacIpc = 0.0;
+  double EdpPjCycles = 0.0;
+  MultiProfile Profile;
+};
+
+/// Evaluates \p Map on \p H.
+MultiEvalResult evaluateMultiMapping(const Problem &Prob, const Hierarchy &H,
+                                     const MultiMapping &Map);
+
+} // namespace thistle
+
+#endif // THISTLE_MULTILEVEL_MULTINESTANALYSIS_H

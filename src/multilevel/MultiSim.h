@@ -1,0 +1,39 @@
+//===- multilevel/MultiSim.h - L-level brute-force oracle -------*- C++ -*-===//
+//
+// Part of the Thistle reproduction (CGO 2022).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The arbitrary-depth generalization of sim/TiledLoopSim: walks the full
+/// L-level tiled loop nest and counts words moved across every
+/// adjacent-level boundary, with the same executable counting semantics
+/// (dense tile boxes, contiguous-advance streaming reuse, per-level
+/// resets, multicast collapse at the fan-out boundary, private traffic
+/// below it). Used by tests to validate multilevel/MultiNestAnalysis.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef THISTLE_MULTILEVEL_MULTISIM_H
+#define THISTLE_MULTILEVEL_MULTISIM_H
+
+#include "multilevel/MultiMapping.h"
+
+#include <cstdint>
+#include <vector>
+
+namespace thistle {
+
+/// Oracle counts: Words[b][t] = words moved across boundary b for tensor
+/// t (reads + writes).
+struct MultiSimResult {
+  std::vector<std::vector<std::int64_t>> Words;
+};
+
+/// Simulates \p Map on \p H; cost proportional to the total tile steps.
+MultiSimResult simulateMultiNest(const Problem &Prob, const Hierarchy &H,
+                                 const MultiMapping &Map);
+
+} // namespace thistle
+
+#endif // THISTLE_MULTILEVEL_MULTISIM_H

@@ -1,0 +1,80 @@
+//===- nestmodel/Evaluator.cpp - Energy/delay evaluation ------------------===//
+
+#include "nestmodel/Evaluator.h"
+
+#include "nestmodel/Mapper.h"
+
+#include <algorithm>
+#include <cassert>
+#include <sstream>
+
+using namespace thistle;
+
+EvalResult thistle::evaluateMapping(const Problem &Prob, const Mapping &Map,
+                                    const ArchConfig &Arch,
+                                    const EnergyModel &Energy) {
+  EvalResult Result;
+  Result.Profile = analyzeNest(Prob, Map);
+  const NestProfile &P = Result.Profile;
+
+  // Legality.
+  Result.Legal = true;
+  std::ostringstream Why;
+  if (P.RegTileWords > Arch.RegWordsPerPE) {
+    Result.Legal = false;
+    Why << "register tile " << P.RegTileWords << " words > capacity "
+        << Arch.RegWordsPerPE << "; ";
+  }
+  if (P.SramTileWords > Arch.SramWords) {
+    Result.Legal = false;
+    Why << "SRAM tile " << P.SramTileWords << " words > capacity "
+        << Arch.SramWords << "; ";
+  }
+  if (P.PEsUsed > Arch.NumPEs) {
+    Result.Legal = false;
+    Why << "uses " << P.PEsUsed << " PEs > available " << Arch.NumPEs << "; ";
+  }
+  Result.IllegalReason = Why.str();
+
+  const double Nops = static_cast<double>(Prob.numOps());
+  const double DvDram = static_cast<double>(P.dramTraffic());
+  const double DvSramReg = static_cast<double>(P.sramRegTraffic());
+
+  // Energy, Eq. 3: per-access energies from the actual capacities.
+  const double EpsR =
+      Energy.regAccessPj(static_cast<double>(Arch.RegWordsPerPE));
+  const double EpsS = Energy.sramAccessPj(static_cast<double>(Arch.SramWords));
+  const double EpsD = Energy.dramAccessPj();
+  Result.MacEnergyPj = (4.0 * EpsR + Energy.macPj()) * Nops;
+  Result.RegEnergyPj = EpsR * DvSramReg;
+  Result.SramEnergyPj = EpsS * (DvSramReg + DvDram);
+  Result.DramEnergyPj = EpsD * DvDram;
+  Result.EnergyPj = Result.MacEnergyPj + Result.RegEnergyPj +
+                    Result.SramEnergyPj + Result.DramEnergyPj;
+  Result.EnergyPerMacPj = Result.EnergyPj / Nops;
+
+  // Delay: each component processes its events at its throughput; the
+  // slowest one bounds execution (section V-B).
+  Result.ComputeCycles = Nops / static_cast<double>(P.PEsUsed);
+  Result.DramCycles = DvDram / Arch.DramBandwidth;
+  Result.SramCycles = (DvSramReg + DvDram) / Arch.SramBandwidth;
+  Result.Cycles = std::max(
+      {Result.ComputeCycles, Result.DramCycles, Result.SramCycles, 1.0});
+  Result.MacIpc = Nops / Result.Cycles;
+  Result.EdpPjCycles = Result.EnergyPj * Result.Cycles;
+  return Result;
+}
+
+double thistle::objectiveValue(const EvalResult &Eval,
+                               SearchObjective Objective) {
+  switch (Objective) {
+  case SearchObjective::Energy:
+    return Eval.EnergyPj;
+  case SearchObjective::Delay:
+    return Eval.Cycles;
+  case SearchObjective::EnergyDelayProduct:
+    return Eval.EdpPjCycles;
+  }
+  assert(false && "unknown search objective");
+  return 0.0;
+}

@@ -1,0 +1,185 @@
+//===- nestmodel/Mapper.cpp - Search-based mapping baseline ---------------===//
+
+#include "nestmodel/Mapper.h"
+
+#include "support/MathUtil.h"
+#include "support/Rng.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <numeric>
+
+using namespace thistle;
+
+namespace {
+
+/// Samples a random but budget-aware mapping: per iterator, hierarchically
+/// draws register / spatial / per-PE factors from divisors, capping the
+/// spatial product at the PE count so that most samples are placeable.
+Mapping sampleMapping(const Problem &Prob, const ArchConfig &Arch, Rng &R) {
+  Mapping Map;
+  const unsigned NumIters = Prob.numIterators();
+  Map.Factors.resize(NumIters);
+
+  std::int64_t SpatialBudget = Arch.NumPEs;
+  // Visit iterators in random order so no dimension hogs the PE budget.
+  std::vector<unsigned> Order(NumIters);
+  std::iota(Order.begin(), Order.end(), 0u);
+  R.shuffle(Order);
+
+  for (unsigned I : Order) {
+    std::int64_t Extent = Prob.iterators()[I].Extent;
+    // Register tile r | N.
+    std::int64_t RegF = R.pick(divisorsOf(Extent));
+    std::int64_t Rest = Extent / RegF;
+    // Spatial p | rest, capped by the remaining PE budget.
+    std::vector<std::int64_t> SpatialChoices;
+    for (std::int64_t D : divisorsOf(Rest))
+      if (D <= SpatialBudget)
+        SpatialChoices.push_back(D);
+    std::int64_t SpatF = R.pick(SpatialChoices);
+    SpatialBudget /= SpatF;
+    Rest /= SpatF;
+    // Per-PE temporal q | rest; the DRAM level takes what remains.
+    std::int64_t PeF = R.pick(divisorsOf(Rest));
+    std::int64_t DramF = Rest / PeF;
+
+    Map.factor(I, TileLevel::Register) = RegF;
+    Map.factor(I, TileLevel::Spatial) = SpatF;
+    Map.factor(I, TileLevel::PeTemporal) = PeF;
+    Map.factor(I, TileLevel::DramTemporal) = DramF;
+  }
+
+  Map.DramPerm.resize(NumIters);
+  std::iota(Map.DramPerm.begin(), Map.DramPerm.end(), 0u);
+  R.shuffle(Map.DramPerm);
+  Map.PePerm = Map.DramPerm;
+  R.shuffle(Map.PePerm);
+  return Map;
+}
+
+/// Smallest prime factor of \p N (N >= 2).
+std::int64_t smallestPrimeFactor(std::int64_t N) {
+  assert(N >= 2 && "no prime factor of 1");
+  for (std::int64_t P = 2; P * P <= N; ++P)
+    if (N % P == 0)
+      return P;
+  return N;
+}
+
+/// Mutates \p Map in place: either moves one prime factor of one iterator
+/// between two tiling levels, or swaps two entries of one permutation.
+void mutateMapping(Mapping &Map, Rng &R) {
+  const unsigned NumIters = Map.Factors.size();
+  if (R.nextDouble() < 0.5) {
+    // Move a prime factor between two levels of a random iterator.
+    unsigned I = R.nextIndex(NumIters);
+    unsigned From = R.nextIndex(NumTileLevels);
+    unsigned To = R.nextIndex(NumTileLevels);
+    if (From == To || Map.Factors[I][From] <= 1)
+      return;
+    std::int64_t P = smallestPrimeFactor(Map.Factors[I][From]);
+    Map.Factors[I][From] /= P;
+    Map.Factors[I][To] *= P;
+    return;
+  }
+  // Swap two entries of one permutation.
+  std::vector<unsigned> &Perm = R.nextDouble() < 0.5 ? Map.DramPerm
+                                                     : Map.PePerm;
+  if (Perm.size() < 2)
+    return;
+  std::size_t A = R.nextIndex(Perm.size());
+  std::size_t B = R.nextIndex(Perm.size());
+  std::swap(Perm[A], Perm[B]);
+}
+
+} // namespace
+
+MapperResult thistle::searchMappings(const Problem &Prob,
+                                     const ArchConfig &Arch,
+                                     const EnergyModel &Energy,
+                                     const MapperOptions &Options) {
+  Rng R(Options.Seed);
+  MapperResult Result;
+  double BestObj = 0.0;
+  unsigned SinceImprovement = 0;
+
+  // Annealing walks from a current point that may be worse than the
+  // incumbent best.
+  Mapping Current;
+  double CurrentObj = 0.0;
+  bool HaveCurrent = false;
+  double Temperature = 0.0;
+
+  for (unsigned Trial = 0; Trial < Options.MaxTrials; ++Trial) {
+    Mapping Candidate;
+    bool Mutated = false;
+    switch (Options.Strategy) {
+    case MapperStrategy::RandomSampling:
+      Candidate = sampleMapping(Prob, Arch, R);
+      break;
+    case MapperStrategy::HillClimb:
+      // Exploit the incumbent half of the time once one exists.
+      if (Result.Found && R.nextDouble() < 0.5) {
+        Candidate = Result.Best;
+        mutateMapping(Candidate, R);
+        Mutated = true;
+      } else {
+        Candidate = sampleMapping(Prob, Arch, R);
+      }
+      break;
+    case MapperStrategy::Anneal:
+      if (HaveCurrent) {
+        Candidate = Current;
+        mutateMapping(Candidate, R);
+        Mutated = true;
+      } else {
+        Candidate = sampleMapping(Prob, Arch, R);
+      }
+      break;
+    }
+    if (Mutated && !Candidate.validate(Prob).empty())
+      continue;
+
+    ++Result.Trials;
+    EvalResult Eval = evaluateMapping(Prob, Candidate, Arch, Energy);
+    if (Options.Strategy == MapperStrategy::Anneal)
+      Temperature *= Options.AnnealCooling;
+    if (!Eval.Legal) {
+      ++SinceImprovement;
+      if (SinceImprovement >= Options.VictoryCondition && Result.Found)
+        break;
+      continue;
+    }
+    ++Result.LegalTrials;
+    double Obj = objectiveValue(Eval, Options.Objective);
+
+    // Annealing acceptance for the walk state.
+    if (Options.Strategy == MapperStrategy::Anneal) {
+      if (!HaveCurrent) {
+        Current = Candidate;
+        CurrentObj = Obj;
+        HaveCurrent = true;
+        Temperature = Options.AnnealInitialTemp * Obj;
+      } else if (Obj <= CurrentObj ||
+                 (Temperature > 0.0 &&
+                  R.nextDouble() <
+                      std::exp((CurrentObj - Obj) / Temperature))) {
+        Current = Candidate;
+        CurrentObj = Obj;
+      }
+    }
+
+    if (!Result.Found || Obj < BestObj) {
+      Result.Found = true;
+      Result.Best = std::move(Candidate);
+      Result.BestEval = std::move(Eval);
+      BestObj = Obj;
+      SinceImprovement = 0;
+    } else if (++SinceImprovement >= Options.VictoryCondition) {
+      break;
+    }
+  }
+  return Result;
+}

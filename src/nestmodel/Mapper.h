@@ -1,0 +1,79 @@
+//===- nestmodel/Mapper.h - Search-based mapping baseline -------*- C++ -*-===//
+//
+// Part of the Thistle reproduction (CGO 2022).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The search-based baseline that plays the role of the Timeloop Mapper in
+/// the paper's evaluation (Figs. 4 and 7): it explores the space of
+/// mappings for a *fixed* architecture with randomized sampling plus
+/// hill-climbing mutations, and terminates either after a maximum number
+/// of trials (timeout) or after a number of consecutive non-improving
+/// trials (the Mapper's "victory condition", paper section IV).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef THISTLE_NESTMODEL_MAPPER_H
+#define THISTLE_NESTMODEL_MAPPER_H
+
+#include "nestmodel/Evaluator.h"
+
+#include <cstdint>
+
+namespace thistle {
+
+/// What the search minimizes.
+enum class SearchObjective {
+  Energy, ///< Total energy (pJ).
+  Delay,  ///< Total cycles.
+  /// Energy-delay product. The paper's formulation supports it ("energy
+  /// or delay (or energy-delay product)") without evaluating it; this
+  /// library implements it as an extension.
+  EnergyDelayProduct,
+};
+
+/// Search strategy, mirroring Timeloop's "various search strategies".
+enum class MapperStrategy {
+  /// Independent random samples only.
+  RandomSampling,
+  /// Random samples interleaved with greedy mutations of the incumbent
+  /// (the default; a strong baseline).
+  HillClimb,
+  /// Simulated annealing over mutations with geometric cooling.
+  Anneal,
+};
+
+/// Mapper search configuration.
+struct MapperOptions {
+  std::uint64_t Seed = 1;
+  /// Maximum number of candidate mappings to evaluate (timeout).
+  unsigned MaxTrials = 20000;
+  /// Terminate after this many consecutive trials without improvement
+  /// over the incumbent (victory condition).
+  unsigned VictoryCondition = 4000;
+  SearchObjective Objective = SearchObjective::Energy;
+  MapperStrategy Strategy = MapperStrategy::HillClimb;
+  /// Anneal only: initial acceptance temperature as a fraction of the
+  /// first legal objective value, and per-trial cooling factor.
+  double AnnealInitialTemp = 0.5;
+  double AnnealCooling = 0.999;
+};
+
+/// Search outcome.
+struct MapperResult {
+  bool Found = false;   ///< True if any legal mapping was evaluated.
+  Mapping Best;         ///< Best legal mapping found.
+  EvalResult BestEval;  ///< Its metrics.
+  unsigned Trials = 0;  ///< Candidates evaluated.
+  unsigned LegalTrials = 0;
+};
+
+/// Runs the baseline mapping search for \p Prob on the fixed \p Arch.
+MapperResult searchMappings(const Problem &Prob, const ArchConfig &Arch,
+                            const EnergyModel &Energy,
+                            const MapperOptions &Options);
+
+} // namespace thistle
+
+#endif // THISTLE_NESTMODEL_MAPPER_H

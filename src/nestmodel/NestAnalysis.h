@@ -1,0 +1,67 @@
+//===- nestmodel/NestAnalysis.h - Analytical access counting ----*- C++ -*-===//
+//
+// Part of the Thistle reproduction (CGO 2022).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The analytical core of the mini-Timeloop substrate: given a concrete
+/// integer Mapping for a Problem, compute per-tensor per-level data-access
+/// volumes and buffer occupancies without executing the loop nest. The
+/// counting rules are the concrete-number specialization of the paper's
+/// Algorithm 1:
+///
+///  - walk a level's temporal loops inner-to-outer; loops whose iterator
+///    is absent from the tensor and that lie below the tensor's innermost
+///    present iterator are hoisted over (no traffic contribution);
+///  - the innermost present iterator extends the tile footprint along its
+///    dimension ("replace": the dense union of its consecutive tiles);
+///  - every loop above multiplies the volume by its trip count;
+///  - spatial trip counts multiply only for iterators present in the
+///    tensor's reference (multicast/reduction collapse, paper Eq. 2);
+///  - trip-1 loops are no-ops (a Timeloop-style model sees through them).
+///
+/// Validated against the brute-force oracle in sim/ by the test suite.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef THISTLE_NESTMODEL_NESTANALYSIS_H
+#define THISTLE_NESTMODEL_NESTANALYSIS_H
+
+#include "ir/Mapping.h"
+#include "ir/Problem.h"
+
+#include <cstdint>
+#include <vector>
+
+namespace thistle {
+
+/// Per-tensor access volumes of one mapping (words).
+struct TensorVolumes {
+  std::int64_t DramToSram = 0; ///< DRAM reads feeding SRAM.
+  std::int64_t SramToDram = 0; ///< DRAM writes (read-write tensors only).
+  std::int64_t SramToReg = 0;  ///< SRAM reads feeding registers (multicast-
+                               ///< reduced).
+  std::int64_t RegToSram = 0;  ///< SRAM writes from registers.
+};
+
+/// Complete analytical profile of a mapping.
+struct NestProfile {
+  std::vector<TensorVolumes> PerTensor; ///< In Problem::tensors() order.
+
+  std::int64_t RegTileWords = 0;  ///< Sum of register-tile footprints.
+  std::int64_t SramTileWords = 0; ///< Sum of SRAM-tile footprints.
+  std::int64_t PEsUsed = 1;       ///< Product of spatial trip counts.
+
+  /// Sum over tensors of DRAM-side traffic (reads + writes).
+  std::int64_t dramTraffic() const;
+  /// Sum over tensors of SRAM<->register traffic (reads + writes).
+  std::int64_t sramRegTraffic() const;
+};
+
+/// Analyzes \p Map (which must validate against \p Prob).
+NestProfile analyzeNest(const Problem &Prob, const Mapping &Map);
+
+} // namespace thistle
+
+#endif // THISTLE_NESTMODEL_NESTANALYSIS_H

@@ -1,0 +1,62 @@
+//===- solver/GpProblem.cpp - Geometric program description ---------------===//
+
+#include "solver/GpProblem.h"
+
+#include <cassert>
+#include <sstream>
+
+using namespace thistle;
+
+void GpProblem::setObjective(Posynomial Obj) {
+  assert(Obj.isPosynomial() && "GP objective must be a posynomial");
+  Objective = std::move(Obj);
+}
+
+void GpProblem::addUpperBound(const Posynomial &Lhs, double Bound,
+                              std::string Label) {
+  assert(Lhs.isPosynomial() && "GP constraint LHS must be a posynomial");
+  assert(Bound > 0.0 && "GP constraint bound must be positive");
+  Constraints.push_back({Lhs.scaled(1.0 / Bound), std::move(Label)});
+}
+
+void GpProblem::addUpperBound(const Posynomial &Lhs, const Monomial &Rhs,
+                              std::string Label) {
+  assert(Lhs.isPosynomial() && "GP constraint LHS must be a posynomial");
+  assert(Rhs.coefficient() > 0.0 && "GP constraint RHS must be a monomial");
+  Constraints.push_back({Lhs * Rhs.pow(-1.0), std::move(Label)});
+}
+
+void GpProblem::addEquality(const Monomial &Lhs, double Value,
+                            std::string Label) {
+  assert(Lhs.coefficient() > 0.0 && "equality LHS must have positive coeff");
+  assert(Value > 0.0 && "equality RHS must be positive");
+  Equalities.push_back({Lhs.scaled(1.0 / Value), std::move(Label)});
+}
+
+void GpProblem::addVariableBounds(VarId Var, double UpperBound) {
+  // 1 <= x  <=>  x^-1 <= 1.
+  Constraints.push_back({Posynomial(Monomial::variable(Var, -1.0)),
+                         Vars.nameOf(Var) + " >= 1"});
+  if (UpperBound > 0.0)
+    Constraints.push_back(
+        {Posynomial(Monomial::variable(Var, 1.0, 1.0 / UpperBound)),
+         Vars.nameOf(Var) + " <= ub"});
+}
+
+std::string GpProblem::toString() const {
+  std::ostringstream OS;
+  OS << "minimize " << Objective.toString(Vars) << "\n";
+  for (const Constraint &C : Constraints) {
+    OS << "  s.t. " << C.Lhs.toString(Vars) << " <= 1";
+    if (!C.Label.empty())
+      OS << "    [" << C.Label << "]";
+    OS << "\n";
+  }
+  for (const Equality &E : Equalities) {
+    OS << "  s.t. " << E.Lhs.toString(Vars) << " == 1";
+    if (!E.Label.empty())
+      OS << "    [" << E.Label << "]";
+    OS << "\n";
+  }
+  return OS.str();
+}

@@ -1,0 +1,364 @@
+//===- solver/GpSolver.cpp - Interior-point GP solver ---------------------===//
+
+#include "solver/GpSolver.h"
+
+#include "linalg/Matrix.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+using namespace thistle;
+
+namespace {
+
+/// A log-sum-exp function over the reduced variables z:
+///   F(z) = log sum_k exp(A_k . z + B_k).
+/// Precompiled from a posynomial after the y = y0 + Z z substitution.
+struct LseFunction {
+  std::vector<Vector> Rows; ///< A_k, each of reduced dimension.
+  Vector Offsets;           ///< B_k.
+
+  std::size_t numTerms() const { return Rows.size(); }
+
+  /// Value only.
+  double value(const Vector &Z) const {
+    double Max = -std::numeric_limits<double>::infinity();
+    for (std::size_t K = 0; K < Rows.size(); ++K)
+      Max = std::max(Max, dot(Rows[K], Z) + Offsets[K]);
+    double Sum = 0.0;
+    for (std::size_t K = 0; K < Rows.size(); ++K)
+      Sum += std::exp(dot(Rows[K], Z) + Offsets[K] - Max);
+    return Max + std::log(Sum);
+  }
+
+  /// Value, gradient, and (optionally) Hessian. The Hessian of a
+  /// log-sum-exp is sum_k w_k a_k a_k^T - g g^T with softmax weights w.
+  double valueGradHess(const Vector &Z, Vector &Grad, Matrix *Hess) const {
+    const std::size_t N = Z.size();
+    std::vector<double> Exponents(Rows.size());
+    double Max = -std::numeric_limits<double>::infinity();
+    for (std::size_t K = 0; K < Rows.size(); ++K) {
+      Exponents[K] = dot(Rows[K], Z) + Offsets[K];
+      Max = std::max(Max, Exponents[K]);
+    }
+    double Sum = 0.0;
+    for (double &E : Exponents) {
+      E = std::exp(E - Max);
+      Sum += E;
+    }
+    Grad.assign(N, 0.0);
+    for (std::size_t K = 0; K < Rows.size(); ++K) {
+      double W = Exponents[K] / Sum;
+      for (std::size_t I = 0; I < N; ++I)
+        Grad[I] += W * Rows[K][I];
+    }
+    if (Hess) {
+      *Hess = Matrix(N, N);
+      for (std::size_t K = 0; K < Rows.size(); ++K) {
+        double W = Exponents[K] / Sum;
+        for (std::size_t I = 0; I < N; ++I)
+          for (std::size_t J = 0; J < N; ++J)
+            Hess->at(I, J) += W * Rows[K][I] * Rows[K][J];
+      }
+      for (std::size_t I = 0; I < N; ++I)
+        for (std::size_t J = 0; J < N; ++J)
+          Hess->at(I, J) -= Grad[I] * Grad[J];
+    }
+    return Max + std::log(Sum);
+  }
+};
+
+/// Compiles \p Posy over the affine substitution y = Y0 + Z z.
+LseFunction compileLse(const Posynomial &Posy, const VarTable &Vars,
+                       const Vector &Y0, const Matrix &Z) {
+  assert(Posy.isPosynomial() && "log transform requires a posynomial");
+  const std::size_t Reduced = Z.cols();
+  LseFunction Lse;
+  for (const Monomial &M : Posy.monomials()) {
+    // Full-space exponent vector a over y.
+    Vector A(Vars.size(), 0.0);
+    for (const Monomial::Term &T : M.terms())
+      A[T.Var] = T.Exp;
+    // Reduced row a' = Z^T a and offset b' = ln c + a . y0.
+    Vector Row(Reduced, 0.0);
+    for (std::size_t I = 0; I < Vars.size(); ++I)
+      if (A[I] != 0.0)
+        for (std::size_t J = 0; J < Reduced; ++J)
+          Row[J] += A[I] * Z.at(I, J);
+    Lse.Rows.push_back(std::move(Row));
+    Lse.Offsets.push_back(std::log(M.coefficient()) + dot(A, Y0));
+  }
+  return Lse;
+}
+
+/// Barrier-method state shared by the two phases.
+struct BarrierContext {
+  LseFunction Objective;
+  std::vector<LseFunction> Constraints;
+  unsigned NewtonIterations = 0;
+};
+
+/// One centering step: minimizes T * f(W) + Phi(W) where f is the phase
+/// objective and Phi the log barrier of the phase constraints, starting
+/// from the strictly feasible \p W. \p PhaseOne switches the objective to
+/// the slack variable (last coordinate of W) and offsets every constraint
+/// by -s. Returns false on numerical failure.
+///
+/// In phase one, W = (z, s) and constraints are G_i(z) - s <= 0.
+/// In phase two, W = z and constraints are G_i(z) <= 0.
+class CenteringProblem {
+public:
+  CenteringProblem(const BarrierContext &Ctx, bool PhaseOne)
+      : Ctx(Ctx), PhaseOne(PhaseOne) {}
+
+  std::size_t dim(std::size_t ReducedDim) const {
+    return PhaseOne ? ReducedDim + 1 : ReducedDim;
+  }
+
+  /// Constraint value G_i(W) (including the -s offset in phase one).
+  double constraintValue(std::size_t I, const Vector &W) const {
+    if (!PhaseOne)
+      return Ctx.Constraints[I].value(W);
+    Vector Z(W.begin(), W.end() - 1);
+    return Ctx.Constraints[I].value(Z) - W.back();
+  }
+
+  /// True if every constraint is strictly negative at W.
+  bool strictlyFeasible(const Vector &W) const {
+    for (std::size_t I = 0; I < Ctx.Constraints.size(); ++I)
+      if (constraintValue(I, W) >= 0.0)
+        return false;
+    return true;
+  }
+
+  /// Phase objective value (no barrier).
+  double objectiveValue(const Vector &W) const {
+    if (PhaseOne)
+      return W.back();
+    return Ctx.Objective.value(W);
+  }
+
+  /// Full barrier objective T*f + Phi; +inf outside the domain.
+  double barrierValue(double T, const Vector &W) const {
+    double Phi = 0.0;
+    for (std::size_t I = 0; I < Ctx.Constraints.size(); ++I) {
+      double G = constraintValue(I, W);
+      if (G >= 0.0)
+        return std::numeric_limits<double>::infinity();
+      Phi -= std::log(-G);
+    }
+    return T * objectiveValue(W) + Phi;
+  }
+
+  /// Gradient and Hessian of the barrier objective at strictly feasible W.
+  void barrierDerivatives(double T, const Vector &W, Vector &Grad,
+                          Matrix &Hess) const {
+    const std::size_t N = W.size();
+    Grad.assign(N, 0.0);
+    Hess = Matrix(N, N);
+
+    // Objective part.
+    if (PhaseOne) {
+      Grad[N - 1] += T;
+    } else {
+      Vector G0;
+      Matrix H0;
+      Ctx.Objective.valueGradHess(W, G0, &H0);
+      for (std::size_t I = 0; I < N; ++I) {
+        Grad[I] += T * G0[I];
+        for (std::size_t J = 0; J < N; ++J)
+          Hess.at(I, J) += T * H0.at(I, J);
+      }
+    }
+
+    // Barrier part: -sum log(-G_i).
+    Vector Z = PhaseOne ? Vector(W.begin(), W.end() - 1) : W;
+    for (const LseFunction &C : Ctx.Constraints) {
+      Vector Gz;
+      Matrix Hz;
+      double Gv = C.valueGradHess(Z, Gz, &Hz);
+      // Extend gradient/Hessian with the slack coordinate in phase one.
+      Vector Gw(N, 0.0);
+      for (std::size_t I = 0; I < Gz.size(); ++I)
+        Gw[I] = Gz[I];
+      if (PhaseOne) {
+        Gv -= W.back();
+        Gw[N - 1] = -1.0;
+      }
+      assert(Gv < 0.0 && "barrier derivative requested outside the domain");
+      double Inv = -1.0 / Gv;        // 1 / (-G) > 0.
+      double InvSq = Inv * Inv;
+      for (std::size_t I = 0; I < N; ++I) {
+        Grad[I] += Inv * Gw[I];
+        for (std::size_t J = 0; J < N; ++J)
+          Hess.at(I, J) += InvSq * Gw[I] * Gw[J];
+      }
+      // Constraint curvature: (1/-G) * Hess(G); slack has no curvature.
+      for (std::size_t I = 0; I < Hz.rows(); ++I)
+        for (std::size_t J = 0; J < Hz.cols(); ++J)
+          Hess.at(I, J) += Inv * Hz.at(I, J);
+    }
+  }
+
+private:
+  const BarrierContext &Ctx;
+  bool PhaseOne;
+};
+
+/// Damped-Newton minimization of the barrier objective at fixed T.
+/// Returns false on numerical breakdown. \p EarlyExit, when non-null,
+/// stops as soon as it returns true (used by phase one once s < 0).
+bool centerNewton(const CenteringProblem &Prob, double T, Vector &W,
+                  unsigned MaxIters, unsigned &IterCounter,
+                  bool (*EarlyExit)(const Vector &)) {
+  for (unsigned Iter = 0; Iter < MaxIters; ++Iter) {
+    if (EarlyExit && EarlyExit(W))
+      return true;
+    Vector Grad;
+    Matrix Hess;
+    Prob.barrierDerivatives(T, W, Grad, Hess);
+    ++IterCounter;
+
+    // Regularized Newton direction.
+    Vector Step;
+    double Lambda = 1e-10;
+    bool Solved = false;
+    for (int Attempt = 0; Attempt < 12 && !Solved; ++Attempt) {
+      Matrix Reg = Hess;
+      for (std::size_t I = 0; I < Reg.rows(); ++I)
+        Reg.at(I, I) += Lambda;
+      Vector NegGrad(Grad.size());
+      for (std::size_t I = 0; I < Grad.size(); ++I)
+        NegGrad[I] = -Grad[I];
+      Solved = choleskySolve(Reg, NegGrad, Step);
+      Lambda *= 100.0;
+    }
+    if (!Solved)
+      return false;
+
+    // Newton decrement as a stopping test.
+    double Decrement = -dot(Grad, Step);
+    if (Decrement < 0.0)
+      Decrement = 0.0;
+    if (Decrement * 0.5 < 1e-10)
+      return true;
+
+    // Backtracking line search with domain (feasibility) check.
+    double Base = Prob.barrierValue(T, W);
+    double Alpha = 1.0;
+    bool Accepted = false;
+    for (int LsIter = 0; LsIter < 60; ++LsIter) {
+      Vector Trial = axpy(W, Alpha, Step);
+      double Val = Prob.barrierValue(T, Trial);
+      if (Val <= Base - 1e-4 * Alpha * Decrement) {
+        W = std::move(Trial);
+        Accepted = true;
+        break;
+      }
+      Alpha *= 0.5;
+    }
+    if (!Accepted)
+      return true; // No further progress at this T.
+  }
+  return true;
+}
+
+} // namespace
+
+GpSolution thistle::solveGp(const GpProblem &Problem,
+                            const GpSolverOptions &Options) {
+  GpSolution Solution;
+  const VarTable &Vars = Problem.variables();
+  const std::size_t N = Vars.size();
+  assert(!Problem.objective().isZero() && "GP objective must be set");
+
+  // ---- Eliminate monomial equalities: rows a . y = -ln c.
+  const auto &Equalities = Problem.equalities();
+  Matrix A(Equalities.size(), N);
+  Vector B(Equalities.size(), 0.0);
+  for (std::size_t E = 0; E < Equalities.size(); ++E) {
+    const Monomial &G = Equalities[E].Lhs;
+    for (const Monomial::Term &T : G.terms())
+      A.at(E, T.Var) = T.Exp;
+    B[E] = -std::log(G.coefficient());
+  }
+  Vector Y0;
+  if (!solveParticular(A, B, Y0)) {
+    Solution.Failure = "inconsistent monomial equality constraints";
+    return Solution;
+  }
+  Matrix Z = Equalities.empty() ? Matrix::identity(N) : nullSpaceOf(A);
+
+  // ---- Compile objective and constraints into reduced log-sum-exp form.
+  BarrierContext Ctx;
+  Ctx.Objective = compileLse(Problem.objective(), Vars, Y0, Z);
+  for (const GpProblem::Constraint &C : Problem.constraints())
+    Ctx.Constraints.push_back(compileLse(C.Lhs, Vars, Y0, Z));
+
+  const std::size_t Reduced = Z.cols();
+  Vector ZVec(Reduced, 0.0);
+
+  auto recoverX = [&](const Vector &ZV) {
+    Assignment X(N);
+    Vector Y = axpy(Y0, 1.0, Z.apply(ZV));
+    for (std::size_t I = 0; I < N; ++I)
+      X[I] = std::exp(Y[I]);
+    return X;
+  };
+
+  // ---- Phase I: find a strictly feasible point if needed.
+  CenteringProblem PhaseTwo(Ctx, /*PhaseOne=*/false);
+  if (!Ctx.Constraints.empty() && !PhaseTwo.strictlyFeasible(ZVec)) {
+    CenteringProblem PhaseOne(Ctx, /*PhaseOne=*/true);
+    double MaxG = -std::numeric_limits<double>::infinity();
+    for (const LseFunction &C : Ctx.Constraints)
+      MaxG = std::max(MaxG, C.value(ZVec));
+    Vector W = ZVec;
+    W.push_back(MaxG + 1.0); // Strictly feasible for G_i - s < 0.
+
+    auto FoundInterior = [](const Vector &W) { return W.back() < -1e-7; };
+    double T = Options.TInitial;
+    for (unsigned Outer = 0; Outer < Options.MaxOuterIters; ++Outer) {
+      if (!centerNewton(PhaseOne, T, W, Options.MaxNewtonIters,
+                        Solution.NewtonIterations, +FoundInterior)) {
+        Solution.Failure = "numerical breakdown in phase I";
+        return Solution;
+      }
+      if (FoundInterior(W))
+        break;
+      T *= Options.TMultiplier;
+    }
+    if (!FoundInterior(W)) {
+      Solution.Failure = "no strictly feasible point found (phase I)";
+      return Solution;
+    }
+    ZVec.assign(W.begin(), W.end() - 1);
+    // The phase-I point satisfies G_i < s < 0, hence strictly feasible.
+    assert(PhaseTwo.strictlyFeasible(ZVec) && "phase I postcondition");
+  }
+  Solution.Feasible = true;
+
+  // ---- Phase II: follow the central path.
+  double T = Options.TInitial;
+  const double NumConstraints =
+      std::max<std::size_t>(Ctx.Constraints.size(), 1);
+  for (unsigned Outer = 0; Outer < Options.MaxOuterIters; ++Outer) {
+    if (!centerNewton(PhaseTwo, T, ZVec, Options.MaxNewtonIters,
+                      Solution.NewtonIterations, nullptr)) {
+      Solution.Failure = "numerical breakdown in phase II";
+      Solution.Values = recoverX(ZVec);
+      Solution.Objective = Problem.objective().evaluate(Solution.Values);
+      return Solution;
+    }
+    if (NumConstraints / T < Options.Tolerance) {
+      Solution.Converged = true;
+      break;
+    }
+    T *= Options.TMultiplier;
+  }
+
+  Solution.Values = recoverX(ZVec);
+  Solution.Objective = Problem.objective().evaluate(Solution.Values);
+  return Solution;
+}

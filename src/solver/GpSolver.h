@@ -1,0 +1,57 @@
+//===- solver/GpSolver.h - Interior-point GP solver -------------*- C++ -*-===//
+//
+// Part of the Thistle reproduction (CGO 2022).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Solves geometric programs by the standard convex transformation: with
+/// x = exp(y), a posynomial constraint f(x) <= 1 becomes the convex
+/// log-sum-exp constraint log f(exp y) <= 0 and a monomial equality
+/// becomes an affine equality in y. The affine equalities are eliminated
+/// by parameterizing y = y0 + Z z over the null space Z, and the reduced
+/// problem is solved with a primal barrier (interior-point) method:
+/// phase I finds a strictly feasible point by minimizing the maximum
+/// constraint value; phase II follows the central path with damped Newton
+/// steps. This module replaces the paper's CVXPY dependency.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef THISTLE_SOLVER_GPSOLVER_H
+#define THISTLE_SOLVER_GPSOLVER_H
+
+#include "solver/GpProblem.h"
+
+#include <limits>
+#include <string>
+
+namespace thistle {
+
+/// Interior-point configuration.
+struct GpSolverOptions {
+  /// Barrier gap tolerance: iterate until NumConstraints / t < Tolerance
+  /// (absolute tolerance on the log-space objective).
+  double Tolerance = 1e-7;
+  double TInitial = 1.0;    ///< Initial barrier weight.
+  double TMultiplier = 20.0; ///< Barrier weight growth per outer step.
+  unsigned MaxNewtonIters = 250; ///< Per centering step.
+  unsigned MaxOuterIters = 50;
+};
+
+/// Solver outcome.
+struct GpSolution {
+  bool Feasible = false;  ///< A strictly feasible point was found.
+  bool Converged = false; ///< The barrier method reached its tolerance.
+  Assignment Values;      ///< x per VarId (valid when Feasible).
+  double Objective = std::numeric_limits<double>::infinity();
+  unsigned NewtonIterations = 0; ///< Total Newton steps, both phases.
+  std::string Failure;    ///< Human-readable reason when !Feasible.
+};
+
+/// Solves \p Problem. The objective must be a non-empty posynomial.
+GpSolution solveGp(const GpProblem &Problem,
+                   const GpSolverOptions &Options = GpSolverOptions());
+
+} // namespace thistle
+
+#endif // THISTLE_SOLVER_GPSOLVER_H

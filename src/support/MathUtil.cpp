@@ -1,0 +1,88 @@
+//===- support/MathUtil.cpp - Integer math helpers ------------------------===//
+
+#include "support/MathUtil.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+using namespace thistle;
+
+bool thistle::isPowerOfTwo(std::int64_t X) {
+  return X > 0 && (X & (X - 1)) == 0;
+}
+
+std::int64_t thistle::nextPowerOfTwo(std::int64_t X) {
+  assert(X >= 1 && "nextPowerOfTwo requires a positive argument");
+  std::int64_t P = 1;
+  while (P < X)
+    P <<= 1;
+  return P;
+}
+
+std::vector<std::int64_t> thistle::divisorsOf(std::int64_t N) {
+  assert(N >= 1 && "divisorsOf requires a positive argument");
+  std::vector<std::int64_t> Low, High;
+  for (std::int64_t D = 1; D * D <= N; ++D) {
+    if (N % D != 0)
+      continue;
+    Low.push_back(D);
+    if (D != N / D)
+      High.push_back(N / D);
+  }
+  Low.insert(Low.end(), High.rbegin(), High.rend());
+  return Low;
+}
+
+std::vector<std::int64_t> thistle::closestDivisors(std::int64_t N,
+                                                   double Target,
+                                                   unsigned Count) {
+  std::vector<std::int64_t> Divs = divisorsOf(N);
+  // Sort by distance to the target; prefer the smaller divisor on ties so
+  // that capacity constraints are more likely to hold after rounding.
+  std::stable_sort(Divs.begin(), Divs.end(),
+                   [Target](std::int64_t A, std::int64_t B) {
+                     double DA = std::abs(static_cast<double>(A) - Target);
+                     double DB = std::abs(static_cast<double>(B) - Target);
+                     if (DA != DB)
+                       return DA < DB;
+                     return A < B;
+                   });
+  if (Divs.size() > Count)
+    Divs.resize(Count);
+  std::sort(Divs.begin(), Divs.end());
+  return Divs;
+}
+
+std::vector<std::int64_t> thistle::closestPowersOfTwo(double Target,
+                                                      unsigned Count,
+                                                      std::int64_t MinValue) {
+  assert(Count >= 1 && "need at least one candidate");
+  assert(MinValue >= 1 && "minimum value must be positive");
+  double SafeTarget = std::max(Target, static_cast<double>(MinValue));
+  double LogTarget = std::log2(SafeTarget);
+  int MinExp = 0;
+  while ((std::int64_t{1} << MinExp) < MinValue)
+    ++MinExp;
+  // Rank exponents >= MinExp by log-space distance to the target and keep
+  // the Count nearest (the paper's "N closest powers of two").
+  std::vector<int> Exps;
+  for (int E = MinExp; E < 62; ++E)
+    Exps.push_back(E);
+  std::stable_sort(Exps.begin(), Exps.end(), [LogTarget](int A, int B) {
+    return std::abs(A - LogTarget) < std::abs(B - LogTarget);
+  });
+  Exps.resize(std::min<std::size_t>(Count, Exps.size()));
+  std::sort(Exps.begin(), Exps.end());
+  std::vector<std::int64_t> Result;
+  for (int E : Exps)
+    Result.push_back(std::int64_t{1} << E);
+  return Result;
+}
+
+std::int64_t thistle::productOf(const std::vector<std::int64_t> &Values) {
+  std::int64_t P = 1;
+  for (std::int64_t V : Values)
+    P *= V;
+  return P;
+}

@@ -1,0 +1,60 @@
+//===- support/MathUtil.h - Integer math helpers ----------------*- C++ -*-===//
+//
+// Part of the Thistle reproduction of "Comprehensive Accelerator-Dataflow
+// Co-design Optimization for Convolutional Neural Networks" (CGO 2022).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Small integer-math helpers shared across the project: divisor
+/// enumeration, divisor/power-of-two candidate selection for the rounding
+/// stage (paper section IV), and ceiling division.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef THISTLE_SUPPORT_MATHUTIL_H
+#define THISTLE_SUPPORT_MATHUTIL_H
+
+#include <cstdint>
+#include <vector>
+
+namespace thistle {
+
+/// Returns ceil(Num / Den) for positive integers.
+inline std::int64_t ceilDiv(std::int64_t Num, std::int64_t Den) {
+  return (Num + Den - 1) / Den;
+}
+
+/// Returns true if \p X is a power of two (X > 0).
+bool isPowerOfTwo(std::int64_t X);
+
+/// Returns the smallest power of two >= \p X (X >= 1).
+std::int64_t nextPowerOfTwo(std::int64_t X);
+
+/// Returns all positive divisors of \p N in increasing order.
+///
+/// \p N must be >= 1. Runs in O(sqrt(N)).
+std::vector<std::int64_t> divisorsOf(std::int64_t N);
+
+/// Returns the (up to) \p Count divisors of \p N closest to \p Target.
+///
+/// Ties are broken toward the smaller divisor. The result is sorted
+/// increasingly. Used to pick integer tile-size candidates around the real
+/// solution returned by the GP solver (paper section IV).
+std::vector<std::int64_t> closestDivisors(std::int64_t N, double Target,
+                                          unsigned Count);
+
+/// Returns the (up to) \p Count powers of two closest to \p Target in log
+/// space, all >= \p MinValue. Sorted increasingly.
+///
+/// Used to pick register/SRAM capacity candidates ("we choose N closest
+/// powers of two near the real solution", paper section IV).
+std::vector<std::int64_t> closestPowersOfTwo(double Target, unsigned Count,
+                                             std::int64_t MinValue = 1);
+
+/// Returns the product of all elements (empty product = 1).
+std::int64_t productOf(const std::vector<std::int64_t> &Values);
+
+} // namespace thistle
+
+#endif // THISTLE_SUPPORT_MATHUTIL_H

@@ -1,0 +1,66 @@
+//===- support/Rng.h - Deterministic random number generator ----*- C++ -*-===//
+//
+// Part of the Thistle reproduction (CGO 2022).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A small, fast, deterministic RNG (SplitMix64) used by the Mapper's random
+/// search and by property-based tests. We avoid <random> engines so that the
+/// search baseline is bit-reproducible across standard libraries.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef THISTLE_SUPPORT_RNG_H
+#define THISTLE_SUPPORT_RNG_H
+
+#include <cassert>
+#include <cstdint>
+#include <vector>
+
+namespace thistle {
+
+/// Deterministic SplitMix64 pseudo-random generator.
+class Rng {
+public:
+  explicit Rng(std::uint64_t Seed) : State(Seed) {}
+
+  /// Returns the next 64 random bits.
+  std::uint64_t nextU64() {
+    State += 0x9E3779B97F4A7C15ULL;
+    std::uint64_t Z = State;
+    Z = (Z ^ (Z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+    Z = (Z ^ (Z >> 27)) * 0x94D049BB133111EBULL;
+    return Z ^ (Z >> 31);
+  }
+
+  /// Returns a uniform index in [0, Bound).
+  std::size_t nextIndex(std::size_t Bound) {
+    assert(Bound > 0 && "nextIndex bound must be positive");
+    return static_cast<std::size_t>(nextU64() % Bound);
+  }
+
+  /// Returns a uniform double in [0, 1).
+  double nextDouble() {
+    return static_cast<double>(nextU64() >> 11) * 0x1.0p-53;
+  }
+
+  /// Fisher-Yates shuffle of \p Values.
+  template <typename T> void shuffle(std::vector<T> &Values) {
+    for (std::size_t I = Values.size(); I > 1; --I)
+      std::swap(Values[I - 1], Values[nextIndex(I)]);
+  }
+
+  /// Picks a uniformly random element of non-empty \p Values.
+  template <typename T> const T &pick(const std::vector<T> &Values) {
+    assert(!Values.empty() && "cannot pick from an empty vector");
+    return Values[nextIndex(Values.size())];
+  }
+
+private:
+  std::uint64_t State;
+};
+
+} // namespace thistle
+
+#endif // THISTLE_SUPPORT_RNG_H

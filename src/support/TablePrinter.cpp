@@ -1,0 +1,60 @@
+//===- support/TablePrinter.cpp - ASCII table output ----------------------===//
+
+#include "support/TablePrinter.h"
+
+#include <cassert>
+#include <cstdio>
+#include <iomanip>
+#include <sstream>
+
+using namespace thistle;
+
+TablePrinter::TablePrinter(std::vector<std::string> Header)
+    : Header(std::move(Header)) {
+  assert(!this->Header.empty() && "table needs at least one column");
+}
+
+void TablePrinter::addRow(std::vector<std::string> Cells) {
+  assert(Cells.size() == Header.size() && "row arity must match header");
+  Rows.push_back(std::move(Cells));
+}
+
+void TablePrinter::print(std::ostream &OS) const {
+  std::vector<std::size_t> Widths(Header.size());
+  for (std::size_t C = 0; C < Header.size(); ++C)
+    Widths[C] = Header[C].size();
+  for (const auto &Row : Rows)
+    for (std::size_t C = 0; C < Row.size(); ++C)
+      Widths[C] = std::max(Widths[C], Row[C].size());
+
+  auto printRow = [&](const std::vector<std::string> &Row) {
+    for (std::size_t C = 0; C < Row.size(); ++C) {
+      OS << (C == 0 ? "| " : " | ");
+      OS << Row[C] << std::string(Widths[C] - Row[C].size(), ' ');
+    }
+    OS << " |\n";
+  };
+
+  auto printRule = [&]() {
+    for (std::size_t C = 0; C < Widths.size(); ++C) {
+      OS << (C == 0 ? "|-" : "-|-");
+      OS << std::string(Widths[C], '-');
+    }
+    OS << "-|\n";
+  };
+
+  printRow(Header);
+  printRule();
+  for (const auto &Row : Rows)
+    printRow(Row);
+}
+
+std::string TablePrinter::formatDouble(double Value, int Precision) {
+  std::ostringstream OS;
+  OS << std::fixed << std::setprecision(Precision) << Value;
+  return OS.str();
+}
+
+std::string TablePrinter::formatInt(std::int64_t Value) {
+  return std::to_string(Value);
+}

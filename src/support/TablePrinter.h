@@ -1,0 +1,47 @@
+//===- support/TablePrinter.h - ASCII table output --------------*- C++ -*-===//
+//
+// Part of the Thistle reproduction (CGO 2022).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Column-aligned ASCII table printing used by the benchmark harness to
+/// regenerate the paper's tables and figure data series in a readable form.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef THISTLE_SUPPORT_TABLEPRINTER_H
+#define THISTLE_SUPPORT_TABLEPRINTER_H
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace thistle {
+
+/// Accumulates rows of string cells and prints them with aligned columns.
+class TablePrinter {
+public:
+  explicit TablePrinter(std::vector<std::string> Header);
+
+  /// Appends a row; must have the same arity as the header.
+  void addRow(std::vector<std::string> Cells);
+
+  /// Renders the table (header, separator, rows) to \p OS.
+  void print(std::ostream &OS) const;
+
+  /// Formats a double with \p Precision significant decimal digits.
+  static std::string formatDouble(double Value, int Precision = 3);
+
+  /// Formats an integer.
+  static std::string formatInt(std::int64_t Value);
+
+private:
+  std::vector<std::string> Header;
+  std::vector<std::vector<std::string>> Rows;
+};
+
+} // namespace thistle
+
+#endif // THISTLE_SUPPORT_TABLEPRINTER_H

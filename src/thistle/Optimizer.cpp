@@ -1,0 +1,134 @@
+//===- thistle/Optimizer.cpp - Thistle design-space optimizer -------------===//
+
+#include "thistle/Optimizer.h"
+
+#include "thistle/PermutationSpace.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace thistle;
+
+namespace {
+
+/// Tiled iterators: extent > 1 and not named in the untiled list.
+std::vector<unsigned> tiledIterators(const Problem &Prob,
+                                     const ThistleOptions &Options) {
+  std::vector<unsigned> Out;
+  for (unsigned I = 0; I < Prob.numIterators(); ++I) {
+    const Iterator &It = Prob.iterators()[I];
+    if (It.Extent <= 1)
+      continue;
+    bool Untiled =
+        std::find(Options.UntiledIterNames.begin(),
+                  Options.UntiledIterNames.end(),
+                  It.Name) != Options.UntiledIterNames.end();
+    if (!Untiled)
+      Out.push_back(I);
+  }
+  return Out;
+}
+
+} // namespace
+
+ThistleResult thistle::optimizeLayer(const Problem &Prob,
+                                     const ArchConfig &Arch,
+                                     const TechParams &Tech,
+                                     const ThistleOptions &Options,
+                                     double AreaBudgetUm2) {
+  ThistleResult Result;
+  std::vector<unsigned> Tiled = tiledIterators(Prob, Options);
+
+  // The class enumeration is a function of the problem and the tiled
+  // iterator set only, so the two temporal levels share it.
+  std::vector<PermClass> Classes = enumeratePermClasses(Prob, Tiled);
+  Result.Stats.PermClassesPerLevel = Classes.size();
+  for (const PermClass &C : Classes)
+    Result.Stats.RawPermsPerLevel += C.MemberCount;
+
+  std::vector<ProblemSymmetry> Symmetries;
+  if (Options.UseSymmetryPruning)
+    Symmetries = findProblemSymmetries(Prob);
+
+  double BestEvalObj = 0.0;
+  unsigned PairsSolved = 0;
+
+  for (std::size_t QI = 0; QI < Classes.size(); ++QI) {
+    for (std::size_t SI = 0; SI < Classes.size(); ++SI) {
+      ++Result.Stats.PairsTotal;
+
+      // Symmetry pruning: skip a pair if a problem symmetry maps it to a
+      // lexicographically smaller pair (its mirror image was/will be
+      // solved instead).
+      bool Skip = false;
+      for (const ProblemSymmetry &Sym : Symmetries) {
+        PermSignature MappedQ =
+            Classes[QI].Signature.mapped(Sym.IterMap, Sym.TensorMap);
+        PermSignature MappedS =
+            Classes[SI].Signature.mapped(Sym.IterMap, Sym.TensorMap);
+        if (std::tie(MappedQ, MappedS) <
+            std::tie(Classes[QI].Signature, Classes[SI].Signature)) {
+          Skip = true;
+          break;
+        }
+      }
+      if (Skip) {
+        ++Result.Stats.PairsSkippedBySymmetry;
+        continue;
+      }
+      if (Options.MaxPermClassPairs &&
+          PairsSolved >= Options.MaxPermClassPairs)
+        continue;
+      ++PairsSolved;
+
+      GpBuildSpec Spec;
+      Spec.Mode = Options.Mode;
+      Spec.Objective = Options.Objective;
+      Spec.PePerm = Classes[QI].Representative;
+      Spec.DramPerm = Classes[SI].Representative;
+      Spec.TiledIters = Tiled;
+      Spec.SpatialUntiled = Options.SpatialUntiled;
+      Spec.Arch = Arch;
+      Spec.Tech = Tech;
+      Spec.AreaBudgetUm2 = AreaBudgetUm2;
+
+      GpBuild Build = buildGp(Prob, Spec);
+      GpSolution Solution = solveGp(Build.Gp, Options.Solver);
+      Result.Stats.NewtonIterations += Solution.NewtonIterations;
+      if (!Solution.Feasible) {
+        // The drop-negative halo bound can reject tiny register files
+        // that are actually feasible; retry with the product bound,
+        // which is exact in the small-tile regime.
+        Spec.Halo = HaloBound::ProductOfTerms;
+        Build = buildGp(Prob, Spec);
+        Solution = solveGp(Build.Gp, Options.Solver);
+        Result.Stats.NewtonIterations += Solution.NewtonIterations;
+      }
+      if (!Solution.Feasible) {
+        ++Result.Stats.GpInfeasible;
+        continue;
+      }
+
+      RealSolution Real = extractSolution(Prob, Build, Spec, Solution);
+      RoundedDesign Design =
+          roundSolution(Prob, Spec, Real, Options.Rounding);
+      Result.Stats.CandidatesEvaluated += Design.CandidatesTried;
+      if (!Design.Found)
+        continue;
+
+      double Obj = objectiveValue(Design.Eval, Options.Objective);
+      if (!Result.Found || Obj < BestEvalObj) {
+        Result.Found = true;
+        Result.Arch = Design.Arch;
+        Result.Map = Design.Map;
+        Result.Eval = Design.Eval;
+        Result.ModelObjective = Real.Objective;
+        Result.BestPePerm = Spec.PePerm;
+        Result.BestDramPerm = Spec.DramPerm;
+        BestEvalObj = Obj;
+      }
+    }
+  }
+  Result.Stats.PairsSolved = PairsSolved;
+  return Result;
+}

@@ -1,0 +1,87 @@
+//===- thistle/Optimizer.h - Thistle design-space optimizer -----*- C++ -*-===//
+//
+// Part of the Thistle reproduction (CGO 2022).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The outer loop of Thistle (paper Fig. 2): enumerate pruned tile-loop
+/// permutation classes for the per-PE and DRAM temporal levels, generate
+/// one constrained geometric program per class pair, solve it, round the
+/// real solution to integer candidates, evaluate every candidate with the
+/// nestmodel, and return the best design found. Supports the paper's two
+/// modes — dataflow optimization for a fixed architecture (Eq. 3, used in
+/// Figs. 4 and 7) and architecture-dataflow co-design under an area
+/// budget (Eq. 5, used in Figs. 5, 6 and 8) — for either the energy or
+/// the delay objective.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef THISTLE_THISTLE_OPTIMIZER_H
+#define THISTLE_THISTLE_OPTIMIZER_H
+
+#include "thistle/GpBuilder.h"
+#include "thistle/Rounding.h"
+
+#include <string>
+#include <vector>
+
+namespace thistle {
+
+/// Optimizer configuration.
+struct ThistleOptions {
+  SearchObjective Objective = SearchObjective::Energy;
+  DesignMode Mode = DesignMode::DataflowOnly;
+  RoundingOptions Rounding;
+  GpSolverOptions Solver;
+  /// Iterator names never tiled (the paper's stencil dims r and s).
+  std::vector<std::string> UntiledIterNames = {"r", "s"};
+  /// Allow untiled iterators to be spatially unrolled across the PE grid
+  /// (see GpBuildSpec::SpatialUntiled).
+  bool SpatialUntiled = true;
+  /// Cap on permutation-class pairs to solve (0 = all).
+  unsigned MaxPermClassPairs = 0;
+  /// Skip pairs that are mirror images under problem symmetries
+  /// (the paper's H/W pruning).
+  bool UseSymmetryPruning = true;
+};
+
+/// Search statistics (exposed for the ablation benchmarks).
+struct ThistleStats {
+  unsigned PermClassesPerLevel = 0;
+  unsigned RawPermsPerLevel = 0;
+  unsigned PairsTotal = 0;
+  unsigned PairsSkippedBySymmetry = 0;
+  unsigned PairsSolved = 0;
+  unsigned GpInfeasible = 0;
+  unsigned NewtonIterations = 0;
+  std::size_t CandidatesEvaluated = 0;
+};
+
+/// The best design found for one layer.
+struct ThistleResult {
+  bool Found = false;
+  ArchConfig Arch; ///< Input arch (dataflow mode) or co-designed.
+  Mapping Map;
+  EvalResult Eval;
+  /// The GP's own objective estimate at the best pair (pre-rounding).
+  double ModelObjective = 0.0;
+  /// Permutations of the winning class pair (outer-to-inner, tiled only).
+  std::vector<unsigned> BestPePerm, BestDramPerm;
+  ThistleStats Stats;
+};
+
+/// Runs Thistle on one layer.
+///
+/// In DataflowOnly mode, \p Arch is the fixed architecture. In CoDesign
+/// mode, \p Arch supplies the bandwidth parameters and \p AreaBudgetUm2
+/// bounds the Eq. 5 area (pass e.g. the Eyeriss area for the paper's
+/// equal-area comparison).
+ThistleResult optimizeLayer(const Problem &Prob, const ArchConfig &Arch,
+                            const TechParams &Tech,
+                            const ThistleOptions &Options,
+                            double AreaBudgetUm2 = 0.0);
+
+} // namespace thistle
+
+#endif // THISTLE_THISTLE_OPTIMIZER_H

@@ -1,0 +1,100 @@
+//===- thistle/PermutationSpace.h - Pruned permutation enumeration -*- C++ -*-===//
+//
+// Part of the Thistle reproduction (CGO 2022).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Enumerates the tile-loop permutations of one temporal tiling level with
+/// the paper's pruning (section III, "Pruning the design space"):
+///
+///  - stencil iterators (r, s) are never tiled, so they do not participate
+///    (the caller passes only tiled iterators);
+///  - two permutations whose Algorithm-1 cost expressions coincide are
+///    merged: the cost depends only on, per tensor, which iterator is the
+///    innermost *present* one and which absent iterators sit below it
+///    (everything above only contributes order-independent products) —
+///    the "once CanHoist is false for all tensors, outer order does not
+///    matter" rule;
+///  - problem symmetries (e.g. H/W with equal strides, which for the CNN
+///    pairs with R/S) are detected and used by the optimizer to skip
+///    mirror-image permutation pairs.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef THISTLE_THISTLE_PERMUTATIONSPACE_H
+#define THISTLE_THISTLE_PERMUTATIONSPACE_H
+
+#include "ir/Problem.h"
+
+#include <compare>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace thistle {
+
+/// The cost-relevant abstraction of a permutation at one temporal level.
+struct PermSignature {
+  /// Per tensor (in Problem::tensors() order).
+  struct TensorSig {
+    /// The streaming (innermost present) iterator when it matters for
+    /// cost: -1 if no listed iterator is present (fully hoisted copy);
+    /// NoHaloStream if the innermost present iterator does not appear in
+    /// any multi-term (halo) dimension of the tensor — then Algorithm 1's
+    /// replace() is numerically identical to multiply(), so the identity
+    /// of the streaming iterator is cost-irrelevant; otherwise the
+    /// iterator index.
+    static constexpr int NoHaloStream = -2;
+    int InnermostPresent = -1;
+    /// Sorted absent iterators hoisted below the innermost present one.
+    std::vector<unsigned> Hoisted;
+
+    auto operator<=>(const TensorSig &) const = default;
+  };
+  std::vector<TensorSig> Tensors;
+
+  auto operator<=>(const PermSignature &) const = default;
+
+  /// Applies an iterator relabeling and a tensor reordering (from a
+  /// problem symmetry); re-canonicalizes.
+  PermSignature mapped(const std::vector<unsigned> &IterMap,
+                       const std::vector<unsigned> &TensorMap) const;
+
+  std::string toString(const Problem &Prob) const;
+};
+
+/// Computes the signature of \p Perm (outer-to-inner tiled iterators).
+PermSignature permSignature(const Problem &Prob,
+                            const std::vector<unsigned> &Perm);
+
+/// One pruned equivalence class.
+struct PermClass {
+  std::vector<unsigned> Representative; ///< Outer-to-inner iterator order.
+  PermSignature Signature;
+  unsigned MemberCount = 0; ///< Raw permutations merged into this class.
+};
+
+/// Enumerates all |TiledIters|! permutations and merges them into
+/// hoist-equivalence classes. Representatives are the lexicographically
+/// first member.
+std::vector<PermClass>
+enumeratePermClasses(const Problem &Prob,
+                     const std::vector<unsigned> &TiledIters);
+
+/// A problem self-symmetry: relabeling iterators by IterMap and tensors
+/// by TensorMap leaves the problem invariant (e.g. the CNN's
+/// {h<->w, r<->s} swap when strides and extents match, or matmul's
+/// i<->j swap which exchanges A and B).
+struct ProblemSymmetry {
+  std::vector<unsigned> IterMap;   ///< New iterator index per old index.
+  std::vector<unsigned> TensorMap; ///< New tensor index per old index.
+};
+
+/// Finds symmetries among single transpositions and products of two
+/// disjoint transpositions of equal-extent iterators.
+std::vector<ProblemSymmetry> findProblemSymmetries(const Problem &Prob);
+
+} // namespace thistle
+
+#endif // THISTLE_THISTLE_PERMUTATIONSPACE_H

@@ -1,0 +1,79 @@
+//===- workloads/Workloads.cpp - Paper evaluation workloads ---------------===//
+
+#include "workloads/Workloads.h"
+
+using namespace thistle;
+
+namespace {
+
+/// Builds one square conv layer in Table II's format.
+ConvLayer layer(std::string Name, std::int64_t K, std::int64_t C,
+                std::int64_t HW, std::int64_t RS, std::int64_t Stride) {
+  ConvLayer L;
+  L.Name = std::move(Name);
+  L.N = 1;
+  L.K = K;
+  L.C = C;
+  L.Hin = HW;
+  L.Win = HW;
+  L.R = RS;
+  L.S = RS;
+  L.StrideX = Stride;
+  L.StrideY = Stride;
+  return L;
+}
+
+} // namespace
+
+std::vector<ConvLayer> thistle::resnet18Layers() {
+  return {
+      layer("resnet-1", 64, 3, 224, 7, 2),
+      layer("resnet-2", 64, 64, 56, 3, 1),
+      layer("resnet-3", 64, 64, 56, 1, 1),
+      layer("resnet-4", 128, 64, 56, 3, 2),
+      layer("resnet-5", 128, 64, 56, 1, 2),
+      layer("resnet-6", 128, 128, 28, 3, 1),
+      layer("resnet-7", 256, 128, 28, 3, 2),
+      layer("resnet-8", 256, 128, 28, 1, 1),
+      layer("resnet-9", 256, 256, 14, 3, 1),
+      layer("resnet-10", 512, 256, 14, 3, 2),
+      layer("resnet-11", 512, 256, 14, 1, 2),
+      layer("resnet-12", 512, 512, 7, 3, 1),
+  };
+}
+
+std::vector<ConvLayer> thistle::yolo9000Layers() {
+  return {
+      layer("yolo-1", 32, 3, 544, 3, 1),
+      layer("yolo-2", 64, 32, 272, 3, 1),
+      layer("yolo-3", 128, 64, 136, 3, 1),
+      layer("yolo-4", 64, 128, 136, 1, 1),
+      layer("yolo-5", 256, 128, 68, 3, 1),
+      layer("yolo-6", 128, 256, 68, 1, 1),
+      layer("yolo-7", 512, 256, 34, 3, 1),
+      layer("yolo-8", 256, 512, 34, 1, 1),
+      layer("yolo-9", 1024, 512, 17, 3, 1),
+      layer("yolo-10", 512, 1024, 17, 1, 1),
+      layer("yolo-11", 28269, 1024, 17, 1, 1),
+  };
+}
+
+std::vector<ConvLayer> thistle::allPaperLayers() {
+  std::vector<ConvLayer> All = resnet18Layers();
+  std::vector<ConvLayer> Yolo = yolo9000Layers();
+  All.insert(All.end(), Yolo.begin(), Yolo.end());
+  return All;
+}
+
+ArchConfig thistle::eyerissArch() {
+  ArchConfig Arch;
+  Arch.NumPEs = 168;
+  Arch.RegWordsPerPE = 512;
+  // 128 KB of shared scratchpad SRAM holding 16-bit words.
+  Arch.SramWords = 128 * 1024 / 2;
+  return Arch;
+}
+
+double thistle::eyerissAreaUm2(const TechParams &Tech) {
+  return eyerissArch().areaUm2(Tech);
+}

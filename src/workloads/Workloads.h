@@ -1,0 +1,45 @@
+//===- workloads/Workloads.h - Paper evaluation workloads -------*- C++ -*-===//
+//
+// Part of the Thistle reproduction (CGO 2022).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The evaluation inputs of the paper: the conv2D configurations of the
+/// Yolo-9000 and ResNet-18 pipelines (Table II; batch size 1, square
+/// images and kernels, stride 2 on the layers Table II marks with *) and
+/// the Eyeriss baseline architecture (168 PEs, 512 registers per PE,
+/// 128 KB shared SRAM in 16-bit words, section V).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef THISTLE_WORKLOADS_WORKLOADS_H
+#define THISTLE_WORKLOADS_WORKLOADS_H
+
+#include "ir/Builders.h"
+#include "model/TechModel.h"
+
+#include <vector>
+
+namespace thistle {
+
+/// The 12 conv stages of ResNet-18 (Table II, right).
+std::vector<ConvLayer> resnet18Layers();
+
+/// The 11 conv stages of Yolo-9000 (Table II, left).
+std::vector<ConvLayer> yolo9000Layers();
+
+/// Both pipelines concatenated (ResNet-18 first), as the paper's
+/// single-architecture experiments consider all stages of both.
+std::vector<ConvLayer> allPaperLayers();
+
+/// The Eyeriss architectural parameters used as the paper's baseline.
+ArchConfig eyerissArch();
+
+/// Eyeriss silicon area under the Eq. 5 model with \p Tech — the area
+/// budget of every co-design experiment.
+double eyerissAreaUm2(const TechParams &Tech);
+
+} // namespace thistle
+
+#endif // THISTLE_WORKLOADS_WORKLOADS_H

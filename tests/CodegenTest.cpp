@@ -1,0 +1,197 @@
+//===- tests/CodegenTest.cpp - Tiled-nest code generation tests -----------===//
+//
+// The strongest end-to-end validation in the repository: generated tiled
+// nests (Fig. 1d artifacts) are *executed* on real data and must compute
+// exactly the reference contraction, with every access inside its
+// buffer — this proves the tiling, the copy hoisting and the footprint
+// math are all semantically correct, for randomized mappings.
+//
+//===----------------------------------------------------------------------===//
+
+#include "codegen/TiledNest.h"
+#include "ir/Builders.h"
+#include "support/MathUtil.h"
+#include "support/Rng.h"
+#include "thistle/Optimizer.h"
+#include "workloads/Workloads.h"
+
+#include <gtest/gtest.h>
+
+using namespace thistle;
+
+namespace {
+
+Mapping randomMapping(const Problem &P, Rng &R) {
+  Mapping M;
+  M.Factors.resize(P.numIterators());
+  for (unsigned I = 0; I < P.numIterators(); ++I) {
+    std::int64_t Extent = P.iterators()[I].Extent;
+    std::int64_t RegF = R.pick(divisorsOf(Extent));
+    std::int64_t Rest = Extent / RegF;
+    std::int64_t SpatF = R.pick(divisorsOf(Rest));
+    Rest /= SpatF;
+    std::int64_t PeF = R.pick(divisorsOf(Rest));
+    M.factor(I, TileLevel::Register) = RegF;
+    M.factor(I, TileLevel::Spatial) = SpatF;
+    M.factor(I, TileLevel::PeTemporal) = PeF;
+    M.factor(I, TileLevel::DramTemporal) = Rest / PeF;
+  }
+  M.DramPerm.resize(P.numIterators());
+  for (unsigned I = 0; I < P.numIterators(); ++I)
+    M.DramPerm[I] = I;
+  M.PePerm = M.DramPerm;
+  R.shuffle(M.DramPerm);
+  R.shuffle(M.PePerm);
+  return M;
+}
+
+void expectComputesReference(const Problem &P, const Mapping &M) {
+  ASSERT_TRUE(M.validate(P).empty());
+  TiledNest Nest = buildTiledNest(P, M);
+  InterpResult R = interpretTiledNest(P, M, Nest);
+  ASSERT_TRUE(R.Ok) << R.Error;
+  std::vector<double> Ref = referenceContraction(P);
+  ASSERT_EQ(R.Output.size(), Ref.size());
+  for (std::size_t I = 0; I < Ref.size(); ++I)
+    ASSERT_DOUBLE_EQ(R.Output[I], Ref[I]) << "output word " << I;
+}
+
+} // namespace
+
+TEST(TiledNest, UntiledMatmulComputesReference) {
+  Problem P = makeMatmulProblem(4, 5, 6);
+  expectComputesReference(P, Mapping::untiled(P));
+}
+
+TEST(TiledNest, RandomMatmulMappingsComputeReference) {
+  Problem P = makeMatmulProblem(8, 6, 4);
+  Rng R(42);
+  for (int Trial = 0; Trial < 25; ++Trial) {
+    SCOPED_TRACE("trial " + std::to_string(Trial));
+    expectComputesReference(P, randomMapping(P, R));
+  }
+}
+
+TEST(TiledNest, RandomConvMappingsComputeReference) {
+  ConvLayer L;
+  L.K = 4;
+  L.C = 3;
+  L.Hin = 6;
+  L.Win = 6;
+  L.R = 3;
+  L.S = 3;
+  Problem P = makeConvProblem(L);
+  Rng R(7);
+  for (int Trial = 0; Trial < 15; ++Trial) {
+    SCOPED_TRACE("trial " + std::to_string(Trial));
+    expectComputesReference(P, randomMapping(P, R));
+  }
+}
+
+TEST(TiledNest, StridedAndDilatedConvComputesReference) {
+  ConvLayer L;
+  L.K = 2;
+  L.C = 2;
+  L.Hin = 12;
+  L.Win = 12;
+  L.R = 3;
+  L.S = 3;
+  L.StrideX = L.StrideY = 2;
+  L.DilationX = L.DilationY = 2;
+  Problem P = makeConvProblem(L);
+  Rng R(13);
+  for (int Trial = 0; Trial < 10; ++Trial) {
+    SCOPED_TRACE("trial " + std::to_string(Trial));
+    expectComputesReference(P, randomMapping(P, R));
+  }
+}
+
+TEST(TiledNest, OptimizedMappingComputesReference) {
+  // End to end: Thistle's own optimized design must be semantically
+  // correct when lowered to code.
+  ConvLayer L;
+  L.K = 8;
+  L.C = 8;
+  L.Hin = 8;
+  L.Win = 8;
+  L.R = 3;
+  L.S = 3;
+  Problem P = makeConvProblem(L);
+  ArchConfig Arch = eyerissArch();
+  ThistleOptions O;
+  O.MaxPermClassPairs = 6;
+  ThistleResult R = optimizeLayer(P, Arch, TechParams::cgo45nm(), O);
+  ASSERT_TRUE(R.Found);
+  expectComputesReference(P, R.Map);
+}
+
+TEST(TiledNest, CopyCountsMatchCopySemantics) {
+  // The generated code reloads full tiles at each copy (no halo
+  // streaming); its counts must equal footprint x copy executions, where
+  // the copy runs once per iteration of the loops above its hoist point.
+  Problem P = makeMatmulProblem(8, 8, 8);
+  Mapping M = Mapping::untiled(P);
+  unsigned Ii = P.iteratorIndex("i"), Ij = P.iteratorIndex("j"),
+           Ik = P.iteratorIndex("k");
+  for (unsigned I : {Ii, Ij, Ik}) {
+    M.factor(I, TileLevel::Register) = 2;
+    M.factor(I, TileLevel::DramTemporal) = 4;
+  }
+  M.DramPerm = {Ii, Ik, Ij}; // Innermost j: A's SRAM copy hoists over it.
+  M.PePerm = {Ii, Ij, Ik};
+  ASSERT_TRUE(M.validate(P).empty());
+
+  TiledNest Nest = buildTiledNest(P, M);
+  InterpResult R = interpretTiledNest(P, M, Nest);
+  ASSERT_TRUE(R.Ok) << R.Error;
+  // A (2x2 SRAM tiles): copy inside <i,k>: 16 copies x 4 words.
+  EXPECT_EQ(R.PerTensor[1].DramToSram, 16 * 4);
+  // B: copy inside <i,k,j>: 64 copies x 4 words.
+  EXPECT_EQ(R.PerTensor[2].DramToSram, 64 * 4);
+  // C read-write: both directions, inside <i,k,j>.
+  EXPECT_EQ(R.PerTensor[0].DramToSram, 64 * 4);
+  EXPECT_EQ(R.PerTensor[0].SramToDram, 64 * 4);
+  // Register copies: PE loops all trip-1 here, so one register copy per
+  // (SRAM copy-equivalent) position: C streams inside <i,j> at the PE
+  // level... with no PE loops the register copy runs once per DRAM step.
+  EXPECT_EQ(R.PerTensor[1].SramToReg, 64 * 4);
+}
+
+TEST(TiledNest, PrinterShowsStructure) {
+  Problem P = makeMatmulProblem(8, 8, 8);
+  Mapping M = Mapping::untiled(P);
+  M.factor(0, TileLevel::Register) = 2;
+  M.factor(0, TileLevel::DramTemporal) = 4;
+  ASSERT_TRUE(M.validate(P).empty());
+  TiledNest Nest = buildTiledNest(P, M);
+  std::string Code = printTiledNest(P, M, Nest);
+  EXPECT_NE(Code.find("for (i_s = 0; i_s < 4; ++i_s)"), std::string::npos);
+  EXPECT_NE(Code.find("C_buf[...] = C[tile];"), std::string::npos);
+  EXPECT_NE(Code.find("C[tile] = C_buf[...];"), std::string::npos);
+  EXPECT_NE(Code.find("C_reg[..] += A_reg[..] * B_reg[..];"),
+            std::string::npos);
+}
+
+TEST(TiledNest, SpatialLoopsPrintAsForall) {
+  Problem P = makeMatmulProblem(8, 8, 8);
+  Mapping M = Mapping::untiled(P);
+  M.factor(1, TileLevel::Register) = 4;
+  M.factor(1, TileLevel::Spatial) = 2;
+  ASSERT_TRUE(M.validate(P).empty());
+  std::string Code = printTiledNest(P, M, buildTiledNest(P, M));
+  EXPECT_NE(Code.find("forall (j_p = 0; j_p < 2; ++j_p)"),
+            std::string::npos);
+}
+
+TEST(TiledNest, ReductionAcrossSpatialPEsIsCorrect) {
+  // Spatially mapping the contraction dimension k (absent in C) makes
+  // multiple PEs accumulate into the same output tile; the generated
+  // code must still produce the exact reference result.
+  Problem P = makeMatmulProblem(4, 4, 8);
+  Mapping M = Mapping::untiled(P);
+  unsigned Ik = P.iteratorIndex("k");
+  M.factor(Ik, TileLevel::Register) = 2;
+  M.factor(Ik, TileLevel::Spatial) = 4;
+  ASSERT_TRUE(M.validate(P).empty());
+  expectComputesReference(P, M);
+}

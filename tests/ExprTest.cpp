@@ -1,0 +1,195 @@
+//===- tests/ExprTest.cpp - expr/ unit tests ------------------------------===//
+
+#include "expr/FactoredExpr.h"
+#include "expr/Monomial.h"
+#include "expr/Signomial.h"
+#include "expr/VarTable.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+using namespace thistle;
+
+namespace {
+
+struct ExprFixture : public ::testing::Test {
+  VarTable Vars;
+  VarId X = Vars.intern("x");
+  VarId Y = Vars.intern("y");
+  VarId Z = Vars.intern("z");
+
+  Assignment values(double Xv, double Yv, double Zv) const {
+    return {Xv, Yv, Zv};
+  }
+};
+
+} // namespace
+
+TEST_F(ExprFixture, VarTableInternsStably) {
+  EXPECT_EQ(Vars.intern("x"), X);
+  EXPECT_EQ(Vars.lookup("y"), Y);
+  EXPECT_TRUE(Vars.contains("z"));
+  EXPECT_FALSE(Vars.contains("w"));
+  EXPECT_EQ(Vars.nameOf(Z), "z");
+  EXPECT_EQ(Vars.size(), 3u);
+}
+
+TEST_F(ExprFixture, MonomialProductMergesExponents) {
+  Monomial A = Monomial::variable(X, 2.0, 3.0); // 3 x^2
+  Monomial B = Monomial::variable(X, 1.0) * Monomial::variable(Y); // x y
+  Monomial P = A * B; // 3 x^3 y
+  EXPECT_DOUBLE_EQ(P.coefficient(), 3.0);
+  EXPECT_DOUBLE_EQ(P.exponentOf(X), 3.0);
+  EXPECT_DOUBLE_EQ(P.exponentOf(Y), 1.0);
+  EXPECT_DOUBLE_EQ(P.exponentOf(Z), 0.0);
+  EXPECT_DOUBLE_EQ(P.evaluate(values(2, 5, 1)), 3 * 8 * 5);
+}
+
+TEST_F(ExprFixture, MonomialCancellationRemovesVariable) {
+  Monomial A = Monomial::variable(X, 2.0);
+  Monomial B = Monomial::variable(X, -2.0);
+  Monomial P = A * B;
+  EXPECT_TRUE(P.isConstant());
+  EXPECT_DOUBLE_EQ(P.coefficient(), 1.0);
+}
+
+TEST_F(ExprFixture, MonomialPow) {
+  Monomial A = Monomial::variable(X, 2.0, 4.0); // 4 x^2
+  Monomial Sqrt = A.pow(0.5);                   // 2 x
+  EXPECT_DOUBLE_EQ(Sqrt.coefficient(), 2.0);
+  EXPECT_DOUBLE_EQ(Sqrt.exponentOf(X), 1.0);
+  Monomial Inv = A.pow(-1.0);
+  EXPECT_DOUBLE_EQ(Inv.evaluate(values(2, 1, 1)), 1.0 / 16.0);
+  EXPECT_TRUE(A.pow(0.0).isConstant());
+}
+
+TEST_F(ExprFixture, MonomialSubstitution) {
+  // x -> 5 y z in x^2: expect 25 y^2 z^2.
+  Monomial M = Monomial::variable(X, 2.0);
+  Monomial Repl =
+      Monomial::variable(Y).scaled(5.0) * Monomial::variable(Z);
+  Monomial Out = M.substituted(X, Repl);
+  EXPECT_DOUBLE_EQ(Out.coefficient(), 25.0);
+  EXPECT_DOUBLE_EQ(Out.exponentOf(X), 0.0);
+  EXPECT_DOUBLE_EQ(Out.exponentOf(Y), 2.0);
+  EXPECT_DOUBLE_EQ(Out.exponentOf(Z), 2.0);
+  // Substituting an absent variable is the identity.
+  Monomial Same = M.substituted(Y, Repl);
+  EXPECT_TRUE(Same.sameVariablesAs(M));
+}
+
+TEST_F(ExprFixture, MonomialToString) {
+  EXPECT_EQ(Monomial(2.0).toString(Vars), "2");
+  EXPECT_EQ(Monomial::variable(X).toString(Vars), "x");
+  EXPECT_EQ((Monomial::variable(X, 2.0, 3.0) * Monomial::variable(Y))
+                .toString(Vars),
+            "3*x^2*y");
+}
+
+TEST_F(ExprFixture, SignomialAdditionMergesLikeTerms) {
+  Signomial S = Signomial::variable(X) + Signomial::variable(X);
+  ASSERT_EQ(S.monomials().size(), 1u);
+  EXPECT_DOUBLE_EQ(S.monomials()[0].coefficient(), 2.0);
+
+  Signomial ZeroSum = Signomial::variable(Y) -
+                      Signomial(Monomial::variable(Y));
+  EXPECT_TRUE(ZeroSum.isZero());
+}
+
+TEST_F(ExprFixture, SignomialDistributesProducts) {
+  // (x + 1)(x - 1) = x^2 - 1.
+  Signomial A = Signomial::variable(X) + Signomial::constant(1.0);
+  Signomial B = Signomial::variable(X) - Signomial::constant(1.0);
+  Signomial P = A * B;
+  EXPECT_EQ(P.monomials().size(), 2u);
+  EXPECT_DOUBLE_EQ(P.evaluate(values(3, 1, 1)), 8.0);
+  EXPECT_FALSE(P.isPosynomial());
+}
+
+TEST_F(ExprFixture, SignomialPosynomialUpperBound) {
+  // x y + 2 x - 3 -> x y + 2 x, an upper bound for positive x, y.
+  Signomial S = Signomial(Monomial::variable(X) * Monomial::variable(Y)) +
+                Signomial(Monomial::variable(X).scaled(2.0)) -
+                Signomial::constant(3.0);
+  Signomial B = S.posynomialUpperBound();
+  EXPECT_TRUE(B.isPosynomial());
+  for (double Xv : {1.0, 2.5, 10.0})
+    for (double Yv : {1.0, 7.0})
+      EXPECT_GE(B.evaluate(values(Xv, Yv, 1)), S.evaluate(values(Xv, Yv, 1)));
+}
+
+TEST_F(ExprFixture, SignomialSubstitution) {
+  // (x + y - 1) with x -> z x: (z x + y - 1).
+  Signomial S = Signomial::variable(X) + Signomial::variable(Y) -
+                Signomial::constant(1.0);
+  Signomial Out =
+      S.substituted(X, Monomial::variable(Z) * Monomial::variable(X));
+  EXPECT_DOUBLE_EQ(Out.evaluate(values(2, 3, 4)), 4 * 2 + 3 - 1);
+  EXPECT_TRUE(S.mentions(X));
+  EXPECT_FALSE(S.mentions(Z));
+  EXPECT_TRUE(Out.mentions(Z));
+}
+
+TEST_F(ExprFixture, SignomialToString) {
+  Signomial S = Signomial::variable(X) + Signomial::variable(Y) -
+                Signomial::constant(1.0);
+  EXPECT_EQ(S.toString(Vars), "x + y - 1");
+  EXPECT_EQ(Signomial().toString(Vars), "0");
+}
+
+TEST_F(ExprFixture, SignomialEquality) {
+  Signomial A = Signomial::variable(X) + Signomial::constant(2.0);
+  Signomial B = Signomial::constant(2.0) + Signomial::variable(X);
+  EXPECT_TRUE(A == B);
+  Signomial C = A + Signomial::constant(1.0);
+  EXPECT_FALSE(A == C);
+}
+
+TEST_F(ExprFixture, FactoredExprFoldsMonomialFactors) {
+  FactoredExpr E;
+  E.pushFactor(Signomial::variable(X)); // Single monomial: folds to prefix.
+  EXPECT_TRUE(E.factors().empty());
+  EXPECT_DOUBLE_EQ(E.prefix().exponentOf(X), 1.0);
+
+  E.pushFactor(Signomial::variable(Y) + Signomial::constant(1.0));
+  EXPECT_EQ(E.factors().size(), 1u);
+  EXPECT_DOUBLE_EQ(E.evaluate(values(3, 4, 1)), 3 * (4 + 1));
+}
+
+TEST_F(ExprFixture, FactoredExprExpansionMatchesEvaluation) {
+  FactoredExpr E(Monomial(2.0));
+  E.pushFactor(Signomial::variable(X) + Signomial::constant(1.0));
+  E.pushFactor(Signomial::variable(Y) - Signomial::constant(1.0));
+  Signomial Flat = E.expanded();
+  for (double Xv : {1.0, 3.0})
+    for (double Yv : {2.0, 5.0})
+      EXPECT_DOUBLE_EQ(Flat.evaluate(values(Xv, Yv, 1)),
+                       E.evaluate(values(Xv, Yv, 1)));
+}
+
+TEST_F(ExprFixture, FactoredExprSubstitutionHitsAllFactors) {
+  FactoredExpr E(Monomial::variable(X));
+  E.pushFactor(Signomial::variable(X) + Signomial::variable(Y));
+  FactoredExpr Out =
+      E.substituted(X, Monomial::variable(Z) * Monomial::variable(X));
+  // x (x + y) with x -> z x: z x (z x + y).
+  EXPECT_DOUBLE_EQ(Out.evaluate(values(2, 3, 4)), 4 * 2 * (4 * 2 + 3));
+}
+
+TEST_F(ExprFixture, FactoredExprUpperBound) {
+  FactoredExpr E;
+  E.pushFactor(Signomial::variable(X) + Signomial::variable(Y) -
+               Signomial::constant(1.0));
+  E.pushFactor(Signomial::variable(Z).scaled(2.0) - Signomial::constant(1.0));
+  FactoredExpr B = E.posynomialUpperBound();
+  Assignment V = values(2, 3, 4);
+  EXPECT_GE(B.evaluate(V), E.evaluate(V));
+  EXPECT_TRUE(B.expanded().isPosynomial());
+}
+
+TEST_F(ExprFixture, FactoredExprToString) {
+  FactoredExpr E(Monomial::variable(X).scaled(2.0));
+  E.pushFactor(Signomial::variable(Y) + Signomial::constant(1.0));
+  EXPECT_EQ(E.toString(Vars), "2*x * (y + 1)");
+}

@@ -1,0 +1,167 @@
+//===- tests/IrTest.cpp - ir/ unit tests ----------------------------------===//
+
+#include "ir/Builders.h"
+#include "ir/Mapping.h"
+#include "ir/Problem.h"
+
+#include <gtest/gtest.h>
+
+using namespace thistle;
+
+TEST(ConvLayer, OutputSizesSamePadding) {
+  ConvLayer L;
+  L.Hin = 224;
+  L.Win = 224;
+  L.R = 7;
+  L.S = 7;
+  L.StrideX = 2;
+  L.StrideY = 2;
+  EXPECT_EQ(L.outH(), 112);
+  EXPECT_EQ(L.outW(), 112);
+
+  L.StrideX = L.StrideY = 1;
+  EXPECT_EQ(L.outH(), 224);
+}
+
+TEST(ConvLayer, MacCount) {
+  ConvLayer L;
+  L.N = 1;
+  L.K = 64;
+  L.C = 3;
+  L.Hin = 224;
+  L.Win = 224;
+  L.R = 7;
+  L.S = 7;
+  L.StrideX = L.StrideY = 2;
+  EXPECT_EQ(L.numMacs(), 1LL * 64 * 3 * 7 * 7 * 112 * 112);
+}
+
+TEST(ConvProblem, StructureMatchesListing1) {
+  ConvLayer L;
+  L.K = 8;
+  L.C = 4;
+  L.Hin = 10;
+  L.Win = 12;
+  L.R = 3;
+  L.S = 3;
+  Problem P = makeConvProblem(L);
+  ASSERT_EQ(P.numIterators(), 7u);
+  EXPECT_EQ(P.iterators()[P.iteratorIndex("k")].Extent, 8);
+  EXPECT_EQ(P.iterators()[P.iteratorIndex("h")].Extent, 10);
+  EXPECT_EQ(P.iterators()[P.iteratorIndex("w")].Extent, 12);
+
+  ASSERT_EQ(P.tensors().size(), 3u);
+  const Tensor &Out = P.tensors()[0];
+  const Tensor &In = P.tensors()[1];
+  const Tensor &Ker = P.tensors()[2];
+  EXPECT_TRUE(Out.ReadWrite);
+  EXPECT_FALSE(In.ReadWrite);
+  EXPECT_FALSE(Ker.ReadWrite);
+
+  unsigned H = P.iteratorIndex("h"), R = P.iteratorIndex("r");
+  unsigned C = P.iteratorIndex("c"), K = P.iteratorIndex("k");
+  EXPECT_TRUE(In.usesIter(H));
+  EXPECT_TRUE(In.usesIter(R));
+  EXPECT_TRUE(In.usesIter(C));
+  EXPECT_FALSE(In.usesIter(K));
+  EXPECT_TRUE(Out.usesIter(K));
+  EXPECT_FALSE(Out.usesIter(C));
+  EXPECT_FALSE(Ker.usesIter(H));
+
+  EXPECT_EQ(P.numOps(), 8LL * 4 * 3 * 3 * 10 * 12);
+}
+
+TEST(ConvProblem, InputFootprintUsesHalo) {
+  ConvLayer L;
+  L.K = 1;
+  L.C = 2;
+  L.Hin = 8;
+  L.Win = 8;
+  L.R = 3;
+  L.S = 3;
+  Problem P = makeConvProblem(L);
+  const Tensor &In = P.tensors()[1];
+  // Tile of 4x4 output points with full 3x3 kernel and both channels:
+  // footprint = 2 * (4+3-1) * (4+3-1) = 72.
+  std::vector<std::int64_t> Tile(7, 1);
+  Tile[P.iteratorIndex("c")] = 2;
+  Tile[P.iteratorIndex("r")] = 3;
+  Tile[P.iteratorIndex("s")] = 3;
+  Tile[P.iteratorIndex("h")] = 4;
+  Tile[P.iteratorIndex("w")] = 4;
+  EXPECT_EQ(In.footprintWords(Tile), 2 * 6 * 6);
+}
+
+TEST(ConvProblem, StridedFootprint) {
+  ConvLayer L;
+  L.K = 1;
+  L.C = 1;
+  L.Hin = 16;
+  L.Win = 16;
+  L.R = 3;
+  L.S = 3;
+  L.StrideX = L.StrideY = 2;
+  Problem P = makeConvProblem(L);
+  const Tensor &In = P.tensors()[1];
+  // 4x4 output tile at stride 2 with a 3x3 kernel:
+  // extent = 2*(4-1) + 1*(3-1) + 1 = 9 per spatial dim.
+  std::vector<std::int64_t> Tile(7, 1);
+  Tile[P.iteratorIndex("r")] = 3;
+  Tile[P.iteratorIndex("s")] = 3;
+  Tile[P.iteratorIndex("h")] = 4;
+  Tile[P.iteratorIndex("w")] = 4;
+  EXPECT_EQ(In.footprintWords(Tile), 9 * 9);
+}
+
+TEST(MatmulProblem, Structure) {
+  Problem P = makeMatmulProblem(16, 32, 64);
+  ASSERT_EQ(P.numIterators(), 3u);
+  EXPECT_EQ(P.numOps(), 16LL * 32 * 64);
+  const Tensor &C = P.tensors()[0];
+  EXPECT_TRUE(C.ReadWrite);
+  EXPECT_FALSE(C.usesIter(P.iteratorIndex("k")));
+  const Tensor &A = P.tensors()[1];
+  EXPECT_TRUE(A.usesIter(P.iteratorIndex("i")));
+  EXPECT_TRUE(A.usesIter(P.iteratorIndex("k")));
+  EXPECT_FALSE(A.usesIter(P.iteratorIndex("j")));
+}
+
+TEST(Mapping, UntiledValidates) {
+  Problem P = makeMatmulProblem(4, 6, 8);
+  Mapping M = Mapping::untiled(P);
+  EXPECT_TRUE(M.validate(P).empty());
+  EXPECT_EQ(M.numPEsUsed(), 1);
+  EXPECT_EQ(M.registerTileExtents(), (std::vector<std::int64_t>{4, 6, 8}));
+}
+
+TEST(Mapping, TileExtentProducts) {
+  Problem P = makeMatmulProblem(8, 8, 8);
+  Mapping M = Mapping::untiled(P);
+  for (unsigned I = 0; I < 3; ++I) {
+    M.factor(I, TileLevel::Register) = 2;
+    M.factor(I, TileLevel::PeTemporal) = 2;
+    M.factor(I, TileLevel::Spatial) = 2;
+    M.factor(I, TileLevel::DramTemporal) = 1;
+  }
+  EXPECT_TRUE(M.validate(P).empty());
+  EXPECT_EQ(M.registerTileExtents(), (std::vector<std::int64_t>{2, 2, 2}));
+  EXPECT_EQ(M.peTileExtents(), (std::vector<std::int64_t>{4, 4, 4}));
+  EXPECT_EQ(M.sramTileExtents(), (std::vector<std::int64_t>{8, 8, 8}));
+  EXPECT_EQ(M.numPEsUsed(), 8);
+}
+
+TEST(Mapping, ValidateCatchesBadFactorProduct) {
+  Problem P = makeMatmulProblem(4, 4, 4);
+  Mapping M = Mapping::untiled(P);
+  M.factor(0, TileLevel::Register) = 3; // 3 does not divide into 4.
+  EXPECT_FALSE(M.validate(P).empty());
+}
+
+TEST(Mapping, ValidateCatchesBadPermutation) {
+  Problem P = makeMatmulProblem(4, 4, 4);
+  Mapping M = Mapping::untiled(P);
+  M.DramPerm = {0, 0, 1};
+  EXPECT_FALSE(M.validate(P).empty());
+  M.DramPerm = {0, 1};
+  EXPECT_FALSE(M.validate(P).empty());
+}

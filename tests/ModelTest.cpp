@@ -1,0 +1,79 @@
+//===- tests/ModelTest.cpp - model/ unit tests ----------------------------===//
+
+#include "model/TechModel.h"
+#include "workloads/Workloads.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+using namespace thistle;
+
+TEST(TechParams, TableIIIConstants) {
+  TechParams T = TechParams::cgo45nm();
+  EXPECT_DOUBLE_EQ(T.AreaMacUm2, 1239.5);
+  EXPECT_DOUBLE_EQ(T.AreaRegWordUm2, 19.874);
+  EXPECT_DOUBLE_EQ(T.AreaSramWordUm2, 6.806);
+  EXPECT_DOUBLE_EQ(T.EnergyMacPj, 2.2);
+  EXPECT_DOUBLE_EQ(T.SigmaRegPj, 9.06719e-3);
+  EXPECT_DOUBLE_EQ(T.SigmaSramPj, 17.88e-3);
+  EXPECT_DOUBLE_EQ(T.EnergyDramPj, 128.0);
+}
+
+TEST(EnergyModel, Eq4AnalyticalLaws) {
+  EnergyModel E(TechParams::cgo45nm());
+  // eps_R linear in capacity.
+  EXPECT_NEAR(E.regAccessPj(512), 9.06719e-3 * 512, 1e-12);
+  EXPECT_NEAR(E.regAccessPj(1024) / E.regAccessPj(512), 2.0, 1e-12);
+  // eps_S square-root in capacity.
+  EXPECT_NEAR(E.sramAccessPj(65536), 17.88e-3 * 256, 1e-9);
+  EXPECT_NEAR(E.sramAccessPj(4 * 65536) / E.sramAccessPj(65536), 2.0, 1e-12);
+  EXPECT_DOUBLE_EQ(E.dramAccessPj(), 128.0);
+  EXPECT_DOUBLE_EQ(E.macPj(), 2.2);
+}
+
+TEST(EnergyModel, EyerissPerAccessScale) {
+  // Sanity for the Table III unit interpretation (DESIGN.md): with the
+  // Eyeriss capacities, a register access costs ~4.6 pJ, an SRAM access
+  // ~4.6 pJ, so a MAC with 4 register accesses lands at 20-30 pJ/MAC as
+  // in Fig. 4.
+  EnergyModel E(TechParams::cgo45nm());
+  ArchConfig Arch = eyerissArch();
+  double EpsR = E.regAccessPj(static_cast<double>(Arch.RegWordsPerPE));
+  double EpsS = E.sramAccessPj(static_cast<double>(Arch.SramWords));
+  EXPECT_GT(EpsR, 3.0);
+  EXPECT_LT(EpsR, 6.0);
+  EXPECT_GT(EpsS, 3.0);
+  EXPECT_LT(EpsS, 6.0);
+  double MacFloor = 4.0 * EpsR + E.macPj();
+  EXPECT_GT(MacFloor, 15.0);
+  EXPECT_LT(MacFloor, 30.0);
+}
+
+TEST(ArchConfig, AreaModelEq5) {
+  TechParams T = TechParams::cgo45nm();
+  ArchConfig A;
+  A.NumPEs = 2;
+  A.RegWordsPerPE = 10;
+  A.SramWords = 100;
+  double Expected = (19.874 * 10 + 1239.5) * 2 + 6.806 * 100;
+  EXPECT_NEAR(A.areaUm2(T), Expected, 1e-9);
+}
+
+TEST(ArchConfig, EyerissArea) {
+  // 168 PEs x (512 regs + MAC) + 64K SRAM words: about 2.36 mm^2.
+  double Area = eyerissAreaUm2(TechParams::cgo45nm());
+  double Expected = (19.874 * 512 + 1239.5) * 168 + 6.806 * 65536;
+  EXPECT_NEAR(Area, Expected, 1e-6);
+  EXPECT_GT(Area, 2.3e6);
+  EXPECT_LT(Area, 2.5e6);
+}
+
+TEST(ArchConfig, EyerissParameters) {
+  ArchConfig A = eyerissArch();
+  EXPECT_EQ(A.NumPEs, 168);
+  EXPECT_EQ(A.RegWordsPerPE, 512);
+  EXPECT_EQ(A.SramWords, 65536);
+  EXPECT_GT(A.DramBandwidth, 0.0);
+  EXPECT_GT(A.SramBandwidth, A.DramBandwidth);
+}

@@ -1,0 +1,397 @@
+//===- tests/MultilevelTest.cpp - Arbitrary-depth hierarchy tests ---------===//
+//
+// Validates the multilevel generalization three ways: against its own
+// brute-force oracle on random mappings and hierarchies, against the
+// fixed 4-level pipeline on the classic machine (they must agree
+// exactly), and end-to-end through the multilevel GP optimizer.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/Builders.h"
+#include "multilevel/MultiGp.h"
+#include "multilevel/MultiSim.h"
+#include "nestmodel/Evaluator.h"
+#include "support/MathUtil.h"
+#include "support/Rng.h"
+#include "thistle/Optimizer.h"
+#include "workloads/Workloads.h"
+
+#include <gtest/gtest.h>
+
+using namespace thistle;
+
+namespace {
+
+Problem smallConvProblem() {
+  ConvLayer L;
+  L.K = 4;
+  L.C = 4;
+  L.Hin = 6;
+  L.Win = 6;
+  L.R = 3;
+  L.S = 3;
+  return makeConvProblem(L);
+}
+
+/// A small L-level hierarchy with generous capacities (tests that need
+/// legality filtering set their own).
+Hierarchy testHierarchy(unsigned NumLevels, unsigned FanoutLevel) {
+  Hierarchy H;
+  H.NumPEs = 64;
+  H.MacEnergyPj = 2.2;
+  for (unsigned L = 0; L < NumLevels; ++L)
+    H.Levels.push_back({"L" + std::to_string(L), 1 << 20,
+                        0.5 * (L + 1), 16.0});
+  H.FanoutLevel = FanoutLevel;
+  return H;
+}
+
+/// Random valid MultiMapping by hierarchical divisor sampling.
+MultiMapping randomMultiMapping(const Problem &P, unsigned NumLevels,
+                                Rng &R) {
+  const unsigned NumIters = P.numIterators();
+  MultiMapping M;
+  M.TempFactors.assign(NumLevels,
+                       std::vector<std::int64_t>(NumIters, 1));
+  M.SpatialFactors.assign(NumIters, 1);
+  for (unsigned I = 0; I < NumIters; ++I) {
+    std::int64_t Rest = P.iterators()[I].Extent;
+    for (unsigned L = 0; L + 1 < NumLevels; ++L) {
+      std::int64_t F = R.pick(divisorsOf(Rest));
+      M.TempFactors[L][I] = F;
+      Rest /= F;
+    }
+    std::int64_t Sp = R.pick(divisorsOf(Rest));
+    M.SpatialFactors[I] = Sp;
+    M.TempFactors[NumLevels - 1][I] = Rest / Sp;
+  }
+  std::vector<unsigned> Identity(NumIters);
+  for (unsigned I = 0; I < NumIters; ++I)
+    Identity[I] = I;
+  M.Perms.assign(NumLevels, Identity);
+  for (unsigned L = 1; L < NumLevels; ++L)
+    R.shuffle(M.Perms[L]);
+  return M;
+}
+
+} // namespace
+
+TEST(Hierarchy, ValidationCatchesMistakes) {
+  Hierarchy H = testHierarchy(3, 1);
+  EXPECT_TRUE(H.validate().empty());
+  H.FanoutLevel = 3;
+  EXPECT_FALSE(H.validate().empty());
+  H.FanoutLevel = 0;
+  EXPECT_FALSE(H.validate().empty());
+  H = testHierarchy(1, 1);
+  EXPECT_FALSE(H.validate().empty());
+  H = testHierarchy(3, 1);
+  H.NumPEs = 0;
+  EXPECT_FALSE(H.validate().empty());
+}
+
+TEST(Hierarchy, ClassicMatchesArchConfig) {
+  ArchConfig Arch = eyerissArch();
+  Hierarchy H = Hierarchy::classic(Arch, TechParams::cgo45nm());
+  ASSERT_TRUE(H.validate().empty());
+  EXPECT_EQ(H.numLevels(), 3u);
+  EXPECT_EQ(H.FanoutLevel, 1u);
+  EXPECT_EQ(H.NumPEs, 168);
+  EXPECT_EQ(H.Levels[0].CapacityWords, 512);
+  EXPECT_EQ(H.Levels[1].CapacityWords, 65536);
+  EnergyModel E(TechParams::cgo45nm());
+  EXPECT_NEAR(H.Levels[0].AccessEnergyPj, E.regAccessPj(512), 1e-12);
+  EXPECT_NEAR(H.Levels[1].AccessEnergyPj, E.sramAccessPj(65536), 1e-12);
+  EXPECT_NEAR(H.Levels[2].AccessEnergyPj, 128.0, 1e-12);
+}
+
+TEST(MultiMapping, UntiledAndValidation) {
+  Problem P = smallConvProblem();
+  Hierarchy H = testHierarchy(4, 2);
+  MultiMapping M = MultiMapping::untiled(P, 4);
+  EXPECT_TRUE(M.validate(P, H).empty());
+  EXPECT_EQ(M.numPEsUsed(), 1);
+  M.TempFactors[0][1] = 999; // Break the product invariant.
+  EXPECT_FALSE(M.validate(P, H).empty());
+}
+
+TEST(MultiMapping, TileExtentsIncludeSpatialAtSharedLevels) {
+  Problem P = makeMatmulProblem(8, 8, 8);
+  Hierarchy H = testHierarchy(3, 1);
+  MultiMapping M = MultiMapping::untiled(P, 3);
+  M.TempFactors[0][0] = 2;
+  M.SpatialFactors[0] = 2;
+  M.TempFactors[1][0] = 2;
+  M.TempFactors[2][0] = 1;
+  ASSERT_TRUE(M.validate(P, H).empty());
+  EXPECT_EQ(M.tileExtents(H, 0)[0], 2);     // Private: t0.
+  EXPECT_EQ(M.tileExtents(H, 1)[0], 8);     // Shared: t0*t1*p.
+  EXPECT_EQ(M.sliceExtents(H)[0], 4);       // Per-PE slice: t0*t1.
+}
+
+TEST(MultiNestAnalysis, MatchesOracleOnRandomHierarchies) {
+  Problem P = smallConvProblem();
+  Rng R(2026);
+  for (unsigned NumLevels : {2u, 3u, 4u}) {
+    for (unsigned F = 1; F < NumLevels; ++F) {
+      Hierarchy H = testHierarchy(NumLevels, F);
+      for (int Trial = 0; Trial < 12; ++Trial) {
+        MultiMapping M = randomMultiMapping(P, NumLevels, R);
+        ASSERT_TRUE(M.validate(P, H).empty());
+        SCOPED_TRACE("L=" + std::to_string(NumLevels) + " F=" +
+                     std::to_string(F) + " trial " + std::to_string(Trial));
+        MultiProfile Model = analyzeMultiNest(P, H, M);
+        MultiSimResult Oracle = simulateMultiNest(P, H, M);
+        for (unsigned B = 0; B < H.numBoundaries(); ++B)
+          for (std::size_t T = 0; T < P.tensors().size(); ++T)
+            EXPECT_EQ(Model.Words[B][T], Oracle.Words[B][T])
+                << "boundary " << B << " tensor "
+                << P.tensors()[T].Name;
+      }
+    }
+  }
+}
+
+TEST(MultiNestAnalysis, MatchesOracleOnMatmul) {
+  Problem P = makeMatmulProblem(8, 12, 6);
+  Rng R(11);
+  Hierarchy H = testHierarchy(4, 2);
+  for (int Trial = 0; Trial < 25; ++Trial) {
+    MultiMapping M = randomMultiMapping(P, 4, R);
+    SCOPED_TRACE("trial " + std::to_string(Trial));
+    MultiProfile Model = analyzeMultiNest(P, H, M);
+    MultiSimResult Oracle = simulateMultiNest(P, H, M);
+    for (unsigned B = 0; B < H.numBoundaries(); ++B)
+      for (std::size_t T = 0; T < P.tensors().size(); ++T)
+        EXPECT_EQ(Model.Words[B][T], Oracle.Words[B][T]);
+  }
+}
+
+TEST(MultiNestAnalysis, ClassicHierarchyAgreesWithFixedPipeline) {
+  // The 3-level classic machine must reproduce the fixed 4-level
+  // nestmodel exactly: boundary 0 = SRAM<->registers, boundary 1 =
+  // DRAM<->SRAM, same occupancies, same energy and cycles.
+  Problem P = smallConvProblem();
+  ArchConfig Arch;
+  Arch.NumPEs = 64;
+  Arch.RegWordsPerPE = 4096;
+  Arch.SramWords = 65536;
+  TechParams Tech = TechParams::cgo45nm();
+  Hierarchy H = Hierarchy::classic(Arch, Tech);
+  EnergyModel Energy(Tech);
+
+  Rng R(5);
+  for (int Trial = 0; Trial < 25; ++Trial) {
+    MultiMapping MM = randomMultiMapping(P, 3, R);
+    // Lift to the fixed 4-level Mapping.
+    Mapping Map = Mapping::untiled(P);
+    for (unsigned I = 0; I < P.numIterators(); ++I) {
+      Map.factor(I, TileLevel::Register) = MM.TempFactors[0][I];
+      Map.factor(I, TileLevel::PeTemporal) = MM.TempFactors[1][I];
+      Map.factor(I, TileLevel::DramTemporal) = MM.TempFactors[2][I];
+      Map.factor(I, TileLevel::Spatial) = MM.SpatialFactors[I];
+    }
+    Map.PePerm = MM.Perms[1];
+    Map.DramPerm = MM.Perms[2];
+    ASSERT_TRUE(Map.validate(P).empty());
+
+    SCOPED_TRACE("trial " + std::to_string(Trial));
+    MultiProfile Multi = analyzeMultiNest(P, H, MM);
+    NestProfile Fixed = analyzeNest(P, Map);
+    for (std::size_t T = 0; T < P.tensors().size(); ++T) {
+      EXPECT_EQ(Multi.Words[0][T], Fixed.PerTensor[T].SramToReg +
+                                       Fixed.PerTensor[T].RegToSram);
+      EXPECT_EQ(Multi.Words[1][T], Fixed.PerTensor[T].DramToSram +
+                                       Fixed.PerTensor[T].SramToDram);
+    }
+    EXPECT_EQ(Multi.Occupancy[0], Fixed.RegTileWords);
+    EXPECT_EQ(Multi.Occupancy[1], Fixed.SramTileWords);
+    EXPECT_EQ(Multi.PEsUsed, Fixed.PEsUsed);
+
+    MultiEvalResult MEval = evaluateMultiMapping(P, H, MM);
+    EvalResult FEval = evaluateMapping(P, Map, Arch, Energy);
+    EXPECT_EQ(MEval.Legal, FEval.Legal);
+    EXPECT_NEAR(MEval.EnergyPj, FEval.EnergyPj, 1e-6 * FEval.EnergyPj);
+    EXPECT_NEAR(MEval.Cycles, FEval.Cycles, 1e-9 * FEval.Cycles);
+  }
+}
+
+TEST(MultiGp, ClassicHierarchyTracksFixedOptimizer) {
+  // optimizeHierarchy on the classic machine should land near the fixed
+  // 4-level optimizer's dataflow result (same model, different search
+  // plumbing; spatial stencil unrolling is fixed-pipeline-only, so allow
+  // slack).
+  ConvLayer L;
+  L.K = 16;
+  L.C = 16;
+  L.Hin = 14;
+  L.Win = 14;
+  L.R = 3;
+  L.S = 3;
+  Problem P = makeConvProblem(L);
+  TechParams Tech = TechParams::cgo45nm();
+  ArchConfig Arch = eyerissArch();
+
+  MultiOptions MOpts;
+  MOpts.MaxPermCombos = 16;
+  MultiResult Multi =
+      optimizeHierarchy(P, Hierarchy::classic(Arch, Tech), MOpts);
+  ASSERT_TRUE(Multi.Found);
+  EXPECT_TRUE(Multi.Eval.Legal);
+
+  ThistleOptions TOpts;
+  TOpts.MaxPermClassPairs = 16;
+  ThistleResult Fixed = optimizeLayer(P, Arch, Tech, TOpts);
+  ASSERT_TRUE(Fixed.Found);
+  EXPECT_LT(Multi.Eval.EnergyPj, Fixed.Eval.EnergyPj * 1.3);
+  EXPECT_GT(Multi.Eval.EnergyPj, Fixed.Eval.EnergyPj * 0.7);
+}
+
+TEST(MultiGp, ScratchpadHierarchyProducesLegalDesign) {
+  ConvLayer L;
+  L.K = 16;
+  L.C = 16;
+  L.Hin = 14;
+  L.Win = 14;
+  L.R = 3;
+  L.S = 3;
+  Problem P = makeConvProblem(L);
+  TechParams Tech = TechParams::cgo45nm();
+  Hierarchy H = Hierarchy::withScratchpad(eyerissArch(), Tech,
+                                          /*SpadWords=*/2048,
+                                          /*SramWords=*/65536);
+  ASSERT_TRUE(H.validate().empty());
+  ASSERT_EQ(H.numLevels(), 4u);
+
+  MultiOptions MOpts;
+  MOpts.MaxPermCombos = 12;
+  MultiResult R = optimizeHierarchy(P, H, MOpts);
+  ASSERT_TRUE(R.Found);
+  EXPECT_TRUE(R.Eval.Legal);
+  EXPECT_TRUE(R.Map.validate(P, H).empty());
+  // The scratchpad must actually hold tiles within its capacity.
+  EXPECT_LE(R.Eval.Profile.Occupancy[1], 2048);
+}
+
+TEST(MultiGp, DelayObjectiveUsesParallelism) {
+  ConvLayer L;
+  L.K = 16;
+  L.C = 16;
+  L.Hin = 14;
+  L.Win = 14;
+  L.R = 3;
+  L.S = 3;
+  Problem P = makeConvProblem(L);
+  MultiOptions MOpts;
+  MOpts.Objective = SearchObjective::Delay;
+  MOpts.MaxPermCombos = 8;
+  MultiResult R = optimizeHierarchy(
+      P, Hierarchy::classic(eyerissArch(), TechParams::cgo45nm()), MOpts);
+  ASSERT_TRUE(R.Found);
+  EXPECT_GT(R.Eval.MacIpc, 4.0);
+}
+
+TEST(MultiGp, DeterministicAcrossRuns) {
+  Problem P = smallConvProblem();
+  MultiOptions MOpts;
+  MOpts.MaxPermCombos = 6;
+  Hierarchy H = Hierarchy::classic(eyerissArch(), TechParams::cgo45nm());
+  MultiResult A = optimizeHierarchy(P, H, MOpts);
+  MultiResult B = optimizeHierarchy(P, H, MOpts);
+  ASSERT_TRUE(A.Found);
+  ASSERT_TRUE(B.Found);
+  EXPECT_DOUBLE_EQ(A.Eval.EnergyPj, B.Eval.EnergyPj);
+}
+
+TEST(MultiCoDesign, RespectsAreaBudgetAndBeatsEyeriss) {
+  // Capacity co-design of the 3-level machine at the Eyeriss area must
+  // find a design at least as good as the fixed Eyeriss hierarchy (it
+  // can rediscover it), and every reported capacity must be a power of
+  // two within the budget.
+  ConvLayer L;
+  L.K = 16;
+  L.C = 16;
+  L.Hin = 14;
+  L.Win = 14;
+  L.R = 3;
+  L.S = 3;
+  Problem P = makeConvProblem(L);
+  TechParams Tech = TechParams::cgo45nm();
+  ArchConfig Arch = eyerissArch();
+  Hierarchy H = Hierarchy::classic(Arch, Tech);
+
+  MultiOptions Fixed;
+  Fixed.MaxPermCombos = 8;
+  MultiResult FixedRes = optimizeHierarchy(P, H, Fixed);
+  ASSERT_TRUE(FixedRes.Found);
+
+  MultiOptions Co = Fixed;
+  Co.CoDesignCapacities = true;
+  Co.AreaBudgetUm2 = eyerissAreaUm2(Tech);
+  MultiResult CoRes = optimizeHierarchy(P, H, Co);
+  ASSERT_TRUE(CoRes.Found);
+  EXPECT_TRUE(CoRes.Eval.Legal);
+  EXPECT_LE(CoRes.Arch.areaUm2(Tech), Co.AreaBudgetUm2 * 1.0000001);
+  for (unsigned Lv = 0; Lv + 1 < CoRes.Arch.numLevels(); ++Lv)
+    EXPECT_TRUE(isPowerOfTwo(CoRes.Arch.Levels[Lv].CapacityWords));
+  // Co-design at equal area should clearly beat the Eyeriss capacities
+  // (Fig. 5's trend, reproduced through the multilevel path).
+  EXPECT_LT(CoRes.Eval.EnergyPj, FixedRes.Eval.EnergyPj * 0.7);
+}
+
+TEST(MultiCoDesign, FourLevelCoDesignIsLegalAtEqualArea) {
+  ConvLayer L;
+  L.K = 16;
+  L.C = 16;
+  L.Hin = 14;
+  L.Win = 14;
+  L.R = 3;
+  L.S = 3;
+  Problem P = makeConvProblem(L);
+  TechParams Tech = TechParams::cgo45nm();
+  Hierarchy H = Hierarchy::withScratchpad(eyerissArch(), Tech, 1024,
+                                          eyerissArch().SramWords);
+  MultiOptions Co;
+  Co.MaxPermCombos = 8;
+  Co.CoDesignCapacities = true;
+  Co.AreaBudgetUm2 = eyerissAreaUm2(Tech);
+  MultiResult R = optimizeHierarchy(P, H, Co);
+  ASSERT_TRUE(R.Found);
+  EXPECT_TRUE(R.Eval.Legal);
+  EXPECT_LE(R.Arch.areaUm2(Tech), Co.AreaBudgetUm2 * 1.0000001);
+  EXPECT_EQ(R.Arch.numLevels(), 4u);
+  // The scratchpad occupancy must respect the co-designed capacity.
+  EXPECT_LE(R.Eval.Profile.Occupancy[1], R.Arch.Levels[1].CapacityWords);
+}
+
+TEST(MultiGp, TwoLevelHierarchyWorks) {
+  // The degenerate L=2 machine (registers + DRAM, fan-out below the
+  // backing store) still optimizes: a single boundary, one permuted
+  // level.
+  Problem P = smallConvProblem();
+  Hierarchy H;
+  H.NumPEs = 16;
+  H.MacEnergyPj = 2.2;
+  H.FanoutLevel = 1;
+  H.Levels = {{"RegisterFile", 4096, 0.25, 1e9},
+              {"DRAM", 0, 128.0, 16.0}};
+  ASSERT_TRUE(H.validate().empty());
+  MultiOptions O;
+  O.MaxPermCombos = 6;
+  MultiResult R = optimizeHierarchy(P, H, O);
+  ASSERT_TRUE(R.Found);
+  EXPECT_TRUE(R.Eval.Legal);
+  EXPECT_EQ(R.Eval.Profile.Words.size(), 1u);
+}
+
+TEST(MultiGp, FanoutAtTopLevelWorks) {
+  // F = L-1: every on-chip level is private to a PE; only DRAM is
+  // shared.
+  Problem P = smallConvProblem();
+  Hierarchy H = testHierarchy(3, 2);
+  MultiOptions O;
+  O.MaxPermCombos = 6;
+  MultiResult R = optimizeHierarchy(P, H, O);
+  ASSERT_TRUE(R.Found);
+  EXPECT_TRUE(R.Eval.Legal);
+}

@@ -1,0 +1,294 @@
+//===- tests/NestModelTest.cpp - nestmodel/ tests -------------------------===//
+//
+// The central property test of the repository: the analytical nest model
+// (our Timeloop substitute) must agree *exactly* with the brute-force
+// tiled-loop oracle on every tensor at every level, across randomized
+// mappings of matmul and conv problems. Plus unit tests for the
+// energy/delay evaluator and the search baseline.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/Builders.h"
+#include "nestmodel/Evaluator.h"
+#include "nestmodel/Mapper.h"
+#include "nestmodel/NestAnalysis.h"
+#include "sim/TiledLoopSim.h"
+#include "support/MathUtil.h"
+#include "support/Rng.h"
+#include "workloads/Workloads.h"
+
+#include <gtest/gtest.h>
+
+using namespace thistle;
+
+namespace {
+
+/// Draws a random valid mapping by hierarchical divisor sampling.
+Mapping randomMapping(const Problem &P, Rng &R) {
+  Mapping M;
+  M.Factors.resize(P.numIterators());
+  for (unsigned I = 0; I < P.numIterators(); ++I) {
+    std::int64_t Extent = P.iterators()[I].Extent;
+    std::int64_t RegF = R.pick(divisorsOf(Extent));
+    std::int64_t Rest = Extent / RegF;
+    std::int64_t SpatF = R.pick(divisorsOf(Rest));
+    Rest /= SpatF;
+    std::int64_t PeF = R.pick(divisorsOf(Rest));
+    M.factor(I, TileLevel::Register) = RegF;
+    M.factor(I, TileLevel::Spatial) = SpatF;
+    M.factor(I, TileLevel::PeTemporal) = PeF;
+    M.factor(I, TileLevel::DramTemporal) = Rest / PeF;
+  }
+  M.DramPerm.resize(P.numIterators());
+  for (unsigned I = 0; I < P.numIterators(); ++I)
+    M.DramPerm[I] = I;
+  M.PePerm = M.DramPerm;
+  R.shuffle(M.DramPerm);
+  R.shuffle(M.PePerm);
+  return M;
+}
+
+void expectModelMatchesOracle(const Problem &P, const Mapping &M) {
+  ASSERT_TRUE(M.validate(P).empty());
+  NestProfile Model = analyzeNest(P, M);
+  SimResult Oracle = simulateTiledNest(P, M);
+  for (std::size_t T = 0; T < P.tensors().size(); ++T) {
+    const char *Name = P.tensors()[T].Name.c_str();
+    EXPECT_EQ(Model.PerTensor[T].DramToSram, Oracle.PerTensor[T].DramToSram)
+        << Name << " DRAM->SRAM";
+    EXPECT_EQ(Model.PerTensor[T].SramToDram, Oracle.PerTensor[T].SramToDram)
+        << Name << " SRAM->DRAM";
+    EXPECT_EQ(Model.PerTensor[T].SramToReg, Oracle.PerTensor[T].SramToReg)
+        << Name << " SRAM->reg";
+    EXPECT_EQ(Model.PerTensor[T].RegToSram, Oracle.PerTensor[T].RegToSram)
+        << Name << " reg->SRAM";
+  }
+}
+
+} // namespace
+
+TEST(NestAnalysis, MatchesOracleOnRandomMatmulMappings) {
+  Problem P = makeMatmulProblem(8, 12, 6);
+  Rng R(2024);
+  for (int Trial = 0; Trial < 60; ++Trial) {
+    Mapping M = randomMapping(P, R);
+    SCOPED_TRACE("matmul trial " + std::to_string(Trial));
+    expectModelMatchesOracle(P, M);
+  }
+}
+
+TEST(NestAnalysis, MatchesOracleOnRandomConvMappings) {
+  ConvLayer L;
+  L.K = 4;
+  L.C = 3;
+  L.Hin = 6;
+  L.Win = 8;
+  L.R = 3;
+  L.S = 3;
+  Problem P = makeConvProblem(L);
+  Rng R(7);
+  for (int Trial = 0; Trial < 40; ++Trial) {
+    Mapping M = randomMapping(P, R);
+    SCOPED_TRACE("conv trial " + std::to_string(Trial));
+    expectModelMatchesOracle(P, M);
+  }
+}
+
+TEST(NestAnalysis, MatchesOracleOnStridedConv) {
+  ConvLayer L;
+  L.K = 2;
+  L.C = 2;
+  L.Hin = 12;
+  L.Win = 12;
+  L.R = 3;
+  L.S = 3;
+  L.StrideX = 2;
+  L.StrideY = 2;
+  Problem P = makeConvProblem(L);
+  Rng R(99);
+  for (int Trial = 0; Trial < 40; ++Trial) {
+    Mapping M = randomMapping(P, R);
+    SCOPED_TRACE("strided conv trial " + std::to_string(Trial));
+    expectModelMatchesOracle(P, M);
+  }
+}
+
+TEST(NestAnalysis, MatchesOracleOnHolePunchingStride) {
+  // 1x1 kernel at stride 2: strided tiles leave holes; the min(E, shift)
+  // union rule must match the oracle exactly.
+  ConvLayer L;
+  L.K = 2;
+  L.C = 2;
+  L.Hin = 16;
+  L.Win = 16;
+  L.R = 1;
+  L.S = 1;
+  L.StrideX = 2;
+  L.StrideY = 2;
+  Problem P = makeConvProblem(L);
+  Rng R(5);
+  for (int Trial = 0; Trial < 40; ++Trial) {
+    Mapping M = randomMapping(P, R);
+    SCOPED_TRACE("hole trial " + std::to_string(Trial));
+    expectModelMatchesOracle(P, M);
+  }
+}
+
+TEST(NestAnalysis, OccupanciesAndPEs) {
+  Problem P = makeMatmulProblem(8, 8, 8);
+  Mapping M = Mapping::untiled(P);
+  M.factor(0, TileLevel::Register) = 2;
+  M.factor(0, TileLevel::Spatial) = 4;
+  M.factor(1, TileLevel::Register) = 4;
+  M.factor(1, TileLevel::PeTemporal) = 2;
+  ASSERT_TRUE(M.validate(P).empty());
+  NestProfile Prof = analyzeNest(P, M);
+  EXPECT_EQ(Prof.PEsUsed, 4);
+  // Register tiles: C 2x4, A 2x8, B 8x4 -> 8 + 16 + 32.
+  EXPECT_EQ(Prof.RegTileWords, 8 + 16 + 32);
+  // SRAM tiles: C 8x8, A 8x8, B 8x8.
+  EXPECT_EQ(Prof.SramTileWords, 3 * 64);
+}
+
+TEST(Evaluator, EnergyDecompositionEq3) {
+  Problem P = makeMatmulProblem(4, 4, 4);
+  Mapping M = Mapping::untiled(P);
+  ArchConfig Arch;
+  Arch.NumPEs = 4;
+  Arch.RegWordsPerPE = 64;
+  Arch.SramWords = 256;
+  EnergyModel E(TechParams::cgo45nm());
+  EvalResult Res = evaluateMapping(P, M, Arch, E);
+  ASSERT_TRUE(Res.Legal);
+
+  double Nops = 64.0;
+  double EpsR = E.regAccessPj(64);
+  double EpsS = E.sramAccessPj(256);
+  NestProfile Prof = analyzeNest(P, M);
+  double DvD = static_cast<double>(Prof.dramTraffic());
+  double DvSR = static_cast<double>(Prof.sramRegTraffic());
+  EXPECT_NEAR(Res.MacEnergyPj, (4 * EpsR + 2.2) * Nops, 1e-9);
+  EXPECT_NEAR(Res.RegEnergyPj, EpsR * DvSR, 1e-9);
+  EXPECT_NEAR(Res.SramEnergyPj, EpsS * (DvSR + DvD), 1e-9);
+  EXPECT_NEAR(Res.DramEnergyPj, 128.0 * DvD, 1e-9);
+  EXPECT_NEAR(Res.EnergyPj,
+              Res.MacEnergyPj + Res.RegEnergyPj + Res.SramEnergyPj +
+                  Res.DramEnergyPj,
+              1e-9);
+  EXPECT_NEAR(Res.EnergyPerMacPj, Res.EnergyPj / Nops, 1e-12);
+}
+
+TEST(Evaluator, DelayIsMaxOfComponents) {
+  Problem P = makeMatmulProblem(8, 8, 8);
+  Mapping M = Mapping::untiled(P);
+  ArchConfig Arch;
+  Arch.NumPEs = 4;
+  Arch.RegWordsPerPE = 4096;
+  Arch.SramWords = 65536;
+  Arch.DramBandwidth = 2.0;
+  Arch.SramBandwidth = 64.0;
+  EnergyModel E(TechParams::cgo45nm());
+  EvalResult Res = evaluateMapping(P, M, Arch, E);
+  EXPECT_DOUBLE_EQ(
+      Res.Cycles,
+      std::max({Res.ComputeCycles, Res.DramCycles, Res.SramCycles, 1.0}));
+  EXPECT_DOUBLE_EQ(Res.MacIpc, 512.0 / Res.Cycles);
+  // IPC can never exceed the PEs in use.
+  EXPECT_LE(Res.MacIpc, static_cast<double>(Res.Profile.PEsUsed) + 1e-9);
+}
+
+TEST(Evaluator, FlagsCapacityViolations) {
+  Problem P = makeMatmulProblem(16, 16, 16);
+  Mapping M = Mapping::untiled(P); // 3 x 256-word tiles.
+  ArchConfig Tiny;
+  Tiny.NumPEs = 1;
+  Tiny.RegWordsPerPE = 8;
+  Tiny.SramWords = 16;
+  EnergyModel E(TechParams::cgo45nm());
+  EvalResult Res = evaluateMapping(P, M, Tiny, E);
+  EXPECT_FALSE(Res.Legal);
+  EXPECT_NE(Res.IllegalReason.find("register"), std::string::npos);
+  EXPECT_NE(Res.IllegalReason.find("SRAM"), std::string::npos);
+}
+
+TEST(Evaluator, FlagsPEOversubscription) {
+  Problem P = makeMatmulProblem(8, 8, 8);
+  Mapping M = Mapping::untiled(P);
+  M.factor(0, TileLevel::Spatial) = 8;
+  M.factor(0, TileLevel::Register) = 1;
+  ArchConfig Arch;
+  Arch.NumPEs = 4;
+  Arch.RegWordsPerPE = 4096;
+  Arch.SramWords = 65536;
+  EnergyModel E(TechParams::cgo45nm());
+  EvalResult Res = evaluateMapping(P, M, Arch, E);
+  EXPECT_FALSE(Res.Legal);
+  EXPECT_NE(Res.IllegalReason.find("PEs"), std::string::npos);
+}
+
+TEST(Mapper, FindsLegalMappingOnSmallConv) {
+  ConvLayer L;
+  L.K = 16;
+  L.C = 8;
+  L.Hin = 14;
+  L.Win = 14;
+  L.R = 3;
+  L.S = 3;
+  Problem P = makeConvProblem(L);
+  ArchConfig Arch = eyerissArch();
+  EnergyModel E(TechParams::cgo45nm());
+  MapperOptions Opts;
+  Opts.MaxTrials = 2000;
+  Opts.VictoryCondition = 500;
+  MapperResult R = searchMappings(P, Arch, E, Opts);
+  ASSERT_TRUE(R.Found);
+  EXPECT_TRUE(R.BestEval.Legal);
+  EXPECT_TRUE(R.Best.validate(P).empty());
+  EXPECT_GT(R.LegalTrials, 0u);
+  // Searching should beat the trivial untiled mapping...
+  EvalResult Untiled = evaluateMapping(P, Mapping::untiled(P), Arch, E);
+  if (Untiled.Legal) {
+    EXPECT_LE(R.BestEval.EnergyPj, Untiled.EnergyPj);
+  }
+}
+
+TEST(Mapper, DeterministicForFixedSeed) {
+  Problem P = makeMatmulProblem(16, 16, 16);
+  ArchConfig Arch = eyerissArch();
+  EnergyModel E(TechParams::cgo45nm());
+  MapperOptions Opts;
+  Opts.MaxTrials = 500;
+  Opts.Seed = 77;
+  MapperResult A = searchMappings(P, Arch, E, Opts);
+  MapperResult B = searchMappings(P, Arch, E, Opts);
+  ASSERT_TRUE(A.Found);
+  ASSERT_TRUE(B.Found);
+  EXPECT_DOUBLE_EQ(A.BestEval.EnergyPj, B.BestEval.EnergyPj);
+  EXPECT_EQ(A.Trials, B.Trials);
+}
+
+TEST(Mapper, DelayObjectiveImprovesIpc) {
+  Problem P = makeMatmulProblem(32, 32, 32);
+  ArchConfig Arch = eyerissArch();
+  EnergyModel E(TechParams::cgo45nm());
+  MapperOptions Opts;
+  Opts.MaxTrials = 3000;
+  Opts.VictoryCondition = 1000;
+  Opts.Objective = SearchObjective::Delay;
+  MapperResult R = searchMappings(P, Arch, E, Opts);
+  ASSERT_TRUE(R.Found);
+  // The delay search must find some parallelism: IPC > 1 (the untiled
+  // single-PE mapping would have IPC <= 1).
+  EXPECT_GT(R.BestEval.MacIpc, 1.0);
+}
+
+TEST(Mapper, RespectsVictoryCondition) {
+  Problem P = makeMatmulProblem(8, 8, 8);
+  ArchConfig Arch = eyerissArch();
+  EnergyModel E(TechParams::cgo45nm());
+  MapperOptions Opts;
+  Opts.MaxTrials = 100000;
+  Opts.VictoryCondition = 50;
+  MapperResult R = searchMappings(P, Arch, E, Opts);
+  EXPECT_LT(R.Trials, Opts.MaxTrials);
+}

@@ -1,0 +1,145 @@
+//===- tests/OptimizerTest.cpp - Thistle end-to-end integration tests -----===//
+
+#include "ir/Builders.h"
+#include "nestmodel/Evaluator.h"
+#include "thistle/Optimizer.h"
+#include "workloads/Workloads.h"
+
+#include <gtest/gtest.h>
+
+using namespace thistle;
+
+namespace {
+
+ConvLayer smallConv() {
+  ConvLayer L;
+  L.Name = "test-conv";
+  L.K = 16;
+  L.C = 16;
+  L.Hin = 14;
+  L.Win = 14;
+  L.R = 3;
+  L.S = 3;
+  return L;
+}
+
+ThistleOptions fastOptions() {
+  ThistleOptions O;
+  O.Solver.Tolerance = 1e-5;
+  O.MaxPermClassPairs = 12; // Keep the integration tests quick.
+  return O;
+}
+
+} // namespace
+
+TEST(Optimizer, MatmulDataflowOnEyeriss) {
+  Problem P = makeMatmulProblem(64, 64, 64);
+  ThistleOptions O = fastOptions();
+  O.UntiledIterNames = {};
+  ThistleResult R =
+      optimizeLayer(P, eyerissArch(), TechParams::cgo45nm(), O);
+  ASSERT_TRUE(R.Found);
+  EXPECT_TRUE(R.Eval.Legal);
+  EXPECT_TRUE(R.Map.validate(P).empty());
+
+  // The optimized dataflow must beat the untiled mapping.
+  EnergyModel E(TechParams::cgo45nm());
+  EvalResult Untiled =
+      evaluateMapping(P, Mapping::untiled(P), eyerissArch(), E);
+  if (Untiled.Legal) {
+    EXPECT_LT(R.Eval.EnergyPj, Untiled.EnergyPj);
+  }
+}
+
+TEST(Optimizer, ConvDataflowEnergyInFig4Range) {
+  Problem P = makeConvProblem(smallConv());
+  ThistleResult R = optimizeLayer(P, eyerissArch(), TechParams::cgo45nm(),
+                                  fastOptions());
+  ASSERT_TRUE(R.Found);
+  EXPECT_TRUE(R.Eval.Legal);
+  // Fig. 4: Eyeriss-architecture dataflow optimization lands in the
+  // 20-30 pJ/MAC band; allow generous slack for a small test layer.
+  EXPECT_GT(R.Eval.EnergyPerMacPj, 15.0);
+  EXPECT_LT(R.Eval.EnergyPerMacPj, 40.0);
+  // The register-MAC floor (4 eps_R + eps_op) is a hard lower bound.
+  EnergyModel E(TechParams::cgo45nm());
+  double Floor = 4.0 * E.regAccessPj(512) + E.macPj();
+  EXPECT_GE(R.Eval.EnergyPerMacPj, Floor - 1e-6);
+}
+
+TEST(Optimizer, StatsReflectPruning) {
+  Problem P = makeConvProblem(smallConv());
+  ThistleOptions O = fastOptions();
+  O.MaxPermClassPairs = 4;
+  ThistleResult R =
+      optimizeLayer(P, eyerissArch(), TechParams::cgo45nm(), O);
+  EXPECT_GT(R.Stats.PermClassesPerLevel, 0u);
+  EXPECT_EQ(R.Stats.RawPermsPerLevel, 24u); // 4 tiled iterators.
+  EXPECT_LT(R.Stats.PermClassesPerLevel, R.Stats.RawPermsPerLevel);
+  // The square layer has the h/w symmetry: some pairs must be skipped.
+  EXPECT_GT(R.Stats.PairsSkippedBySymmetry, 0u);
+  EXPECT_GT(R.Stats.NewtonIterations, 0u);
+  EXPECT_LE(R.Stats.PairsSolved, 4u);
+}
+
+TEST(Optimizer, CoDesignBeatsFixedArchOnEnergy) {
+  Problem P = makeConvProblem(smallConv());
+  TechParams Tech = TechParams::cgo45nm();
+
+  ThistleOptions DataflowOpts = fastOptions();
+  ThistleResult Fixed = optimizeLayer(P, eyerissArch(), Tech, DataflowOpts);
+  ASSERT_TRUE(Fixed.Found);
+
+  ThistleOptions CoOpts = fastOptions();
+  CoOpts.Mode = DesignMode::CoDesign;
+  ThistleResult Co = optimizeLayer(P, eyerissArch(), Tech, CoOpts,
+                                   eyerissAreaUm2(Tech));
+  ASSERT_TRUE(Co.Found);
+  EXPECT_TRUE(Co.Eval.Legal);
+  // The co-designed architecture must stay within the Eyeriss area.
+  EXPECT_LE(Co.Arch.areaUm2(Tech), eyerissAreaUm2(Tech) * 1.0000001);
+  // And improve (or match) the fixed-architecture energy (Fig. 5 trend).
+  EXPECT_LE(Co.Eval.EnergyPj, Fixed.Eval.EnergyPj * 1.05);
+}
+
+TEST(Optimizer, CoDesignDelayFindsParallelism) {
+  Problem P = makeConvProblem(smallConv());
+  TechParams Tech = TechParams::cgo45nm();
+  ThistleOptions O = fastOptions();
+  O.Mode = DesignMode::CoDesign;
+  O.Objective = SearchObjective::Delay;
+  ThistleResult R =
+      optimizeLayer(P, eyerissArch(), Tech, O, eyerissAreaUm2(Tech));
+  ASSERT_TRUE(R.Found);
+  EXPECT_TRUE(R.Eval.Legal);
+  // Orders-of-magnitude IPC requires many PEs (Fig. 8 trend): the delay
+  // co-design should use substantially more than one PE.
+  EXPECT_GT(R.Eval.MacIpc, 8.0);
+  EXPECT_LE(R.Eval.MacIpc, static_cast<double>(R.Arch.NumPEs));
+}
+
+TEST(Optimizer, DelayDataflowOnEyerissReachesGoodIpc) {
+  Problem P = makeConvProblem(smallConv());
+  ThistleOptions O = fastOptions();
+  O.Objective = SearchObjective::Delay;
+  ThistleResult R =
+      optimizeLayer(P, eyerissArch(), TechParams::cgo45nm(), O);
+  ASSERT_TRUE(R.Found);
+  // IPC is bounded by the PE count (168) and should use parallelism.
+  EXPECT_GT(R.Eval.MacIpc, 4.0);
+  EXPECT_LE(R.Eval.MacIpc, 168.0);
+}
+
+TEST(Optimizer, ReportsWinningPermutations) {
+  Problem P = makeConvProblem(smallConv());
+  ThistleResult R = optimizeLayer(P, eyerissArch(), TechParams::cgo45nm(),
+                                  fastOptions());
+  ASSERT_TRUE(R.Found);
+  EXPECT_EQ(R.BestPePerm.size(), 4u);   // k, c, h, w.
+  EXPECT_EQ(R.BestDramPerm.size(), 4u);
+  EXPECT_GT(R.ModelObjective, 0.0);
+  // The model estimate should be in the ballpark of the evaluated energy
+  // (same counting rules, modulo rounding and halo bounds).
+  EXPECT_GT(R.Eval.EnergyPj, 0.2 * R.ModelObjective);
+  EXPECT_LT(R.Eval.EnergyPj, 5.0 * R.ModelObjective);
+}

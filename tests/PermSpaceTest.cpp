@@ -1,0 +1,177 @@
+//===- tests/PermSpaceTest.cpp - permutation-space pruning tests ----------===//
+
+#include "ir/Builders.h"
+#include "thistle/PermutationSpace.h"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+using namespace thistle;
+
+namespace {
+
+ConvLayer squareLayer() {
+  ConvLayer L;
+  L.K = 8;
+  L.C = 8;
+  L.Hin = 16;
+  L.Win = 16;
+  L.R = 3;
+  L.S = 3;
+  return L;
+}
+
+} // namespace
+
+TEST(PermSignature, CapturesHoistAndStream) {
+  Problem P = makeMatmulProblem(8, 8, 8);
+  unsigned Ii = P.iteratorIndex("i"), Ij = P.iteratorIndex("j"),
+           Ik = P.iteratorIndex("k");
+  // Perm <i, k, j>: innermost j. C(i,j): streams j; A(i,k): j is absent
+  // -> hoisted below the stream; B(k,j): streams j. Matmul has no halo
+  // dimensions, so every stream collapses to the NoHaloStream sentinel
+  // (replace == multiply numerically).
+  PermSignature Sig = permSignature(P, {Ii, Ik, Ij});
+  const int NoHalo = PermSignature::TensorSig::NoHaloStream;
+  EXPECT_EQ(Sig.Tensors[0].InnermostPresent, NoHalo); // C
+  EXPECT_TRUE(Sig.Tensors[0].Hoisted.empty());
+  EXPECT_EQ(Sig.Tensors[1].InnermostPresent, NoHalo); // A
+  EXPECT_EQ(Sig.Tensors[1].Hoisted, (std::vector<unsigned>{Ij}));
+  EXPECT_EQ(Sig.Tensors[2].InnermostPresent, NoHalo); // B
+  EXPECT_TRUE(Sig.Tensors[2].Hoisted.empty());
+}
+
+TEST(PermSignature, HaloStreamsAreDistinguished) {
+  // For the CNN's In tensor, streaming h (a halo dimension) is cheaper
+  // than reloading; the signature must record which halo iterator
+  // streams, but collapse halo-free streams (e.g. c).
+  ConvLayer L;
+  L.K = 4;
+  L.C = 4;
+  L.Hin = 8;
+  L.Win = 8;
+  L.R = 3;
+  L.S = 3;
+  Problem P = makeConvProblem(L);
+  unsigned K = P.iteratorIndex("k"), C = P.iteratorIndex("c"),
+           H = P.iteratorIndex("h"), W = P.iteratorIndex("w");
+  PermSignature StreamH = permSignature(P, {K, C, W, H});
+  PermSignature StreamW = permSignature(P, {K, C, H, W});
+  PermSignature StreamC = permSignature(P, {K, H, W, C});
+  // In is tensor index 1.
+  EXPECT_EQ(StreamH.Tensors[1].InnermostPresent, static_cast<int>(H));
+  EXPECT_EQ(StreamW.Tensors[1].InnermostPresent, static_cast<int>(W));
+  EXPECT_EQ(StreamC.Tensors[1].InnermostPresent,
+            PermSignature::TensorSig::NoHaloStream);
+  EXPECT_NE(StreamH, StreamW);
+}
+
+TEST(PermSignature, OuterOrderIrrelevantOnceAllStreamsFixed) {
+  // <i, k, j> and <k, i, j> differ only in the order of loops above every
+  // tensor's hoist point -> same signature (the paper's pruning rule).
+  Problem P = makeMatmulProblem(8, 8, 8);
+  unsigned Ii = P.iteratorIndex("i"), Ij = P.iteratorIndex("j"),
+           Ik = P.iteratorIndex("k");
+  EXPECT_EQ(permSignature(P, {Ii, Ik, Ij}), permSignature(P, {Ik, Ii, Ij}));
+  // But moving the innermost loop changes the streams.
+  EXPECT_NE(permSignature(P, {Ii, Ij, Ik}), permSignature(P, {Ii, Ik, Ij}));
+}
+
+TEST(PermClasses, MatmulCollapsesSixToFewer) {
+  Problem P = makeMatmulProblem(8, 8, 8);
+  std::vector<unsigned> All = {0, 1, 2};
+  std::vector<PermClass> Classes = enumeratePermClasses(P, All);
+  unsigned Raw = 0;
+  for (const PermClass &C : Classes)
+    Raw += C.MemberCount;
+  EXPECT_EQ(Raw, 6u); // 3! permutations covered.
+  EXPECT_LT(Classes.size(), 6u);
+  EXPECT_GE(Classes.size(), 3u);
+  // Each representative reproduces its class signature.
+  for (const PermClass &C : Classes)
+    EXPECT_EQ(permSignature(P, C.Representative), C.Signature);
+}
+
+TEST(PermClasses, ConvPruningIsSubstantial) {
+  Problem P = makeConvProblem(squareLayer());
+  // Tiled iterators: k, c, h, w (n is extent-1, r/s untiled).
+  std::vector<unsigned> Tiled = {P.iteratorIndex("k"), P.iteratorIndex("c"),
+                                 P.iteratorIndex("h"), P.iteratorIndex("w")};
+  std::vector<PermClass> Classes = enumeratePermClasses(P, Tiled);
+  unsigned Raw = 0;
+  for (const PermClass &C : Classes)
+    Raw += C.MemberCount;
+  EXPECT_EQ(Raw, 24u);
+  // The paper: "a significant number of cases to be pruned out".
+  EXPECT_LT(Classes.size(), 24u);
+  EXPECT_GT(Classes.size(), 1u);
+}
+
+TEST(Symmetry, MatmulSwapIJExchangesAB) {
+  Problem P = makeMatmulProblem(8, 8, 8);
+  std::vector<ProblemSymmetry> Syms = findProblemSymmetries(P);
+  ASSERT_FALSE(Syms.empty());
+  unsigned Ii = P.iteratorIndex("i"), Ij = P.iteratorIndex("j");
+  bool FoundIJ = false;
+  for (const ProblemSymmetry &S : Syms)
+    if (S.IterMap[Ii] == Ij && S.IterMap[Ij] == Ii) {
+      FoundIJ = true;
+      // A (tensor 1) and B (tensor 2) swap; C maps to itself.
+      EXPECT_EQ(S.TensorMap[0], 0u);
+      EXPECT_EQ(S.TensorMap[1], 2u);
+      EXPECT_EQ(S.TensorMap[2], 1u);
+    }
+  EXPECT_TRUE(FoundIJ);
+}
+
+TEST(Symmetry, UnequalExtentsBreakMatmulSymmetry) {
+  Problem P = makeMatmulProblem(8, 16, 8);
+  unsigned Ii = P.iteratorIndex("i"), Ij = P.iteratorIndex("j");
+  for (const ProblemSymmetry &S : findProblemSymmetries(P))
+    EXPECT_FALSE(S.IterMap[Ii] == Ij) << "i<->j with different extents";
+}
+
+TEST(Symmetry, ConvHWPairsWithRS) {
+  Problem P = makeConvProblem(squareLayer());
+  unsigned H = P.iteratorIndex("h"), W = P.iteratorIndex("w");
+  unsigned R = P.iteratorIndex("r"), S = P.iteratorIndex("s");
+  bool Found = false;
+  for (const ProblemSymmetry &Sym : findProblemSymmetries(P))
+    if (Sym.IterMap[H] == W && Sym.IterMap[R] == S)
+      Found = true;
+  EXPECT_TRUE(Found) << "square stride-1 conv must have the {h<->w, r<->s} "
+                        "symmetry";
+}
+
+TEST(Symmetry, RectangularConvHasNoHW) {
+  ConvLayer L = squareLayer();
+  L.Win = 32; // W != H.
+  Problem P = makeConvProblem(L);
+  unsigned H = P.iteratorIndex("h"), W = P.iteratorIndex("w");
+  for (const ProblemSymmetry &Sym : findProblemSymmetries(P))
+    EXPECT_FALSE(Sym.IterMap[H] == W);
+}
+
+TEST(Symmetry, MappedSignatureIsConsistent) {
+  // Applying a symmetry to the signature of perm pi must equal the
+  // signature of the relabeled permutation.
+  Problem P = makeConvProblem(squareLayer());
+  unsigned H = P.iteratorIndex("h"), W = P.iteratorIndex("w");
+  std::vector<ProblemSymmetry> Syms = findProblemSymmetries(P);
+  const ProblemSymmetry *HW = nullptr;
+  for (const ProblemSymmetry &Sym : Syms)
+    if (Sym.IterMap[H] == W)
+      HW = &Sym;
+  ASSERT_NE(HW, nullptr);
+
+  std::vector<unsigned> Perm = {P.iteratorIndex("k"), P.iteratorIndex("c"),
+                                H, W};
+  std::vector<unsigned> Relabeled;
+  for (unsigned I : Perm)
+    Relabeled.push_back(HW->IterMap[I]);
+
+  PermSignature Mapped =
+      permSignature(P, Perm).mapped(HW->IterMap, HW->TensorMap);
+  EXPECT_EQ(Mapped, permSignature(P, Relabeled));
+}

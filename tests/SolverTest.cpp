@@ -1,0 +1,187 @@
+//===- tests/SolverTest.cpp - solver/ unit tests --------------------------===//
+//
+// Validates the interior-point GP solver against problems with known
+// closed-form optima.
+//
+//===----------------------------------------------------------------------===//
+
+#include "solver/GpProblem.h"
+#include "solver/GpSolver.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+using namespace thistle;
+
+TEST(GpProblem, CanonicalForms) {
+  GpProblem Gp;
+  VarId X = Gp.addVariable("x");
+  Gp.setObjective(Posynomial(Monomial::variable(X)));
+  Gp.addUpperBound(Posynomial(Monomial::variable(X)), 10.0, "x <= 10");
+  Gp.addEquality(Monomial::variable(X, 2.0), 4.0, "x^2 == 4");
+  ASSERT_EQ(Gp.constraints().size(), 1u);
+  ASSERT_EQ(Gp.equalities().size(), 1u);
+  // x <= 10 stored as x/10 <= 1.
+  EXPECT_DOUBLE_EQ(
+      Gp.constraints()[0].Lhs.monomials()[0].coefficient(), 0.1);
+  // x^2 == 4 stored as x^2/4 == 1.
+  EXPECT_DOUBLE_EQ(Gp.equalities()[0].Lhs.coefficient(), 0.25);
+  EXPECT_NE(Gp.toString().find("minimize"), std::string::npos);
+}
+
+TEST(GpSolver, UnconstrainedMonomialWithLowerBounds) {
+  // minimize x*y subject to x >= 1, y >= 1: optimum 1 at (1, 1).
+  GpProblem Gp;
+  VarId X = Gp.addVariable("x");
+  VarId Y = Gp.addVariable("y");
+  Gp.addVariableBounds(X, 100.0);
+  Gp.addVariableBounds(Y, 100.0);
+  Gp.setObjective(
+      Posynomial(Monomial::variable(X) * Monomial::variable(Y)));
+  GpSolution S = solveGp(Gp);
+  ASSERT_TRUE(S.Feasible);
+  EXPECT_TRUE(S.Converged);
+  EXPECT_NEAR(S.Values[X], 1.0, 1e-3);
+  EXPECT_NEAR(S.Values[Y], 1.0, 1e-3);
+  EXPECT_NEAR(S.Objective, 1.0, 1e-2);
+}
+
+TEST(GpSolver, ClassicVolumeProblem) {
+  // minimize 1/(xyz) (maximize box volume) s.t. 2(xy + yz + xz) <= 6.
+  // Optimum: cube with x = y = z = 1, objective 1.
+  GpProblem Gp;
+  VarId X = Gp.addVariable("x");
+  VarId Y = Gp.addVariable("y");
+  VarId Z = Gp.addVariable("z");
+  Posynomial Surface;
+  Surface += Signomial(
+      (Monomial::variable(X) * Monomial::variable(Y)).scaled(2.0));
+  Surface += Signomial(
+      (Monomial::variable(Y) * Monomial::variable(Z)).scaled(2.0));
+  Surface += Signomial(
+      (Monomial::variable(X) * Monomial::variable(Z)).scaled(2.0));
+  Gp.addUpperBound(Surface, 6.0, "surface");
+  Gp.setObjective(Posynomial(Monomial::variable(X, -1.0) *
+                             Monomial::variable(Y, -1.0) *
+                             Monomial::variable(Z, -1.0)));
+  GpSolution S = solveGp(Gp);
+  ASSERT_TRUE(S.Feasible);
+  EXPECT_NEAR(S.Values[X], 1.0, 1e-3);
+  EXPECT_NEAR(S.Values[Y], 1.0, 1e-3);
+  EXPECT_NEAR(S.Values[Z], 1.0, 1e-3);
+  EXPECT_NEAR(S.Objective, 1.0, 1e-2);
+}
+
+TEST(GpSolver, AmGmEquality) {
+  // minimize x + y subject to x*y == 16: optimum x = y = 4, objective 8
+  // (AM-GM). Exercises the monomial-equality elimination.
+  GpProblem Gp;
+  VarId X = Gp.addVariable("x");
+  VarId Y = Gp.addVariable("y");
+  Gp.addEquality(Monomial::variable(X) * Monomial::variable(Y), 16.0);
+  Gp.setObjective(Posynomial(Monomial::variable(X)) +
+                  Posynomial(Monomial::variable(Y)));
+  GpSolution S = solveGp(Gp);
+  ASSERT_TRUE(S.Feasible);
+  EXPECT_NEAR(S.Values[X], 4.0, 1e-2);
+  EXPECT_NEAR(S.Values[Y], 4.0, 1e-2);
+  EXPECT_NEAR(S.Objective, 8.0, 1e-2);
+  // The equality must hold exactly (it is eliminated, not penalized).
+  EXPECT_NEAR(S.Values[X] * S.Values[Y], 16.0, 1e-6);
+}
+
+TEST(GpSolver, FractionalExponents) {
+  // minimize x + 4/sqrt(x): optimum at d/dx = 1 - 2 x^-1.5 = 0,
+  // x = 2^(2/3) ~ 1.5874, objective ~ 4.7622.
+  GpProblem Gp;
+  VarId X = Gp.addVariable("x");
+  Gp.setObjective(Posynomial(Monomial::variable(X)) +
+                  Posynomial(Monomial::variable(X, -0.5, 4.0)));
+  GpSolution S = solveGp(Gp);
+  ASSERT_TRUE(S.Feasible);
+  double XStar = std::pow(2.0, 2.0 / 3.0);
+  EXPECT_NEAR(S.Values[X], XStar, 1e-2);
+  EXPECT_NEAR(S.Objective, XStar + 4.0 / std::sqrt(XStar), 1e-2);
+}
+
+TEST(GpSolver, PhaseOneFindsInterior) {
+  // The zero log-point x = 1 violates x >= 2; phase I must recover.
+  // minimize x s.t. 2 <= x <= 5: optimum 2.
+  GpProblem Gp;
+  VarId X = Gp.addVariable("x");
+  Gp.addUpperBound(Posynomial(Monomial::variable(X, -1.0, 2.0)), 1.0,
+                   "x >= 2");
+  Gp.addUpperBound(Posynomial(Monomial::variable(X)), 5.0, "x <= 5");
+  Gp.setObjective(Posynomial(Monomial::variable(X)));
+  GpSolution S = solveGp(Gp);
+  ASSERT_TRUE(S.Feasible);
+  EXPECT_NEAR(S.Values[X], 2.0, 1e-2);
+}
+
+TEST(GpSolver, DetectsInfeasibility) {
+  // x <= 1 and x >= 3 cannot both hold.
+  GpProblem Gp;
+  VarId X = Gp.addVariable("x");
+  Gp.addUpperBound(Posynomial(Monomial::variable(X)), 1.0, "x <= 1");
+  Gp.addUpperBound(Posynomial(Monomial::variable(X, -1.0, 3.0)), 1.0,
+                   "x >= 3");
+  Gp.setObjective(Posynomial(Monomial::variable(X)));
+  GpSolution S = solveGp(Gp);
+  EXPECT_FALSE(S.Feasible);
+  EXPECT_FALSE(S.Failure.empty());
+}
+
+TEST(GpSolver, DetectsInconsistentEqualities) {
+  GpProblem Gp;
+  VarId X = Gp.addVariable("x");
+  Gp.addEquality(Monomial::variable(X), 2.0);
+  Gp.addEquality(Monomial::variable(X), 3.0);
+  Gp.setObjective(Posynomial(Monomial::variable(X)));
+  GpSolution S = solveGp(Gp);
+  EXPECT_FALSE(S.Feasible);
+}
+
+TEST(GpSolver, FullyPinnedByEqualities) {
+  // All variables fixed: solver must just evaluate.
+  GpProblem Gp;
+  VarId X = Gp.addVariable("x");
+  VarId Y = Gp.addVariable("y");
+  Gp.addEquality(Monomial::variable(X), 3.0);
+  Gp.addEquality(Monomial::variable(Y), 5.0);
+  Gp.setObjective(Posynomial(Monomial::variable(X) * Monomial::variable(Y)));
+  GpSolution S = solveGp(Gp);
+  ASSERT_TRUE(S.Feasible);
+  EXPECT_NEAR(S.Objective, 15.0, 1e-6);
+}
+
+TEST(GpSolver, TiledVolumeTradeoff) {
+  // A miniature dataflow-like GP: minimize N^2/x + N^2/y (data volumes)
+  // subject to x*y <= 64 (capacity), 1 <= x, y <= N, N = 32.
+  // By symmetry the optimum is x = y = 8, objective 2*1024/8 = 256.
+  const double N = 32.0;
+  GpProblem Gp;
+  VarId X = Gp.addVariable("x");
+  VarId Y = Gp.addVariable("y");
+  Gp.addVariableBounds(X, N);
+  Gp.addVariableBounds(Y, N);
+  Gp.addUpperBound(Posynomial(Monomial::variable(X) * Monomial::variable(Y)),
+                   64.0, "capacity");
+  Gp.setObjective(Posynomial(Monomial::variable(X, -1.0, N * N)) +
+                  Posynomial(Monomial::variable(Y, -1.0, N * N)));
+  GpSolution S = solveGp(Gp);
+  ASSERT_TRUE(S.Feasible);
+  EXPECT_NEAR(S.Values[X], 8.0, 0.05);
+  EXPECT_NEAR(S.Values[Y], 8.0, 0.05);
+  EXPECT_NEAR(S.Objective, 256.0, 0.5);
+}
+
+TEST(GpSolver, ReportsNewtonWork) {
+  GpProblem Gp;
+  VarId X = Gp.addVariable("x");
+  Gp.addVariableBounds(X, 10.0);
+  Gp.setObjective(Posynomial(Monomial::variable(X)));
+  GpSolution S = solveGp(Gp);
+  ASSERT_TRUE(S.Feasible);
+  EXPECT_GT(S.NewtonIterations, 0u);
+}

@@ -1,0 +1,140 @@
+//===- tests/SupportTest.cpp - support/ unit tests ------------------------===//
+
+#include "support/MathUtil.h"
+#include "support/Rng.h"
+#include "support/TablePrinter.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <sstream>
+
+using namespace thistle;
+
+TEST(MathUtil, CeilDiv) {
+  EXPECT_EQ(ceilDiv(10, 5), 2);
+  EXPECT_EQ(ceilDiv(11, 5), 3);
+  EXPECT_EQ(ceilDiv(1, 5), 1);
+  EXPECT_EQ(ceilDiv(5, 1), 5);
+}
+
+TEST(MathUtil, IsPowerOfTwo) {
+  EXPECT_TRUE(isPowerOfTwo(1));
+  EXPECT_TRUE(isPowerOfTwo(2));
+  EXPECT_TRUE(isPowerOfTwo(1024));
+  EXPECT_FALSE(isPowerOfTwo(0));
+  EXPECT_FALSE(isPowerOfTwo(3));
+  EXPECT_FALSE(isPowerOfTwo(-4));
+  EXPECT_FALSE(isPowerOfTwo(168));
+}
+
+TEST(MathUtil, NextPowerOfTwo) {
+  EXPECT_EQ(nextPowerOfTwo(1), 1);
+  EXPECT_EQ(nextPowerOfTwo(2), 2);
+  EXPECT_EQ(nextPowerOfTwo(3), 4);
+  EXPECT_EQ(nextPowerOfTwo(513), 1024);
+}
+
+TEST(MathUtil, DivisorsOfSmall) {
+  EXPECT_EQ(divisorsOf(1), (std::vector<std::int64_t>{1}));
+  EXPECT_EQ(divisorsOf(12), (std::vector<std::int64_t>{1, 2, 3, 4, 6, 12}));
+  EXPECT_EQ(divisorsOf(17), (std::vector<std::int64_t>{1, 17}));
+  EXPECT_EQ(divisorsOf(36), (std::vector<std::int64_t>{1, 2, 3, 4, 6, 9, 12,
+                                                       18, 36}));
+}
+
+TEST(MathUtil, DivisorsAreSortedAndDivide) {
+  for (std::int64_t N : {30, 64, 97, 224, 28269}) {
+    std::vector<std::int64_t> Divs = divisorsOf(N);
+    EXPECT_TRUE(std::is_sorted(Divs.begin(), Divs.end()));
+    for (std::int64_t D : Divs)
+      EXPECT_EQ(N % D, 0) << "divisor " << D << " of " << N;
+    EXPECT_EQ(Divs.front(), 1);
+    EXPECT_EQ(Divs.back(), N);
+  }
+}
+
+TEST(MathUtil, ClosestDivisorsPicksNearest) {
+  // Divisors of 24: 1 2 3 4 6 8 12 24. Nearest to 7 are 6 and 8.
+  EXPECT_EQ(closestDivisors(24, 7.0, 2), (std::vector<std::int64_t>{6, 8}));
+  // Ties break toward the smaller divisor: target 5 -> 4 then 6.
+  EXPECT_EQ(closestDivisors(24, 5.0, 1), (std::vector<std::int64_t>{4}));
+  // Count larger than divisor count returns everything.
+  EXPECT_EQ(closestDivisors(4, 2.0, 10),
+            (std::vector<std::int64_t>{1, 2, 4}));
+}
+
+TEST(MathUtil, ClosestPowersOfTwoWindow) {
+  // Example from the paper: real solution 12, N = 2 -> {8, 16}.
+  EXPECT_EQ(closestPowersOfTwo(12.0, 2),
+            (std::vector<std::int64_t>{8, 16}));
+  EXPECT_EQ(closestPowersOfTwo(1.0, 1), (std::vector<std::int64_t>{1}));
+  // MinValue clamps the window from below.
+  std::vector<std::int64_t> R = closestPowersOfTwo(2.0, 3, 16);
+  for (std::int64_t V : R)
+    EXPECT_GE(V, 16);
+  EXPECT_EQ(R.size(), 3u);
+}
+
+TEST(MathUtil, ProductOf) {
+  EXPECT_EQ(productOf({}), 1);
+  EXPECT_EQ(productOf({2, 3, 7}), 42);
+}
+
+TEST(Rng, DeterministicAcrossInstances) {
+  Rng A(42), B(42);
+  for (int I = 0; I < 100; ++I)
+    EXPECT_EQ(A.nextU64(), B.nextU64());
+}
+
+TEST(Rng, NextIndexInRange) {
+  Rng R(7);
+  for (int I = 0; I < 1000; ++I)
+    EXPECT_LT(R.nextIndex(13), 13u);
+}
+
+TEST(Rng, NextDoubleInUnitInterval) {
+  Rng R(9);
+  for (int I = 0; I < 1000; ++I) {
+    double D = R.nextDouble();
+    EXPECT_GE(D, 0.0);
+    EXPECT_LT(D, 1.0);
+  }
+}
+
+TEST(Rng, ShuffleIsPermutation) {
+  Rng R(3);
+  std::vector<int> V{1, 2, 3, 4, 5, 6, 7, 8};
+  std::vector<int> Orig = V;
+  R.shuffle(V);
+  std::sort(V.begin(), V.end());
+  EXPECT_EQ(V, Orig);
+}
+
+TEST(Rng, PickCoversAllElements) {
+  Rng R(11);
+  std::vector<int> V{10, 20, 30};
+  std::set<int> Seen;
+  for (int I = 0; I < 200; ++I)
+    Seen.insert(R.pick(V));
+  EXPECT_EQ(Seen.size(), 3u);
+}
+
+TEST(TablePrinter, AlignsColumns) {
+  TablePrinter T({"layer", "pJ/MAC"});
+  T.addRow({"resnet-1", "23.4"});
+  T.addRow({"r2", "5"});
+  std::ostringstream OS;
+  T.print(OS);
+  std::string Out = OS.str();
+  EXPECT_NE(Out.find("| layer    | pJ/MAC |"), std::string::npos);
+  EXPECT_NE(Out.find("| resnet-1 | 23.4   |"), std::string::npos);
+  EXPECT_NE(Out.find("| r2       | 5      |"), std::string::npos);
+}
+
+TEST(TablePrinter, FormatHelpers) {
+  EXPECT_EQ(TablePrinter::formatDouble(3.14159, 2), "3.14");
+  EXPECT_EQ(TablePrinter::formatDouble(2.0, 0), "2");
+  EXPECT_EQ(TablePrinter::formatInt(168), "168");
+}

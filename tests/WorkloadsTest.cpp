@@ -1,0 +1,79 @@
+//===- tests/WorkloadsTest.cpp - workloads/ tests (Table II) --------------===//
+
+#include "workloads/Workloads.h"
+
+#include <gtest/gtest.h>
+
+using namespace thistle;
+
+TEST(Workloads, LayerCountsMatchTableII) {
+  EXPECT_EQ(resnet18Layers().size(), 12u);
+  EXPECT_EQ(yolo9000Layers().size(), 11u);
+  EXPECT_EQ(allPaperLayers().size(), 23u);
+}
+
+TEST(Workloads, ResnetSpotChecks) {
+  std::vector<ConvLayer> L = resnet18Layers();
+  // Layer 1: K=64, C=3, H=W=224, R=S=7, stride 2.
+  EXPECT_EQ(L[0].K, 64);
+  EXPECT_EQ(L[0].C, 3);
+  EXPECT_EQ(L[0].Hin, 224);
+  EXPECT_EQ(L[0].R, 7);
+  EXPECT_EQ(L[0].StrideX, 2);
+  // Layer 4: 128, 64, 56, 3, stride 2 (marked * in Table II).
+  EXPECT_EQ(L[3].K, 128);
+  EXPECT_EQ(L[3].R, 3);
+  EXPECT_EQ(L[3].StrideX, 2);
+  // Layer 12: 512, 512, 7, 3, stride 1.
+  EXPECT_EQ(L[11].K, 512);
+  EXPECT_EQ(L[11].C, 512);
+  EXPECT_EQ(L[11].Hin, 7);
+  EXPECT_EQ(L[11].StrideX, 1);
+  // All batch size 1 and square.
+  for (const ConvLayer &Layer : L) {
+    EXPECT_EQ(Layer.N, 1);
+    EXPECT_EQ(Layer.Hin, Layer.Win);
+    EXPECT_EQ(Layer.R, Layer.S);
+    EXPECT_EQ(Layer.StrideX, Layer.StrideY);
+  }
+}
+
+TEST(Workloads, YoloSpotChecks) {
+  std::vector<ConvLayer> L = yolo9000Layers();
+  // Layer 1: K=32, C=3, H=W=544, R=S=3.
+  EXPECT_EQ(L[0].K, 32);
+  EXPECT_EQ(L[0].C, 3);
+  EXPECT_EQ(L[0].Hin, 544);
+  EXPECT_EQ(L[0].R, 3);
+  // Layer 11: the 28269-channel classifier conv.
+  EXPECT_EQ(L[10].K, 28269);
+  EXPECT_EQ(L[10].C, 1024);
+  EXPECT_EQ(L[10].Hin, 17);
+  EXPECT_EQ(L[10].R, 1);
+  // Yolo uses stride 1 everywhere (no * in Table II).
+  for (const ConvLayer &Layer : L)
+    EXPECT_EQ(Layer.StrideX, 1);
+}
+
+TEST(Workloads, LayerNamesAreUnique) {
+  std::vector<ConvLayer> All = allPaperLayers();
+  for (std::size_t I = 0; I < All.size(); ++I)
+    for (std::size_t J = I + 1; J < All.size(); ++J)
+      EXPECT_NE(All[I].Name, All[J].Name);
+}
+
+TEST(Workloads, ProblemsBuildAndHavePlausibleMacCounts) {
+  for (const ConvLayer &L : allPaperLayers()) {
+    Problem P = makeConvProblem(L);
+    EXPECT_EQ(P.numOps(), L.numMacs()) << L.Name;
+    EXPECT_GT(P.numOps(), 1000000) << L.Name; // All layers are nontrivial.
+  }
+}
+
+TEST(Workloads, EyerissBaseline) {
+  ArchConfig A = eyerissArch();
+  EXPECT_EQ(A.NumPEs, 168);
+  EXPECT_EQ(A.RegWordsPerPE, 512);
+  EXPECT_EQ(A.SramWords, 65536);
+  EXPECT_GT(eyerissAreaUm2(TechParams::cgo45nm()), 0.0);
+}

@@ -1,0 +1,269 @@
+//===- tools/thistle-opt.cpp - Command-line design optimizer --------------===//
+//
+// The command-line front end of the library: optimize a conv layer's
+// dataflow for a fixed accelerator, or co-design the accelerator and the
+// dataflow together, for energy, delay or EDP, and optionally emit the
+// resulting Timeloop-style YAML specifications.
+//
+// Examples:
+//   thistle-opt --resnet 2
+//   thistle-opt --layer 64,64,56,56,3,3 --objective delay
+//   thistle-opt --yolo 7 --mode codesign --export-timeloop
+//   thistle-opt --layer 128,128,28,28,3,3,2 --pes 256 --regs 64
+//       --sram-words 16384   (one line)
+//
+//===----------------------------------------------------------------------===//
+
+#include "export/TimeloopExport.h"
+#include "ir/Builders.h"
+#include "thistle/Optimizer.h"
+#include "workloads/Workloads.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cctype>
+#include <cstring>
+#include <string>
+#include <vector>
+
+using namespace thistle;
+
+namespace {
+
+void printUsage(const char *Prog) {
+  std::printf(
+      "usage: %s [options]\n"
+      "\n"
+      "workload (choose one):\n"
+      "  --layer K,C,H,W,R,S[,stride[,dilation]]   custom conv2d layer\n"
+      "  --resnet N           ResNet-18 conv stage N (1-12, Table II)\n"
+      "  --yolo N             Yolo-9000 conv stage N (1-11, Table II)\n"
+      "  --pipeline resnet|yolo|all   optimize every stage, print a "
+      "summary\n"
+      "\n"
+      "optimization:\n"
+      "  --mode dataflow|codesign      (default: dataflow)\n"
+      "  --objective energy|delay|edp  (default: energy)\n"
+      "  --candidates N                rounding width n (default: 2)\n"
+      "\n"
+      "architecture (dataflow mode; defaults to Eyeriss):\n"
+      "  --pes N --regs N --sram-words N\n"
+      "  --area-budget UM2             co-design area (default: Eyeriss)\n"
+      "\n"
+      "output:\n"
+      "  --export-timeloop             emit Timeloop-style YAML specs\n"
+      "  --help\n",
+      Prog);
+}
+
+/// Parses "a,b,c,..." into integers; returns false on malformed input.
+bool parseInts(const char *Text, std::vector<std::int64_t> &Out) {
+  Out.clear();
+  std::string Token;
+  for (const char *P = Text;; ++P) {
+    if (*P == ',' || *P == '\0') {
+      if (Token.empty())
+        return false;
+      Out.push_back(std::atoll(Token.c_str()));
+      Token.clear();
+      if (*P == '\0')
+        return true;
+    } else if (std::isdigit(static_cast<unsigned char>(*P))) {
+      Token += *P;
+    } else {
+      return false;
+    }
+  }
+}
+
+} // namespace
+
+namespace {
+
+/// --pipeline mode: optimize every stage and print one summary row each.
+int runPipeline(const std::vector<ConvLayer> &Layers,
+                const ThistleOptions &Options, const ArchConfig &Arch,
+                const TechParams &Tech, double AreaBudget) {
+  std::printf("%-11s %10s %9s %9s %6s %5s %9s\n", "layer", "pJ/MAC",
+              "IPC", "cycles(K)", "P", "R", "S words");
+  double TotalUj = 0.0;
+  for (const ConvLayer &L : Layers) {
+    Problem P = makeConvProblem(L);
+    ThistleResult R = optimizeLayer(P, Arch, Tech, Options, AreaBudget);
+    if (!R.Found) {
+      std::printf("%-11s %10s\n", L.Name.c_str(), "-");
+      continue;
+    }
+    TotalUj += R.Eval.EnergyPj * 1e-6;
+    std::printf("%-11s %10.2f %9.1f %9.0f %6lld %5lld %9lld\n",
+                L.Name.c_str(), R.Eval.EnergyPerMacPj, R.Eval.MacIpc,
+                R.Eval.Cycles * 1e-3,
+                static_cast<long long>(R.Arch.NumPEs),
+                static_cast<long long>(R.Arch.RegWordsPerPE),
+                static_cast<long long>(R.Arch.SramWords));
+  }
+  std::printf("pipeline total energy: %.1f uJ\n", TotalUj);
+  return 0;
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  ConvLayer Layer;
+  bool HaveLayer = false;
+  std::vector<ConvLayer> Pipeline;
+  ThistleOptions Options;
+  ArchConfig Arch = eyerissArch();
+  TechParams Tech = TechParams::cgo45nm();
+  double AreaBudget = 0.0;
+  bool ExportTimeloop = false;
+
+  for (int I = 1; I < Argc; ++I) {
+    std::string Arg = Argv[I];
+    auto needValue = [&]() -> const char * {
+      if (I + 1 >= Argc) {
+        std::fprintf(stderr, "error: %s needs a value\n", Arg.c_str());
+        std::exit(2);
+      }
+      return Argv[++I];
+    };
+    if (Arg == "--help" || Arg == "-h") {
+      printUsage(Argv[0]);
+      return 0;
+    } else if (Arg == "--layer") {
+      std::vector<std::int64_t> V;
+      if (!parseInts(needValue(), V) || V.size() < 6 || V.size() > 8) {
+        std::fprintf(stderr, "error: --layer wants K,C,H,W,R,S[,stride"
+                             "[,dilation]]\n");
+        return 2;
+      }
+      Layer.Name = "custom";
+      Layer.K = V[0];
+      Layer.C = V[1];
+      Layer.Hin = V[2];
+      Layer.Win = V[3];
+      Layer.R = V[4];
+      Layer.S = V[5];
+      Layer.StrideX = Layer.StrideY = V.size() > 6 ? V[6] : 1;
+      Layer.DilationX = Layer.DilationY = V.size() > 7 ? V[7] : 1;
+      HaveLayer = true;
+    } else if (Arg == "--resnet" || Arg == "--yolo") {
+      std::vector<ConvLayer> Layers =
+          Arg == "--resnet" ? resnet18Layers() : yolo9000Layers();
+      long N = std::atol(needValue());
+      if (N < 1 || static_cast<std::size_t>(N) > Layers.size()) {
+        std::fprintf(stderr, "error: %s index out of range (1-%zu)\n",
+                     Arg.c_str(), Layers.size());
+        return 2;
+      }
+      Layer = Layers[static_cast<std::size_t>(N - 1)];
+      HaveLayer = true;
+    } else if (Arg == "--pipeline") {
+      std::string V = needValue();
+      if (V == "resnet")
+        Pipeline = resnet18Layers();
+      else if (V == "yolo")
+        Pipeline = yolo9000Layers();
+      else if (V == "all")
+        Pipeline = allPaperLayers();
+      else {
+        std::fprintf(stderr, "error: unknown pipeline '%s'\n", V.c_str());
+        return 2;
+      }
+    } else if (Arg == "--mode") {
+      std::string V = needValue();
+      if (V == "dataflow")
+        Options.Mode = DesignMode::DataflowOnly;
+      else if (V == "codesign")
+        Options.Mode = DesignMode::CoDesign;
+      else {
+        std::fprintf(stderr, "error: unknown mode '%s'\n", V.c_str());
+        return 2;
+      }
+    } else if (Arg == "--objective") {
+      std::string V = needValue();
+      if (V == "energy")
+        Options.Objective = SearchObjective::Energy;
+      else if (V == "delay")
+        Options.Objective = SearchObjective::Delay;
+      else if (V == "edp")
+        Options.Objective = SearchObjective::EnergyDelayProduct;
+      else {
+        std::fprintf(stderr, "error: unknown objective '%s'\n", V.c_str());
+        return 2;
+      }
+    } else if (Arg == "--candidates") {
+      Options.Rounding.NumCandidates =
+          static_cast<unsigned>(std::atoi(needValue()));
+    } else if (Arg == "--pes") {
+      Arch.NumPEs = std::atoll(needValue());
+    } else if (Arg == "--regs") {
+      Arch.RegWordsPerPE = std::atoll(needValue());
+    } else if (Arg == "--sram-words") {
+      Arch.SramWords = std::atoll(needValue());
+    } else if (Arg == "--area-budget") {
+      AreaBudget = std::atof(needValue());
+    } else if (Arg == "--export-timeloop") {
+      ExportTimeloop = true;
+    } else {
+      std::fprintf(stderr, "error: unknown option '%s'\n", Arg.c_str());
+      printUsage(Argv[0]);
+      return 2;
+    }
+  }
+
+  if (!HaveLayer && Pipeline.empty()) {
+    std::fprintf(stderr, "error: no workload given (--layer / --resnet / "
+                         "--yolo / --pipeline)\n");
+    printUsage(Argv[0]);
+    return 2;
+  }
+  if (Options.Mode == DesignMode::CoDesign && AreaBudget == 0.0)
+    AreaBudget = eyerissAreaUm2(Tech);
+  if (!Pipeline.empty())
+    return runPipeline(Pipeline, Options, Arch, Tech, AreaBudget);
+
+  Problem Prob = makeConvProblem(Layer);
+  std::printf("layer %s: %lld MACs, iteration space", Layer.Name.c_str(),
+              static_cast<long long>(Prob.numOps()));
+  for (const Iterator &It : Prob.iterators())
+    std::printf(" %s=%lld", It.Name.c_str(),
+                static_cast<long long>(It.Extent));
+  std::printf("\n");
+
+  ThistleResult R = optimizeLayer(Prob, Arch, Tech, Options, AreaBudget);
+  if (!R.Found) {
+    std::fprintf(stderr, "no legal design found\n");
+    return 1;
+  }
+
+  std::printf("\narchitecture: P=%lld PEs, R=%lld regs/PE, S=%lld SRAM "
+              "words (area %.3f mm^2)\n",
+              static_cast<long long>(R.Arch.NumPEs),
+              static_cast<long long>(R.Arch.RegWordsPerPE),
+              static_cast<long long>(R.Arch.SramWords),
+              R.Arch.areaUm2(Tech) * 1e-6);
+  std::printf("energy: %.1f uJ (%.3f pJ/MAC)\n", R.Eval.EnergyPj * 1e-6,
+              R.Eval.EnergyPerMacPj);
+  std::printf("delay:  %.0f cycles (IPC %.1f), EDP %.4g pJ*cycles\n",
+              R.Eval.Cycles, R.Eval.MacIpc, R.Eval.EdpPjCycles);
+  std::printf("energy breakdown [pJ]: mac+reg %.4g, RF fills %.4g, SRAM "
+              "%.4g, DRAM %.4g\n",
+              R.Eval.MacEnergyPj, R.Eval.RegEnergyPj, R.Eval.SramEnergyPj,
+              R.Eval.DramEnergyPj);
+  std::printf("mapping:\n%s", R.Map.toString(Prob).c_str());
+  std::printf("search: %u GP solves, %u Newton iterations, %zu integer "
+              "candidates\n",
+              R.Stats.PairsSolved, R.Stats.NewtonIterations,
+              R.Stats.CandidatesEvaluated);
+
+  if (ExportTimeloop) {
+    std::printf("\n# ---- Timeloop architecture spec ----\n%s",
+                exportTimeloopArch(R.Arch, Tech).c_str());
+    std::printf("\n# ---- Timeloop problem spec ----\n%s",
+                exportTimeloopProblem(Prob).c_str());
+    std::printf("\n# ---- Timeloop mapping spec ----\n%s",
+                exportTimeloopMapping(Prob, R.Map).c_str());
+  }
+  return 0;
+}
