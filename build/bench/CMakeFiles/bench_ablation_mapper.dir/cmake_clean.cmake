@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_mapper.dir/bench_ablation_mapper.cpp.o"
+  "CMakeFiles/bench_ablation_mapper.dir/bench_ablation_mapper.cpp.o.d"
+  "bench_ablation_mapper"
+  "bench_ablation_mapper.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_mapper.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_rounding.dir/bench_ablation_rounding.cpp.o"
+  "CMakeFiles/bench_ablation_rounding.dir/bench_ablation_rounding.cpp.o.d"
+  "bench_ablation_rounding"
+  "bench_ablation_rounding.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_rounding.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

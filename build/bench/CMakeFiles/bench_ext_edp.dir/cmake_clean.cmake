@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_edp.dir/bench_ext_edp.cpp.o"
+  "CMakeFiles/bench_ext_edp.dir/bench_ext_edp.cpp.o.d"
+  "bench_ext_edp"
+  "bench_ext_edp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_edp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

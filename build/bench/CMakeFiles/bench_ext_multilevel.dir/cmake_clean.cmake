@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_multilevel.dir/bench_ext_multilevel.cpp.o"
+  "CMakeFiles/bench_ext_multilevel.dir/bench_ext_multilevel.cpp.o.d"
+  "bench_ext_multilevel"
+  "bench_ext_multilevel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_multilevel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_fig1_matmul_volumes.cpp" "bench/CMakeFiles/bench_fig1_matmul_volumes.dir/bench_fig1_matmul_volumes.cpp.o" "gcc" "bench/CMakeFiles/bench_fig1_matmul_volumes.dir/bench_fig1_matmul_volumes.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/thistle/CMakeFiles/thistle_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/workloads/CMakeFiles/thistle_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/thistle_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/multilevel/CMakeFiles/thistle_multilevel.dir/DependInfo.cmake"
+  "/root/repo/build/src/nestmodel/CMakeFiles/thistle_nestmodel.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/thistle_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/model/CMakeFiles/thistle_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/solver/CMakeFiles/thistle_solver.dir/DependInfo.cmake"
+  "/root/repo/build/src/expr/CMakeFiles/thistle_expr.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/thistle_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/thistle_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig1_matmul_volumes.dir/bench_fig1_matmul_volumes.cpp.o"
+  "CMakeFiles/bench_fig1_matmul_volumes.dir/bench_fig1_matmul_volumes.cpp.o.d"
+  "bench_fig1_matmul_volumes"
+  "bench_fig1_matmul_volumes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig1_matmul_volumes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig4_energy_eyeriss.dir/bench_fig4_energy_eyeriss.cpp.o"
+  "CMakeFiles/bench_fig4_energy_eyeriss.dir/bench_fig4_energy_eyeriss.cpp.o.d"
+  "bench_fig4_energy_eyeriss"
+  "bench_fig4_energy_eyeriss.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4_energy_eyeriss.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig6_fixed_arch_energy.dir/bench_fig6_fixed_arch_energy.cpp.o"
+  "CMakeFiles/bench_fig6_fixed_arch_energy.dir/bench_fig6_fixed_arch_energy.cpp.o.d"
+  "bench_fig6_fixed_arch_energy"
+  "bench_fig6_fixed_arch_energy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_fixed_arch_energy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

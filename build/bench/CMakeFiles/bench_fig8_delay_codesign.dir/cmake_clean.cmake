@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig8_delay_codesign.dir/bench_fig8_delay_codesign.cpp.o"
+  "CMakeFiles/bench_fig8_delay_codesign.dir/bench_fig8_delay_codesign.cpp.o.d"
+  "bench_fig8_delay_codesign"
+  "bench_fig8_delay_codesign.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8_delay_codesign.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

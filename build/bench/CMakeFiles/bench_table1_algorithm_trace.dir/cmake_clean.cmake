@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table1_algorithm_trace.dir/bench_table1_algorithm_trace.cpp.o"
+  "CMakeFiles/bench_table1_algorithm_trace.dir/bench_table1_algorithm_trace.cpp.o.d"
+  "bench_table1_algorithm_trace"
+  "bench_table1_algorithm_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_algorithm_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table3_tech_params.dir/bench_table3_tech_params.cpp.o"
+  "CMakeFiles/bench_table3_tech_params.dir/bench_table3_tech_params.cpp.o.d"
+  "bench_table3_tech_params"
+  "bench_table3_tech_params.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table3_tech_params.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/export_design.dir/export_design.cpp.o"
+  "CMakeFiles/export_design.dir/export_design.cpp.o.d"
+  "export_design"
+  "export_design.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/export_design.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

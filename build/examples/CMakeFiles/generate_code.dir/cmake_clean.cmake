@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/generate_code.dir/generate_code.cpp.o"
+  "CMakeFiles/generate_code.dir/generate_code.cpp.o.d"
+  "generate_code"
+  "generate_code.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/generate_code.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mapper_search.dir/mapper_search.cpp.o"
+  "CMakeFiles/mapper_search.dir/mapper_search.cpp.o.d"
+  "mapper_search"
+  "mapper_search.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mapper_search.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

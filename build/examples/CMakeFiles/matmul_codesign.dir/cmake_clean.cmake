@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/matmul_codesign.dir/matmul_codesign.cpp.o"
+  "CMakeFiles/matmul_codesign.dir/matmul_codesign.cpp.o.d"
+  "matmul_codesign"
+  "matmul_codesign.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/matmul_codesign.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

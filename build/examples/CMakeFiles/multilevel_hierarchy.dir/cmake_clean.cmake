@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multilevel_hierarchy.dir/multilevel_hierarchy.cpp.o"
+  "CMakeFiles/multilevel_hierarchy.dir/multilevel_hierarchy.cpp.o.d"
+  "multilevel_hierarchy"
+  "multilevel_hierarchy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multilevel_hierarchy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

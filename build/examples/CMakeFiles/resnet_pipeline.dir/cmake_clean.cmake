@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/resnet_pipeline.dir/resnet_pipeline.cpp.o"
+  "CMakeFiles/resnet_pipeline.dir/resnet_pipeline.cpp.o.d"
+  "resnet_pipeline"
+  "resnet_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/resnet_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

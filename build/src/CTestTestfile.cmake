@@ -1,0 +1,19 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("support")
+subdirs("linalg")
+subdirs("expr")
+subdirs("ir")
+subdirs("model")
+subdirs("sim")
+subdirs("nestmodel")
+subdirs("solver")
+subdirs("thistle")
+subdirs("workloads")
+subdirs("export")
+subdirs("multilevel")
+subdirs("codegen")

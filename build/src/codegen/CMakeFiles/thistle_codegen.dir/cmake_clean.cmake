@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/thistle_codegen.dir/TiledNest.cpp.o"
+  "CMakeFiles/thistle_codegen.dir/TiledNest.cpp.o.d"
+  "libthistle_codegen.a"
+  "libthistle_codegen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/thistle_codegen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/thistle_export.dir/TimeloopExport.cpp.o"
+  "CMakeFiles/thistle_export.dir/TimeloopExport.cpp.o.d"
+  "libthistle_export.a"
+  "libthistle_export.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/thistle_export.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

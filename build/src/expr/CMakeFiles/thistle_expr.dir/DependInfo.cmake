@@ -1,0 +1,21 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/expr/FactoredExpr.cpp" "src/expr/CMakeFiles/thistle_expr.dir/FactoredExpr.cpp.o" "gcc" "src/expr/CMakeFiles/thistle_expr.dir/FactoredExpr.cpp.o.d"
+  "/root/repo/src/expr/Monomial.cpp" "src/expr/CMakeFiles/thistle_expr.dir/Monomial.cpp.o" "gcc" "src/expr/CMakeFiles/thistle_expr.dir/Monomial.cpp.o.d"
+  "/root/repo/src/expr/Signomial.cpp" "src/expr/CMakeFiles/thistle_expr.dir/Signomial.cpp.o" "gcc" "src/expr/CMakeFiles/thistle_expr.dir/Signomial.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/thistle_expr.dir/FactoredExpr.cpp.o"
+  "CMakeFiles/thistle_expr.dir/FactoredExpr.cpp.o.d"
+  "CMakeFiles/thistle_expr.dir/Monomial.cpp.o"
+  "CMakeFiles/thistle_expr.dir/Monomial.cpp.o.d"
+  "CMakeFiles/thistle_expr.dir/Signomial.cpp.o"
+  "CMakeFiles/thistle_expr.dir/Signomial.cpp.o.d"
+  "libthistle_expr.a"
+  "libthistle_expr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/thistle_expr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ir/Builders.cpp" "src/ir/CMakeFiles/thistle_ir.dir/Builders.cpp.o" "gcc" "src/ir/CMakeFiles/thistle_ir.dir/Builders.cpp.o.d"
+  "/root/repo/src/ir/Mapping.cpp" "src/ir/CMakeFiles/thistle_ir.dir/Mapping.cpp.o" "gcc" "src/ir/CMakeFiles/thistle_ir.dir/Mapping.cpp.o.d"
+  "/root/repo/src/ir/Problem.cpp" "src/ir/CMakeFiles/thistle_ir.dir/Problem.cpp.o" "gcc" "src/ir/CMakeFiles/thistle_ir.dir/Problem.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/thistle_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/thistle_ir.dir/Builders.cpp.o"
+  "CMakeFiles/thistle_ir.dir/Builders.cpp.o.d"
+  "CMakeFiles/thistle_ir.dir/Mapping.cpp.o"
+  "CMakeFiles/thistle_ir.dir/Mapping.cpp.o.d"
+  "CMakeFiles/thistle_ir.dir/Problem.cpp.o"
+  "CMakeFiles/thistle_ir.dir/Problem.cpp.o.d"
+  "libthistle_ir.a"
+  "libthistle_ir.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/thistle_ir.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

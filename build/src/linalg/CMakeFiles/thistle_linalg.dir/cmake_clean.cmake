@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/thistle_linalg.dir/Matrix.cpp.o"
+  "CMakeFiles/thistle_linalg.dir/Matrix.cpp.o.d"
+  "libthistle_linalg.a"
+  "libthistle_linalg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/thistle_linalg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

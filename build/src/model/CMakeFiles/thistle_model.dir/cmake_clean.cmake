@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/thistle_model.dir/TechModel.cpp.o"
+  "CMakeFiles/thistle_model.dir/TechModel.cpp.o.d"
+  "libthistle_model.a"
+  "libthistle_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/thistle_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/multilevel/Hierarchy.cpp" "src/multilevel/CMakeFiles/thistle_multilevel.dir/Hierarchy.cpp.o" "gcc" "src/multilevel/CMakeFiles/thistle_multilevel.dir/Hierarchy.cpp.o.d"
+  "/root/repo/src/multilevel/MultiGp.cpp" "src/multilevel/CMakeFiles/thistle_multilevel.dir/MultiGp.cpp.o" "gcc" "src/multilevel/CMakeFiles/thistle_multilevel.dir/MultiGp.cpp.o.d"
+  "/root/repo/src/multilevel/MultiMapping.cpp" "src/multilevel/CMakeFiles/thistle_multilevel.dir/MultiMapping.cpp.o" "gcc" "src/multilevel/CMakeFiles/thistle_multilevel.dir/MultiMapping.cpp.o.d"
+  "/root/repo/src/multilevel/MultiNestAnalysis.cpp" "src/multilevel/CMakeFiles/thistle_multilevel.dir/MultiNestAnalysis.cpp.o" "gcc" "src/multilevel/CMakeFiles/thistle_multilevel.dir/MultiNestAnalysis.cpp.o.d"
+  "/root/repo/src/multilevel/MultiSim.cpp" "src/multilevel/CMakeFiles/thistle_multilevel.dir/MultiSim.cpp.o" "gcc" "src/multilevel/CMakeFiles/thistle_multilevel.dir/MultiSim.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ir/CMakeFiles/thistle_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/model/CMakeFiles/thistle_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/solver/CMakeFiles/thistle_solver.dir/DependInfo.cmake"
+  "/root/repo/build/src/nestmodel/CMakeFiles/thistle_nestmodel.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/thistle_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/thistle/CMakeFiles/thistle_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/thistle_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/expr/CMakeFiles/thistle_expr.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

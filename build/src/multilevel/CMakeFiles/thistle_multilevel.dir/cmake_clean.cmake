@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/thistle_multilevel.dir/Hierarchy.cpp.o"
+  "CMakeFiles/thistle_multilevel.dir/Hierarchy.cpp.o.d"
+  "CMakeFiles/thistle_multilevel.dir/MultiGp.cpp.o"
+  "CMakeFiles/thistle_multilevel.dir/MultiGp.cpp.o.d"
+  "CMakeFiles/thistle_multilevel.dir/MultiMapping.cpp.o"
+  "CMakeFiles/thistle_multilevel.dir/MultiMapping.cpp.o.d"
+  "CMakeFiles/thistle_multilevel.dir/MultiNestAnalysis.cpp.o"
+  "CMakeFiles/thistle_multilevel.dir/MultiNestAnalysis.cpp.o.d"
+  "CMakeFiles/thistle_multilevel.dir/MultiSim.cpp.o"
+  "CMakeFiles/thistle_multilevel.dir/MultiSim.cpp.o.d"
+  "libthistle_multilevel.a"
+  "libthistle_multilevel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/thistle_multilevel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for thistle_multilevel.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,2 @@
+# Empty dependencies file for thistle_multilevel.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/nestmodel/Evaluator.cpp" "src/nestmodel/CMakeFiles/thistle_nestmodel.dir/Evaluator.cpp.o" "gcc" "src/nestmodel/CMakeFiles/thistle_nestmodel.dir/Evaluator.cpp.o.d"
+  "/root/repo/src/nestmodel/Mapper.cpp" "src/nestmodel/CMakeFiles/thistle_nestmodel.dir/Mapper.cpp.o" "gcc" "src/nestmodel/CMakeFiles/thistle_nestmodel.dir/Mapper.cpp.o.d"
+  "/root/repo/src/nestmodel/NestAnalysis.cpp" "src/nestmodel/CMakeFiles/thistle_nestmodel.dir/NestAnalysis.cpp.o" "gcc" "src/nestmodel/CMakeFiles/thistle_nestmodel.dir/NestAnalysis.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ir/CMakeFiles/thistle_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/model/CMakeFiles/thistle_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/thistle_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

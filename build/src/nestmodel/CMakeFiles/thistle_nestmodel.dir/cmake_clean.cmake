@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/thistle_nestmodel.dir/Evaluator.cpp.o"
+  "CMakeFiles/thistle_nestmodel.dir/Evaluator.cpp.o.d"
+  "CMakeFiles/thistle_nestmodel.dir/Mapper.cpp.o"
+  "CMakeFiles/thistle_nestmodel.dir/Mapper.cpp.o.d"
+  "CMakeFiles/thistle_nestmodel.dir/NestAnalysis.cpp.o"
+  "CMakeFiles/thistle_nestmodel.dir/NestAnalysis.cpp.o.d"
+  "libthistle_nestmodel.a"
+  "libthistle_nestmodel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/thistle_nestmodel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

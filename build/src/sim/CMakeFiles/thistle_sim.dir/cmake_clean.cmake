@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/thistle_sim.dir/TiledLoopSim.cpp.o"
+  "CMakeFiles/thistle_sim.dir/TiledLoopSim.cpp.o.d"
+  "libthistle_sim.a"
+  "libthistle_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/thistle_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

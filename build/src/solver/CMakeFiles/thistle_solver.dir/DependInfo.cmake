@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/solver/GpProblem.cpp" "src/solver/CMakeFiles/thistle_solver.dir/GpProblem.cpp.o" "gcc" "src/solver/CMakeFiles/thistle_solver.dir/GpProblem.cpp.o.d"
+  "/root/repo/src/solver/GpSolver.cpp" "src/solver/CMakeFiles/thistle_solver.dir/GpSolver.cpp.o" "gcc" "src/solver/CMakeFiles/thistle_solver.dir/GpSolver.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/expr/CMakeFiles/thistle_expr.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/thistle_linalg.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

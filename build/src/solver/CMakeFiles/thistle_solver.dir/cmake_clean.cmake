@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/thistle_solver.dir/GpProblem.cpp.o"
+  "CMakeFiles/thistle_solver.dir/GpProblem.cpp.o.d"
+  "CMakeFiles/thistle_solver.dir/GpSolver.cpp.o"
+  "CMakeFiles/thistle_solver.dir/GpSolver.cpp.o.d"
+  "libthistle_solver.a"
+  "libthistle_solver.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/thistle_solver.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

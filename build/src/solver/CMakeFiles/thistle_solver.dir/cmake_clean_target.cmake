@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libthistle_solver.a"
+)

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/thistle_support.dir/MathUtil.cpp.o"
+  "CMakeFiles/thistle_support.dir/MathUtil.cpp.o.d"
+  "CMakeFiles/thistle_support.dir/TablePrinter.cpp.o"
+  "CMakeFiles/thistle_support.dir/TablePrinter.cpp.o.d"
+  "libthistle_support.a"
+  "libthistle_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/thistle_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

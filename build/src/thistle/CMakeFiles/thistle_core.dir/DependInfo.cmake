@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/thistle/ExprGen.cpp" "src/thistle/CMakeFiles/thistle_core.dir/ExprGen.cpp.o" "gcc" "src/thistle/CMakeFiles/thistle_core.dir/ExprGen.cpp.o.d"
+  "/root/repo/src/thistle/GpBuilder.cpp" "src/thistle/CMakeFiles/thistle_core.dir/GpBuilder.cpp.o" "gcc" "src/thistle/CMakeFiles/thistle_core.dir/GpBuilder.cpp.o.d"
+  "/root/repo/src/thistle/Optimizer.cpp" "src/thistle/CMakeFiles/thistle_core.dir/Optimizer.cpp.o" "gcc" "src/thistle/CMakeFiles/thistle_core.dir/Optimizer.cpp.o.d"
+  "/root/repo/src/thistle/PermutationSpace.cpp" "src/thistle/CMakeFiles/thistle_core.dir/PermutationSpace.cpp.o" "gcc" "src/thistle/CMakeFiles/thistle_core.dir/PermutationSpace.cpp.o.d"
+  "/root/repo/src/thistle/Rounding.cpp" "src/thistle/CMakeFiles/thistle_core.dir/Rounding.cpp.o" "gcc" "src/thistle/CMakeFiles/thistle_core.dir/Rounding.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/expr/CMakeFiles/thistle_expr.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/thistle_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/model/CMakeFiles/thistle_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/nestmodel/CMakeFiles/thistle_nestmodel.dir/DependInfo.cmake"
+  "/root/repo/build/src/solver/CMakeFiles/thistle_solver.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/thistle_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/thistle_linalg.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

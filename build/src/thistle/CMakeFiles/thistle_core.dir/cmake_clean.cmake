@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/thistle_core.dir/ExprGen.cpp.o"
+  "CMakeFiles/thistle_core.dir/ExprGen.cpp.o.d"
+  "CMakeFiles/thistle_core.dir/GpBuilder.cpp.o"
+  "CMakeFiles/thistle_core.dir/GpBuilder.cpp.o.d"
+  "CMakeFiles/thistle_core.dir/Optimizer.cpp.o"
+  "CMakeFiles/thistle_core.dir/Optimizer.cpp.o.d"
+  "CMakeFiles/thistle_core.dir/PermutationSpace.cpp.o"
+  "CMakeFiles/thistle_core.dir/PermutationSpace.cpp.o.d"
+  "CMakeFiles/thistle_core.dir/Rounding.cpp.o"
+  "CMakeFiles/thistle_core.dir/Rounding.cpp.o.d"
+  "libthistle_core.a"
+  "libthistle_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/thistle_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

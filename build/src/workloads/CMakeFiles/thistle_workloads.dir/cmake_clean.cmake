@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/thistle_workloads.dir/Workloads.cpp.o"
+  "CMakeFiles/thistle_workloads.dir/Workloads.cpp.o.d"
+  "libthistle_workloads.a"
+  "libthistle_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/thistle_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

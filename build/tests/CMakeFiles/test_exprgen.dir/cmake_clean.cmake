@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_exprgen.dir/ExprGenTest.cpp.o"
+  "CMakeFiles/test_exprgen.dir/ExprGenTest.cpp.o.d"
+  "test_exprgen"
+  "test_exprgen.pdb"
+  "test_exprgen[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_exprgen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

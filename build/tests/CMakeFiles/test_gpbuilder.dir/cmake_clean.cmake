@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_gpbuilder.dir/GpBuilderTest.cpp.o"
+  "CMakeFiles/test_gpbuilder.dir/GpBuilderTest.cpp.o.d"
+  "test_gpbuilder"
+  "test_gpbuilder.pdb"
+  "test_gpbuilder[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_gpbuilder.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

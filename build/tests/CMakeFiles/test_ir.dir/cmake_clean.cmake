@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ir.dir/IrTest.cpp.o"
+  "CMakeFiles/test_ir.dir/IrTest.cpp.o.d"
+  "test_ir"
+  "test_ir.pdb"
+  "test_ir[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ir.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_multilevel.dir/MultilevelTest.cpp.o"
+  "CMakeFiles/test_multilevel.dir/MultilevelTest.cpp.o.d"
+  "test_multilevel"
+  "test_multilevel.pdb"
+  "test_multilevel[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_multilevel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

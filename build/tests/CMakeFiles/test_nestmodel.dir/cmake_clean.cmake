@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_nestmodel.dir/NestModelTest.cpp.o"
+  "CMakeFiles/test_nestmodel.dir/NestModelTest.cpp.o.d"
+  "test_nestmodel"
+  "test_nestmodel.pdb"
+  "test_nestmodel[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_nestmodel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_permspace.dir/PermSpaceTest.cpp.o"
+  "CMakeFiles/test_permspace.dir/PermSpaceTest.cpp.o.d"
+  "test_permspace"
+  "test_permspace.pdb"
+  "test_permspace[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_permspace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_rounding.dir/RoundingTest.cpp.o"
+  "CMakeFiles/test_rounding.dir/RoundingTest.cpp.o.d"
+  "test_rounding"
+  "test_rounding.pdb"
+  "test_rounding[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_rounding.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

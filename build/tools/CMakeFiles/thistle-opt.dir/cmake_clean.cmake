@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/thistle-opt.dir/thistle-opt.cpp.o"
+  "CMakeFiles/thistle-opt.dir/thistle-opt.cpp.o.d"
+  "thistle-opt"
+  "thistle-opt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/thistle-opt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
