@@ -27,6 +27,7 @@
 
 #include <benchmark/benchmark.h>
 
+#include <chrono>
 #include <cstdio>
 
 namespace thistle::bench {
@@ -58,6 +59,26 @@ inline ThistleOptions thistleOptions(DesignMode Mode,
   }
   return O;
 }
+
+/// Wall-clock stopwatch for throughput measurements (pairs/s, trials/s)
+/// where google-benchmark's repeated-iteration protocol would be too slow
+/// to wrap around a full design-space sweep.
+class WallTimer {
+public:
+  WallTimer() : Start(std::chrono::steady_clock::now()) {}
+
+  /// Seconds elapsed since construction or the last reset().
+  double seconds() const {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         Start)
+        .count();
+  }
+
+  void reset() { Start = std::chrono::steady_clock::now(); }
+
+private:
+  std::chrono::steady_clock::time_point Start;
+};
 
 /// Prints the standard bench header.
 inline void printHeader(const char *Artifact, const char *Description) {

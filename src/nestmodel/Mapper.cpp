@@ -1,23 +1,50 @@
 //===- nestmodel/Mapper.cpp - Search-based mapping baseline ---------------===//
+//
+// The search runs in rounds of Options.TrialsPerRound trials. Every trial
+// slot owns an RNG stream seeded from (search seed, round, slot) — never
+// from the worker thread that happens to execute it — and candidate
+// generation plus evaluation (the hot path) fan out across a ThreadPool.
+// All search bookkeeping (incumbent best, victory-condition counter,
+// annealing walk state) is applied on one thread, in slot order, at the
+// round boundary, so the outcome is bit-identical at every thread count.
+//
+//===----------------------------------------------------------------------===//
 
 #include "nestmodel/Mapper.h"
 
 #include "support/MathUtil.h"
 #include "support/Rng.h"
+#include "support/ThreadPool.h"
 
 #include <algorithm>
 #include <cassert>
 #include <cmath>
 #include <numeric>
+#include <utility>
+#include <vector>
 
 using namespace thistle;
 
 namespace {
 
+/// SplitMix64 finalizer, used to decorrelate the per-slot seeds.
+std::uint64_t mix64(std::uint64_t Z) {
+  Z = (Z ^ (Z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  Z = (Z ^ (Z >> 27)) * 0x94D049BB133111EBULL;
+  return Z ^ (Z >> 31);
+}
+
+/// Seed of the RNG stream for trial slot \p Slot of round \p Round.
+std::uint64_t slotSeed(std::uint64_t Seed, unsigned Round, unsigned Slot) {
+  return Seed ^ mix64((static_cast<std::uint64_t>(Round) << 32) |
+                      (static_cast<std::uint64_t>(Slot) + 1));
+}
+
 /// Samples a random but budget-aware mapping: per iterator, hierarchically
 /// draws register / spatial / per-PE factors from divisors, capping the
 /// spatial product at the PE count so that most samples are placeable.
-Mapping sampleMapping(const Problem &Prob, const ArchConfig &Arch, Rng &R) {
+Mapping sampleMapping(const Problem &Prob, const ArchConfig &Arch,
+                      const DivisorTable &Divs, Rng &R) {
   Mapping Map;
   const unsigned NumIters = Prob.numIterators();
   Map.Factors.resize(NumIters);
@@ -31,18 +58,18 @@ Mapping sampleMapping(const Problem &Prob, const ArchConfig &Arch, Rng &R) {
   for (unsigned I : Order) {
     std::int64_t Extent = Prob.iterators()[I].Extent;
     // Register tile r | N.
-    std::int64_t RegF = R.pick(divisorsOf(Extent));
+    std::int64_t RegF = R.pick(Divs.of(Extent));
     std::int64_t Rest = Extent / RegF;
     // Spatial p | rest, capped by the remaining PE budget.
     std::vector<std::int64_t> SpatialChoices;
-    for (std::int64_t D : divisorsOf(Rest))
+    for (std::int64_t D : Divs.of(Rest))
       if (D <= SpatialBudget)
         SpatialChoices.push_back(D);
     std::int64_t SpatF = R.pick(SpatialChoices);
     SpatialBudget /= SpatF;
     Rest /= SpatF;
     // Per-PE temporal q | rest; the DRAM level takes what remains.
-    std::int64_t PeF = R.pick(divisorsOf(Rest));
+    std::int64_t PeF = R.pick(Divs.of(Rest));
     std::int64_t DramF = Rest / PeF;
 
     Map.factor(I, TileLevel::Register) = RegF;
@@ -68,31 +95,58 @@ std::int64_t smallestPrimeFactor(std::int64_t N) {
   return N;
 }
 
-/// Mutates \p Map in place: either moves one prime factor of one iterator
+/// One mutation draw: either moves one prime factor of one iterator
 /// between two tiling levels, or swaps two entries of one permutation.
-void mutateMapping(Mapping &Map, Rng &R) {
+/// Returns false when the draw was a no-op (same level twice, factor
+/// already 1, or a self-swap) and left \p Map unchanged.
+bool tryMutateOnce(Mapping &Map, Rng &R) {
   const unsigned NumIters = Map.Factors.size();
   if (R.nextDouble() < 0.5) {
-    // Move a prime factor between two levels of a random iterator.
     unsigned I = R.nextIndex(NumIters);
     unsigned From = R.nextIndex(NumTileLevels);
     unsigned To = R.nextIndex(NumTileLevels);
     if (From == To || Map.Factors[I][From] <= 1)
-      return;
+      return false;
     std::int64_t P = smallestPrimeFactor(Map.Factors[I][From]);
     Map.Factors[I][From] /= P;
     Map.Factors[I][To] *= P;
-    return;
+    return true;
   }
-  // Swap two entries of one permutation.
   std::vector<unsigned> &Perm = R.nextDouble() < 0.5 ? Map.DramPerm
                                                      : Map.PePerm;
   if (Perm.size() < 2)
-    return;
+    return false;
   std::size_t A = R.nextIndex(Perm.size());
   std::size_t B = R.nextIndex(Perm.size());
+  if (A == B)
+    return false;
   std::swap(Perm[A], Perm[B]);
+  return true;
 }
+
+/// Mutates \p Map, retrying no-op draws a bounded number of times.
+/// Returns false if every draw was a no-op; the caller then skips the
+/// trial — re-evaluating an unchanged candidate would waste the
+/// evaluation and spuriously advance the victory-condition counter.
+bool mutateMapping(Mapping &Map, Rng &R) {
+  for (int Attempt = 0; Attempt < 8; ++Attempt)
+    if (tryMutateOnce(Map, R))
+      return true;
+  return false;
+}
+
+/// What one trial slot produced. Filled in parallel, consumed in slot
+/// order by the round-boundary reduction.
+struct SlotOutcome {
+  /// False when the slot was skipped (mutation no-op or invalid mutant).
+  bool HasEval = false;
+  Mapping Candidate;
+  EvalResult Eval;
+  double Obj = 0.0;
+  /// Pre-drawn uniform used by the annealing acceptance test so the
+  /// stream stays attached to the slot, not to the reduction.
+  double AcceptDraw = 0.0;
+};
 
 } // namespace
 
@@ -100,7 +154,6 @@ MapperResult thistle::searchMappings(const Problem &Prob,
                                      const ArchConfig &Arch,
                                      const EnergyModel &Energy,
                                      const MapperOptions &Options) {
-  Rng R(Options.Seed);
   MapperResult Result;
   double BestObj = 0.0;
   unsigned SinceImprovement = 0;
@@ -112,73 +165,113 @@ MapperResult thistle::searchMappings(const Problem &Prob,
   bool HaveCurrent = false;
   double Temperature = 0.0;
 
-  for (unsigned Trial = 0; Trial < Options.MaxTrials; ++Trial) {
+  // sampleMapping draws divisors of (divisors of) every extent up to
+  // three times per iterator per trial; enumerate them once up front.
+  DivisorTable Divs;
+  for (const Iterator &It : Prob.iterators())
+    Divs.populate(It.Extent);
+
+  // Generates and evaluates one trial slot against the round-start search
+  // state. Runs concurrently with other slots; reads of Result/Current are
+  // safe because bookkeeping only mutates them between rounds.
+  auto runSlot = [&](SlotOutcome &Out, unsigned Round, unsigned Slot) {
+    Rng R(slotSeed(Options.Seed, Round, Slot));
     Mapping Candidate;
     bool Mutated = false;
     switch (Options.Strategy) {
     case MapperStrategy::RandomSampling:
-      Candidate = sampleMapping(Prob, Arch, R);
+      Candidate = sampleMapping(Prob, Arch, Divs, R);
       break;
     case MapperStrategy::HillClimb:
       // Exploit the incumbent half of the time once one exists.
       if (Result.Found && R.nextDouble() < 0.5) {
         Candidate = Result.Best;
-        mutateMapping(Candidate, R);
         Mutated = true;
       } else {
-        Candidate = sampleMapping(Prob, Arch, R);
+        Candidate = sampleMapping(Prob, Arch, Divs, R);
       }
       break;
     case MapperStrategy::Anneal:
       if (HaveCurrent) {
         Candidate = Current;
-        mutateMapping(Candidate, R);
         Mutated = true;
       } else {
-        Candidate = sampleMapping(Prob, Arch, R);
+        Candidate = sampleMapping(Prob, Arch, Divs, R);
       }
       break;
     }
+    if (Mutated && !mutateMapping(Candidate, R))
+      return;
     if (Mutated && !Candidate.validate(Prob).empty())
-      continue;
+      return;
 
-    ++Result.Trials;
-    EvalResult Eval = evaluateMapping(Prob, Candidate, Arch, Energy);
-    if (Options.Strategy == MapperStrategy::Anneal)
-      Temperature *= Options.AnnealCooling;
-    if (!Eval.Legal) {
-      ++SinceImprovement;
-      if (SinceImprovement >= Options.VictoryCondition && Result.Found)
-        break;
-      continue;
-    }
-    ++Result.LegalTrials;
-    double Obj = objectiveValue(Eval, Options.Objective);
+    Out.Eval = evaluateMapping(Prob, Candidate, Arch, Energy);
+    Out.Obj = Out.Eval.Legal ? objectiveValue(Out.Eval, Options.Objective)
+                             : 0.0;
+    Out.AcceptDraw = R.nextDouble();
+    Out.Candidate = std::move(Candidate);
+    Out.HasEval = true;
+  };
 
-    // Annealing acceptance for the walk state.
-    if (Options.Strategy == MapperStrategy::Anneal) {
-      if (!HaveCurrent) {
-        Current = Candidate;
-        CurrentObj = Obj;
-        HaveCurrent = true;
-        Temperature = Options.AnnealInitialTemp * Obj;
-      } else if (Obj <= CurrentObj ||
-                 (Temperature > 0.0 &&
-                  R.nextDouble() <
-                      std::exp((CurrentObj - Obj) / Temperature))) {
-        Current = Candidate;
-        CurrentObj = Obj;
+  ThreadPool Pool(Options.Threads);
+  const unsigned RoundSize = std::max(1u, Options.TrialsPerRound);
+  std::vector<SlotOutcome> Slots;
+
+  unsigned SlotsIssued = 0;
+  bool Stop = false;
+  for (unsigned Round = 0; !Stop && SlotsIssued < Options.MaxTrials;
+       ++Round) {
+    const unsigned Batch =
+        std::min(RoundSize, Options.MaxTrials - SlotsIssued);
+    Slots.assign(Batch, SlotOutcome());
+    parallelFor(Pool, Batch, [&](std::size_t Slot, unsigned) {
+      runSlot(Slots[Slot], Round, static_cast<unsigned>(Slot));
+    });
+    SlotsIssued += Batch;
+
+    // Round-boundary reduction: all victory-condition and annealing
+    // bookkeeping happens here, in slot order, on this thread. Slots past
+    // a victory stop are discarded unseen, so Trials stays deterministic.
+    for (unsigned Slot = 0; Slot < Batch && !Stop; ++Slot) {
+      SlotOutcome &Out = Slots[Slot];
+      if (!Out.HasEval)
+        continue;
+      ++Result.Trials;
+      if (Options.Strategy == MapperStrategy::Anneal)
+        Temperature *= Options.AnnealCooling;
+      if (!Out.Eval.Legal) {
+        ++SinceImprovement;
+        if (SinceImprovement >= Options.VictoryCondition && Result.Found)
+          Stop = true;
+        continue;
       }
-    }
+      ++Result.LegalTrials;
 
-    if (!Result.Found || Obj < BestObj) {
-      Result.Found = true;
-      Result.Best = std::move(Candidate);
-      Result.BestEval = std::move(Eval);
-      BestObj = Obj;
-      SinceImprovement = 0;
-    } else if (++SinceImprovement >= Options.VictoryCondition) {
-      break;
+      // Annealing acceptance for the walk state.
+      if (Options.Strategy == MapperStrategy::Anneal) {
+        if (!HaveCurrent) {
+          Current = Out.Candidate;
+          CurrentObj = Out.Obj;
+          HaveCurrent = true;
+          Temperature = Options.AnnealInitialTemp * Out.Obj;
+        } else if (Out.Obj <= CurrentObj ||
+                   (Temperature > 0.0 &&
+                    Out.AcceptDraw <
+                        std::exp((CurrentObj - Out.Obj) / Temperature))) {
+          Current = Out.Candidate;
+          CurrentObj = Out.Obj;
+        }
+      }
+
+      if (!Result.Found || Out.Obj < BestObj) {
+        Result.Found = true;
+        Result.Best = std::move(Out.Candidate);
+        Result.BestEval = std::move(Out.Eval);
+        BestObj = Out.Obj;
+        SinceImprovement = 0;
+      } else if (++SinceImprovement >= Options.VictoryCondition) {
+        Stop = true;
+      }
     }
   }
   return Result;

@@ -58,6 +58,15 @@ struct MapperOptions {
   /// first legal objective value, and per-trial cooling factor.
   double AnnealInitialTemp = 0.5;
   double AnnealCooling = 0.999;
+  /// Worker threads for candidate evaluation (0 = one per hardware
+  /// thread). The search runs in rounds of TrialsPerRound independently
+  /// seeded trials whose bookkeeping is applied in slot order at the round
+  /// boundary, so the result is bit-identical at every thread count.
+  unsigned Threads = 0;
+  /// Trials per round. Unlike Threads this is part of the search
+  /// definition: RNG streams are seeded per (round, slot), so changing it
+  /// changes the trajectory.
+  unsigned TrialsPerRound = 64;
 };
 
 /// Search outcome.

@@ -86,3 +86,17 @@ std::int64_t thistle::productOf(const std::vector<std::int64_t> &Values) {
     P *= V;
   return P;
 }
+
+void DivisorTable::populate(std::int64_t N) {
+  for (std::int64_t D : divisorsOf(N)) {
+    auto It = Table.find(D);
+    if (It == Table.end())
+      Table.emplace(D, divisorsOf(D));
+  }
+}
+
+const std::vector<std::int64_t> &DivisorTable::of(std::int64_t N) const {
+  auto It = Table.find(N);
+  assert(It != Table.end() && "value not covered by a populate() call");
+  return It->second;
+}

@@ -16,6 +16,7 @@
 #define THISTLE_SUPPORT_MATHUTIL_H
 
 #include <cstdint>
+#include <unordered_map>
 #include <vector>
 
 namespace thistle {
@@ -54,6 +55,24 @@ std::vector<std::int64_t> closestPowersOfTwo(double Target, unsigned Count,
 
 /// Returns the product of all elements (empty product = 1).
 std::int64_t productOf(const std::vector<std::int64_t> &Values);
+
+/// Precomputed divisor lists, closed under divisibility: populating N also
+/// keys every divisor of N, so any chain of "divisors of a divisor"
+/// lookups hits the table. Built once per problem, then shared read-only
+/// (and hence race-free) across search worker threads; repeated
+/// trial-division in the sampling hot loop would otherwise dominate.
+class DivisorTable {
+public:
+  /// Ensures \p N and every divisor of \p N are keyed.
+  void populate(std::int64_t N);
+
+  /// Returns the divisors of \p N, which must be covered by a prior
+  /// populate() call.
+  const std::vector<std::int64_t> &of(std::int64_t N) const;
+
+private:
+  std::unordered_map<std::int64_t, std::vector<std::int64_t>> Table;
+};
 
 } // namespace thistle
 

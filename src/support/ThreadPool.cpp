@@ -1,0 +1,51 @@
+//===- support/ThreadPool.cpp - Reusable worker-thread pool ---------------===//
+
+#include "support/ThreadPool.h"
+
+using namespace thistle;
+
+ThreadPool::ThreadPool(unsigned NumThreads) {
+  const unsigned N = NumThreads ? NumThreads : defaultWorkerCount();
+  Workers.reserve(N);
+  for (unsigned I = 0; I < N; ++I)
+    Workers.emplace_back([this] { workerLoop(); });
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> Lock(Mutex);
+    Stopping = true;
+  }
+  Ready.notify_all();
+  for (std::thread &W : Workers)
+    W.join();
+}
+
+void ThreadPool::submit(std::function<void()> Task) {
+  {
+    std::lock_guard<std::mutex> Lock(Mutex);
+    Queue.push_back(std::move(Task));
+  }
+  Ready.notify_one();
+}
+
+unsigned ThreadPool::defaultWorkerCount() {
+  const unsigned N = std::thread::hardware_concurrency();
+  return N ? N : 1;
+}
+
+void ThreadPool::workerLoop() {
+  for (;;) {
+    std::function<void()> Task;
+    {
+      std::unique_lock<std::mutex> Lock(Mutex);
+      Ready.wait(Lock, [this] { return Stopping || !Queue.empty(); });
+      // Drain the queue even when stopping so no submitted task is lost.
+      if (Queue.empty())
+        return;
+      Task = std::move(Queue.front());
+      Queue.pop_front();
+    }
+    Task();
+  }
+}

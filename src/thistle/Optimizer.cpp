@@ -2,10 +2,13 @@
 
 #include "thistle/Optimizer.h"
 
+#include "support/ThreadPool.h"
 #include "thistle/PermutationSpace.h"
 
 #include <algorithm>
 #include <cassert>
+#include <tuple>
+#include <utility>
 
 using namespace thistle;
 
@@ -29,6 +32,34 @@ std::vector<unsigned> tiledIterators(const Problem &Prob,
   return Out;
 }
 
+/// One (PE-perm, DRAM-perm) class pair scheduled for a GP solve.
+struct PairTask {
+  std::size_t QI, SI;
+};
+
+/// Per-shard sweep state: the best design seen by one worker plus its stat
+/// deltas. Shards never share state on the hot path; the accumulators are
+/// merged in shard order once the sweep drains.
+struct SweepAccumulator {
+  bool Found = false;
+  double Obj = 0.0;
+  std::size_t QI = 0, SI = 0;
+  RoundedDesign Design;
+  double ModelObjective = 0.0;
+  unsigned NewtonIterations = 0;
+  unsigned GpInfeasible = 0;
+  std::size_t CandidatesEvaluated = 0;
+};
+
+/// The deterministic winner order: lexicographic on (objective, QI, SI).
+/// This reproduces the sequential sweep exactly, where a later pair only
+/// displaced the incumbent on a strictly smaller objective.
+bool winsOver(double Obj, std::size_t QI, std::size_t SI,
+              const SweepAccumulator &Acc) {
+  return !Acc.Found ||
+         std::tie(Obj, QI, SI) < std::tie(Acc.Obj, Acc.QI, Acc.SI);
+}
+
 } // namespace
 
 ThistleResult thistle::optimizeLayer(const Problem &Prob,
@@ -50,9 +81,10 @@ ThistleResult thistle::optimizeLayer(const Problem &Prob,
   if (Options.UseSymmetryPruning)
     Symmetries = findProblemSymmetries(Prob);
 
-  double BestEvalObj = 0.0;
-  unsigned PairsSolved = 0;
-
+  // Plan the sweep serially: symmetry pruning and the pair cap depend on
+  // the enumeration order, so the task list must be fixed before fan-out
+  // for the parallel sweep to solve exactly the sequential pair set.
+  std::vector<PairTask> Pairs;
   for (std::size_t QI = 0; QI < Classes.size(); ++QI) {
     for (std::size_t SI = 0; SI < Classes.size(); ++SI) {
       ++Result.Stats.PairsTotal;
@@ -77,58 +109,93 @@ ThistleResult thistle::optimizeLayer(const Problem &Prob,
         continue;
       }
       if (Options.MaxPermClassPairs &&
-          PairsSolved >= Options.MaxPermClassPairs)
+          Pairs.size() >= Options.MaxPermClassPairs)
         continue;
-      ++PairsSolved;
-
-      GpBuildSpec Spec;
-      Spec.Mode = Options.Mode;
-      Spec.Objective = Options.Objective;
-      Spec.PePerm = Classes[QI].Representative;
-      Spec.DramPerm = Classes[SI].Representative;
-      Spec.TiledIters = Tiled;
-      Spec.SpatialUntiled = Options.SpatialUntiled;
-      Spec.Arch = Arch;
-      Spec.Tech = Tech;
-      Spec.AreaBudgetUm2 = AreaBudgetUm2;
-
-      GpBuild Build = buildGp(Prob, Spec);
-      GpSolution Solution = solveGp(Build.Gp, Options.Solver);
-      Result.Stats.NewtonIterations += Solution.NewtonIterations;
-      if (!Solution.Feasible) {
-        // The drop-negative halo bound can reject tiny register files
-        // that are actually feasible; retry with the product bound,
-        // which is exact in the small-tile regime.
-        Spec.Halo = HaloBound::ProductOfTerms;
-        Build = buildGp(Prob, Spec);
-        Solution = solveGp(Build.Gp, Options.Solver);
-        Result.Stats.NewtonIterations += Solution.NewtonIterations;
-      }
-      if (!Solution.Feasible) {
-        ++Result.Stats.GpInfeasible;
-        continue;
-      }
-
-      RealSolution Real = extractSolution(Prob, Build, Spec, Solution);
-      RoundedDesign Design =
-          roundSolution(Prob, Spec, Real, Options.Rounding);
-      Result.Stats.CandidatesEvaluated += Design.CandidatesTried;
-      if (!Design.Found)
-        continue;
-
-      double Obj = objectiveValue(Design.Eval, Options.Objective);
-      if (!Result.Found || Obj < BestEvalObj) {
-        Result.Found = true;
-        Result.Arch = Design.Arch;
-        Result.Map = Design.Map;
-        Result.Eval = Design.Eval;
-        Result.ModelObjective = Real.Objective;
-        Result.BestPePerm = Spec.PePerm;
-        Result.BestDramPerm = Spec.DramPerm;
-        BestEvalObj = Obj;
-      }
+      Pairs.push_back({QI, SI});
     }
   }
-  Result.Stats.PairsSolved = PairsSolved;
+  Result.Stats.PairsSolved = static_cast<unsigned>(Pairs.size());
+
+  // Each task runs the full build -> solve -> halo-retry -> extract ->
+  // round chain independently; everything it reads is const-shared.
+  auto solvePair = [&](SweepAccumulator &Acc, std::size_t TaskIdx) {
+    const PairTask &Task = Pairs[TaskIdx];
+
+    GpBuildSpec Spec;
+    Spec.Mode = Options.Mode;
+    Spec.Objective = Options.Objective;
+    Spec.PePerm = Classes[Task.QI].Representative;
+    Spec.DramPerm = Classes[Task.SI].Representative;
+    Spec.TiledIters = Tiled;
+    Spec.SpatialUntiled = Options.SpatialUntiled;
+    Spec.Arch = Arch;
+    Spec.Tech = Tech;
+    Spec.AreaBudgetUm2 = AreaBudgetUm2;
+
+    GpBuild Build = buildGp(Prob, Spec);
+    GpSolution Solution = solveGp(Build.Gp, Options.Solver);
+    Acc.NewtonIterations += Solution.NewtonIterations;
+    if (!Solution.Feasible) {
+      // The drop-negative halo bound can reject tiny register files
+      // that are actually feasible; retry with the product bound,
+      // which is exact in the small-tile regime.
+      Spec.Halo = HaloBound::ProductOfTerms;
+      Build = buildGp(Prob, Spec);
+      Solution = solveGp(Build.Gp, Options.Solver);
+      Acc.NewtonIterations += Solution.NewtonIterations;
+    }
+    if (!Solution.Feasible) {
+      ++Acc.GpInfeasible;
+      return;
+    }
+
+    RealSolution Real = extractSolution(Prob, Build, Spec, Solution);
+    RoundedDesign Design =
+        roundSolution(Prob, Spec, Real, Options.Rounding);
+    Acc.CandidatesEvaluated += Design.CandidatesTried;
+    if (!Design.Found)
+      return;
+
+    double Obj = objectiveValue(Design.Eval, Options.Objective);
+    if (winsOver(Obj, Task.QI, Task.SI, Acc)) {
+      Acc.Found = true;
+      Acc.Obj = Obj;
+      Acc.QI = Task.QI;
+      Acc.SI = Task.SI;
+      Acc.Design = std::move(Design);
+      Acc.ModelObjective = Real.Objective;
+    }
+  };
+
+  auto mergeShards = [](SweepAccumulator &A, SweepAccumulator &&B) {
+    A.NewtonIterations += B.NewtonIterations;
+    A.GpInfeasible += B.GpInfeasible;
+    A.CandidatesEvaluated += B.CandidatesEvaluated;
+    if (B.Found && winsOver(B.Obj, B.QI, B.SI, A)) {
+      A.Found = true;
+      A.Obj = B.Obj;
+      A.QI = B.QI;
+      A.SI = B.SI;
+      A.Design = std::move(B.Design);
+      A.ModelObjective = B.ModelObjective;
+    }
+  };
+
+  ThreadPool Pool(Options.Threads);
+  SweepAccumulator Total = parallelReduce(
+      Pool, Pairs.size(), SweepAccumulator{}, solvePair, mergeShards);
+
+  Result.Stats.NewtonIterations = Total.NewtonIterations;
+  Result.Stats.GpInfeasible = Total.GpInfeasible;
+  Result.Stats.CandidatesEvaluated = Total.CandidatesEvaluated;
+  if (Total.Found) {
+    Result.Found = true;
+    Result.Arch = Total.Design.Arch;
+    Result.Map = std::move(Total.Design.Map);
+    Result.Eval = Total.Design.Eval;
+    Result.ModelObjective = Total.ModelObjective;
+    Result.BestPePerm = Classes[Total.QI].Representative;
+    Result.BestDramPerm = Classes[Total.SI].Representative;
+  }
   return Result;
 }

@@ -44,6 +44,11 @@ struct ThistleOptions {
   /// Skip pairs that are mirror images under problem symmetries
   /// (the paper's H/W pruning).
   bool UseSymmetryPruning = true;
+  /// Worker threads for the pair sweep (0 = one per hardware thread).
+  /// The result is bit-identical at every thread count — the sweep plan
+  /// is fixed before fan-out and the winner is reduced with a total
+  /// (objective, pair-index) order — so this only affects wall clock.
+  unsigned Threads = 0;
 };
 
 /// Search statistics (exposed for the ablation benchmarks).

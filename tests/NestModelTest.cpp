@@ -267,6 +267,42 @@ TEST(Mapper, DeterministicForFixedSeed) {
   EXPECT_EQ(A.Trials, B.Trials);
 }
 
+TEST(Mapper, ResultIsThreadCountInvariant) {
+  // The batched search seeds each trial slot from (seed, round, slot) and
+  // applies all bookkeeping in slot order at round boundaries, so every
+  // strategy must return bit-identical results at any worker count.
+  Problem P = makeMatmulProblem(16, 16, 16);
+  ArchConfig Arch = eyerissArch();
+  EnergyModel E(TechParams::cgo45nm());
+  for (MapperStrategy Strategy :
+       {MapperStrategy::RandomSampling, MapperStrategy::HillClimb,
+        MapperStrategy::Anneal}) {
+    MapperOptions Opts;
+    Opts.MaxTrials = 400;
+    Opts.VictoryCondition = 150;
+    Opts.Seed = 7;
+    Opts.Strategy = Strategy;
+    Opts.Threads = 1;
+    MapperResult Ref = searchMappings(P, Arch, E, Opts);
+    ASSERT_TRUE(Ref.Found);
+    for (unsigned Threads : {2u, 8u}) {
+      Opts.Threads = Threads;
+      MapperResult R = searchMappings(P, Arch, E, Opts);
+      SCOPED_TRACE("strategy " +
+                   std::to_string(static_cast<int>(Strategy)) + ", " +
+                   std::to_string(Threads) + " threads");
+      ASSERT_TRUE(R.Found);
+      EXPECT_EQ(R.Trials, Ref.Trials);
+      EXPECT_EQ(R.LegalTrials, Ref.LegalTrials);
+      EXPECT_EQ(R.BestEval.EnergyPj, Ref.BestEval.EnergyPj);
+      EXPECT_EQ(R.BestEval.Cycles, Ref.BestEval.Cycles);
+      EXPECT_EQ(R.Best.Factors, Ref.Best.Factors);
+      EXPECT_EQ(R.Best.DramPerm, Ref.Best.DramPerm);
+      EXPECT_EQ(R.Best.PePerm, Ref.Best.PePerm);
+    }
+  }
+}
+
 TEST(Mapper, DelayObjectiveImprovesIpc) {
   Problem P = makeMatmulProblem(32, 32, 32);
   ArchConfig Arch = eyerissArch();

@@ -130,6 +130,44 @@ TEST(Optimizer, DelayDataflowOnEyerissReachesGoodIpc) {
   EXPECT_LE(R.Eval.MacIpc, 168.0);
 }
 
+TEST(Optimizer, ResultIsThreadCountInvariant) {
+  // The parallel pair sweep must be bit-identical at any worker count:
+  // the sweep plan is fixed before fan-out and the winner reduction is a
+  // total order on (objective, pair index).
+  Problem P = makeConvProblem(smallConv());
+  ThistleOptions O = fastOptions();
+  O.Threads = 1;
+  ThistleResult Ref =
+      optimizeLayer(P, eyerissArch(), TechParams::cgo45nm(), O);
+  ASSERT_TRUE(Ref.Found);
+  for (unsigned Threads : {2u, 8u}) {
+    O.Threads = Threads;
+    ThistleResult R =
+        optimizeLayer(P, eyerissArch(), TechParams::cgo45nm(), O);
+    SCOPED_TRACE(std::to_string(Threads) + " threads");
+    ASSERT_TRUE(R.Found);
+    EXPECT_EQ(R.Eval.EnergyPj, Ref.Eval.EnergyPj);
+    EXPECT_EQ(R.Eval.Cycles, Ref.Eval.Cycles);
+    EXPECT_EQ(R.ModelObjective, Ref.ModelObjective);
+    EXPECT_EQ(R.Map.Factors, Ref.Map.Factors);
+    EXPECT_EQ(R.Map.DramPerm, Ref.Map.DramPerm);
+    EXPECT_EQ(R.Map.PePerm, Ref.Map.PePerm);
+    EXPECT_EQ(R.BestPePerm, Ref.BestPePerm);
+    EXPECT_EQ(R.BestDramPerm, Ref.BestDramPerm);
+    EXPECT_EQ(R.Arch.NumPEs, Ref.Arch.NumPEs);
+    EXPECT_EQ(R.Arch.RegWordsPerPE, Ref.Arch.RegWordsPerPE);
+    EXPECT_EQ(R.Arch.SramWords, Ref.Arch.SramWords);
+    // Merged stats, not just the winner, must match.
+    EXPECT_EQ(R.Stats.PairsTotal, Ref.Stats.PairsTotal);
+    EXPECT_EQ(R.Stats.PairsSolved, Ref.Stats.PairsSolved);
+    EXPECT_EQ(R.Stats.PairsSkippedBySymmetry,
+              Ref.Stats.PairsSkippedBySymmetry);
+    EXPECT_EQ(R.Stats.NewtonIterations, Ref.Stats.NewtonIterations);
+    EXPECT_EQ(R.Stats.GpInfeasible, Ref.Stats.GpInfeasible);
+    EXPECT_EQ(R.Stats.CandidatesEvaluated, Ref.Stats.CandidatesEvaluated);
+  }
+}
+
 TEST(Optimizer, ReportsWinningPermutations) {
   Problem P = makeConvProblem(smallConv());
   ThistleResult R = optimizeLayer(P, eyerissArch(), TechParams::cgo45nm(),

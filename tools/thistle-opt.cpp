@@ -16,6 +16,7 @@
 
 #include "export/TimeloopExport.h"
 #include "ir/Builders.h"
+#include "support/ThreadPool.h"
 #include "thistle/Optimizer.h"
 #include "workloads/Workloads.h"
 
@@ -45,6 +46,9 @@ void printUsage(const char *Prog) {
       "  --mode dataflow|codesign      (default: dataflow)\n"
       "  --objective energy|delay|edp  (default: energy)\n"
       "  --candidates N                rounding width n (default: 2)\n"
+      "  --threads N                   worker threads for the pair sweep\n"
+      "                                (default: all hardware threads;\n"
+      "                                results are identical at any N)\n"
       "\n"
       "architecture (dataflow mode; defaults to Eyeriss):\n"
       "  --pes N --regs N --sram-words N\n"
@@ -195,6 +199,8 @@ int main(int Argc, char **Argv) {
     } else if (Arg == "--candidates") {
       Options.Rounding.NumCandidates =
           static_cast<unsigned>(std::atoi(needValue()));
+    } else if (Arg == "--threads") {
+      Options.Threads = static_cast<unsigned>(std::atoi(needValue()));
     } else if (Arg == "--pes") {
       Arch.NumPEs = std::atoll(needValue());
     } else if (Arg == "--regs") {
@@ -253,9 +259,11 @@ int main(int Argc, char **Argv) {
               R.Eval.DramEnergyPj);
   std::printf("mapping:\n%s", R.Map.toString(Prob).c_str());
   std::printf("search: %u GP solves, %u Newton iterations, %zu integer "
-              "candidates\n",
+              "candidates (%u worker threads)\n",
               R.Stats.PairsSolved, R.Stats.NewtonIterations,
-              R.Stats.CandidatesEvaluated);
+              R.Stats.CandidatesEvaluated,
+              Options.Threads ? Options.Threads
+                              : ThreadPool::defaultWorkerCount());
 
   if (ExportTimeloop) {
     std::printf("\n# ---- Timeloop architecture spec ----\n%s",
