@@ -28,7 +28,7 @@ namespace {
 void printMultilevelTable() {
   TechParams Tech = TechParams::cgo45nm();
   ArchConfig Arch = eyerissArch();
-  Hierarchy Classic = Hierarchy::classic(Arch, Tech);
+  Hierarchy Classic = Hierarchy::classic3Level(Arch, Tech);
   ArchConfig SmallRf = Arch;
   SmallRf.RegWordsPerPE = 64;
   Hierarchy Spad = Hierarchy::withScratchpad(SmallRf, Tech,
@@ -70,7 +70,7 @@ void printDepthCoDesign() {
   TechParams Tech = TechParams::cgo45nm();
   ArchConfig Arch = eyerissArch();
   double Budget = eyerissAreaUm2(Tech);
-  Hierarchy H3 = Hierarchy::classic(Arch, Tech);
+  Hierarchy H3 = Hierarchy::classic3Level(Arch, Tech);
   Hierarchy H4 = Hierarchy::withScratchpad(Arch, Tech, 1024,
                                            Arch.SramWords);
 

@@ -1,0 +1,174 @@
+//===- bench/bench_hierarchy_depth.cpp - L-level engine throughput --------===//
+//
+// Measures how the hierarchy-generic engine scales with memory depth: the
+// analytical evaluation rate (evals/s of evaluateMultiMapping on random
+// valid mappings) and the mapper search rate (trials/s) on the same conv
+// layer mapped onto 3-, 4- and 5-level machines. Writes the numbers to
+// BENCH_hierarchy.json so the depth-scaling trajectory is tracked across
+// PRs. The classic 3-level row doubles as the regression reference: it is
+// the exact engine behind the fixed nestmodel pipeline.
+//
+//===----------------------------------------------------------------------===//
+
+#include "bench/BenchCommon.h"
+#include "multilevel/MultiNestAnalysis.h"
+#include "support/MathUtil.h"
+#include "support/Rng.h"
+
+#include <cstdio>
+#include <vector>
+
+using namespace thistle;
+using namespace thistle::bench;
+
+namespace {
+
+/// The measured machines: same PE array and backing store, one extra
+/// on-chip level per row.
+Hierarchy machineOfDepth(unsigned Depth) {
+  ArchConfig Arch = eyerissArch();
+  TechParams Tech = TechParams::cgo45nm();
+  switch (Depth) {
+  case 3:
+    return Hierarchy::classic3Level(Arch, Tech);
+  case 4:
+    return Hierarchy::withScratchpad(Arch, Tech, /*SpadWords=*/2048,
+                                     Arch.SramWords);
+  default: {
+    Hierarchy H = Hierarchy::withScratchpad(Arch, Tech, /*SpadWords=*/2048,
+                                            Arch.SramWords);
+    // Insert a second shared SRAM level below DRAM.
+    H.Levels.insert(H.Levels.end() - 1,
+                    {"SRAM-L2", 4 * Arch.SramWords,
+                     H.Levels[H.numLevels() - 2].AccessEnergyPj * 2.0,
+                     H.Levels[H.numLevels() - 2].Bandwidth});
+    return H;
+  }
+  }
+}
+
+/// Random valid MultiMapping by hierarchical divisor sampling (the same
+/// scheme the mapper's sampler uses, without the PE-budget filtering).
+MultiMapping randomMapping(const Problem &P, const Hierarchy &H, Rng &R) {
+  const unsigned NumIters = P.numIterators();
+  const unsigned L = H.numLevels();
+  MultiMapping M;
+  M.TempFactors.assign(L, std::vector<std::int64_t>(NumIters, 1));
+  M.SpatialFactors.assign(NumIters, 1);
+  std::int64_t SpatialBudget = H.NumPEs;
+  for (unsigned I = 0; I < NumIters; ++I) {
+    std::int64_t Rest = P.iterators()[I].Extent;
+    for (unsigned Lv = 0; Lv + 1 < L; ++Lv) {
+      std::int64_t F = R.pick(divisorsOf(Rest));
+      M.TempFactors[Lv][I] = F;
+      Rest /= F;
+    }
+    std::vector<std::int64_t> Choices;
+    for (std::int64_t D : divisorsOf(Rest))
+      if (D <= SpatialBudget)
+        Choices.push_back(D);
+    std::int64_t Sp = R.pick(Choices);
+    SpatialBudget /= Sp;
+    M.SpatialFactors[I] = Sp;
+    M.TempFactors[L - 1][I] = Rest / Sp;
+  }
+  std::vector<unsigned> Identity(NumIters);
+  for (unsigned I = 0; I < NumIters; ++I)
+    Identity[I] = I;
+  M.Perms.assign(L, Identity);
+  for (unsigned Lv = 1; Lv < L; ++Lv)
+    R.shuffle(M.Perms[Lv]);
+  return M;
+}
+
+struct DepthRow {
+  unsigned Depth = 0;
+  double AnalysisPerS = 0.0;
+  double MapperTrialsPerS = 0.0;
+  double BestEnergyPj = 0.0;
+};
+
+DepthRow measureDepth(const Problem &P, unsigned Depth) {
+  DepthRow Row;
+  Row.Depth = Depth;
+  Hierarchy H = machineOfDepth(Depth);
+
+  // Analysis throughput: evaluate a fixed batch of pre-sampled mappings
+  // so only the analytical model is on the clock.
+  const int NumEvals = 20000;
+  Rng R(17);
+  std::vector<MultiMapping> Batch;
+  Batch.reserve(NumEvals);
+  for (int I = 0; I < NumEvals; ++I)
+    Batch.push_back(randomMapping(P, H, R));
+  WallTimer TA;
+  double Checksum = 0.0;
+  for (const MultiMapping &M : Batch)
+    Checksum += evaluateMultiMapping(P, H, M).EnergyPj;
+  Row.AnalysisPerS = NumEvals / TA.seconds();
+  if (Checksum <= 0.0)
+    std::printf("WARNING: degenerate checksum at depth %u\n", Depth);
+
+  // Mapper throughput: fixed trial budget, no early victory.
+  MapperOptions Opts = mapperOptions(SearchObjective::Energy);
+  Opts.MaxTrials = 6000;
+  Opts.VictoryCondition = 6000;
+  WallTimer TM;
+  MultiMapperResult MR = searchMultiMappings(P, H, Opts);
+  Row.MapperTrialsPerS = MR.Trials / TM.seconds();
+  Row.BestEnergyPj = MR.Found ? MR.BestEval.EnergyPj : 0.0;
+  return Row;
+}
+
+void writeJson(const char *Path, const std::string &Workload,
+               const std::vector<DepthRow> &Rows) {
+  std::FILE *F = std::fopen(Path, "w");
+  if (!F) {
+    std::fprintf(stderr, "cannot write %s\n", Path);
+    return;
+  }
+  std::fprintf(F,
+               "{\n"
+               "  \"bench\": \"hierarchy_depth\",\n"
+               "  \"workload\": \"%s\",\n"
+               "  \"depths\": [\n",
+               Workload.c_str());
+  for (std::size_t I = 0; I < Rows.size(); ++I)
+    std::fprintf(F,
+                 "    {\n"
+                 "      \"levels\": %u,\n"
+                 "      \"analysis_per_s\": %.2f,\n"
+                 "      \"mapper_trials_per_s\": %.2f,\n"
+                 "      \"best_energy_pj\": %.2f\n"
+                 "    }%s\n",
+                 Rows[I].Depth, Rows[I].AnalysisPerS,
+                 Rows[I].MapperTrialsPerS, Rows[I].BestEnergyPj,
+                 I + 1 < Rows.size() ? "," : "");
+  std::fprintf(F, "  ]\n}\n");
+  std::fclose(F);
+}
+
+} // namespace
+
+int main() {
+  printHeader("hierarchy depth scaling",
+              "Analytical-evaluation and mapper-search throughput of the\n"
+              "L-level engine on the same conv layer at 3, 4 and 5 memory\n"
+              "levels. Cost should grow roughly linearly in L.");
+
+  ConvLayer L = resnet18Layers()[4];
+  Problem P = makeConvProblem(L);
+
+  std::vector<DepthRow> Rows;
+  for (unsigned Depth : {3u, 4u, 5u}) {
+    Rows.push_back(measureDepth(P, Depth));
+    const DepthRow &R = Rows.back();
+    std::printf("L=%u  %10.0f evals/s  %10.0f trials/s  best %.3e pJ\n",
+                R.Depth, R.AnalysisPerS, R.MapperTrialsPerS,
+                R.BestEnergyPj);
+  }
+
+  writeJson("BENCH_hierarchy.json", L.Name, Rows);
+  std::printf("\nwrote BENCH_hierarchy.json\n");
+  return 0;
+}

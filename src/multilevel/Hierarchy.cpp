@@ -2,6 +2,7 @@
 
 #include "multilevel/Hierarchy.h"
 
+#include <cstdlib>
 #include <sstream>
 
 using namespace thistle;
@@ -45,7 +46,8 @@ double Hierarchy::areaUm2(const TechParams &Tech) const {
   return PerPE * static_cast<double>(NumPEs) + Shared;
 }
 
-Hierarchy Hierarchy::classic(const ArchConfig &Arch, const TechParams &Tech) {
+Hierarchy Hierarchy::classic3Level(const ArchConfig &Arch,
+                                   const TechParams &Tech) {
   EnergyModel Energy(Tech);
   Hierarchy H;
   H.FanoutLevel = 1;
@@ -59,6 +61,18 @@ Hierarchy Hierarchy::classic(const ArchConfig &Arch, const TechParams &Tech) {
        Energy.sramAccessPj(static_cast<double>(Arch.SramWords)),
        Arch.SramBandwidth},
       {"DRAM", 0, Energy.dramAccessPj(), Arch.DramBandwidth},
+  };
+  return H;
+}
+
+Hierarchy Hierarchy::classic3Shape() {
+  Hierarchy H;
+  H.FanoutLevel = 1;
+  H.NumPEs = 1;
+  H.Levels = {
+      {"RegisterFile", 1, 0.0, 1.0},
+      {"SRAM", 1, 0.0, 1.0},
+      {"DRAM", 0, 0.0, 1.0},
   };
   return H;
 }
@@ -86,4 +100,67 @@ Hierarchy Hierarchy::withScratchpad(const ArchConfig &Arch,
       {"DRAM", 0, Energy.dramAccessPj(), Arch.DramBandwidth},
   };
   return H;
+}
+
+bool thistle::parseHierarchy(const std::string &Text, Hierarchy &Out,
+                             std::string &Error) {
+  Hierarchy H;
+  H.Levels.clear();
+  bool SawFanout = false;
+
+  std::istringstream Lines(Text);
+  std::string Line;
+  unsigned LineNo = 0;
+  while (std::getline(Lines, Line)) {
+    ++LineNo;
+    std::size_t Hash = Line.find('#');
+    if (Hash != std::string::npos)
+      Line.resize(Hash);
+    std::istringstream Fields(Line);
+    std::string Key;
+    if (!(Fields >> Key))
+      continue; // Blank or comment-only line.
+
+    std::ostringstream Err;
+    auto fail = [&](const std::string &What) {
+      Err << "line " << LineNo << ": " << What;
+      Error = Err.str();
+      return false;
+    };
+
+    if (Key == "pes") {
+      if (!(Fields >> H.NumPEs))
+        return fail("'pes' wants an integer");
+    } else if (Key == "mac-pj") {
+      if (!(Fields >> H.MacEnergyPj))
+        return fail("'mac-pj' wants a number");
+    } else if (Key == "fanout") {
+      if (!(Fields >> H.FanoutLevel))
+        return fail("'fanout' wants a level index");
+      SawFanout = true;
+    } else if (Key == "level") {
+      HierarchyLevel L;
+      std::string Capacity;
+      if (!(Fields >> L.Name >> Capacity >> L.AccessEnergyPj >> L.Bandwidth))
+        return fail("'level' wants: name capacity access-pj bandwidth");
+      L.CapacityWords =
+          Capacity == "-" ? 0 : std::atoll(Capacity.c_str());
+      H.Levels.push_back(L);
+    } else {
+      return fail("unknown key '" + Key + "'");
+    }
+    std::string Extra;
+    if (Fields >> Extra)
+      return fail("trailing field '" + Extra + "'");
+  }
+
+  if (!SawFanout)
+    H.FanoutLevel = 1;
+  std::string Why = H.validate();
+  if (!Why.empty()) {
+    Error = Why;
+    return false;
+  }
+  Out = H;
+  return true;
 }

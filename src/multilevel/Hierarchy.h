@@ -68,9 +68,15 @@ struct Hierarchy {
 
   /// The classic paper machine as a 3-level hierarchy: per-PE register
   /// file, shared SRAM, DRAM, with Eq. 4 access energies. Equivalent to
-  /// an ArchConfig — used to cross-check multilevel against the fixed
-  /// 4-level pipeline.
-  static Hierarchy classic(const ArchConfig &Arch, const TechParams &Tech);
+  /// an ArchConfig — this is the default instantiation the fixed-depth
+  /// nestmodel/ and sim/ layers wrap the generic engine with.
+  static Hierarchy classic3Level(const ArchConfig &Arch,
+                                 const TechParams &Tech);
+
+  /// The classic 3-level *structure* only (placeholder capacities,
+  /// energies and bandwidths): enough for pure traffic analysis, where
+  /// just the depth and the fan-out position matter.
+  static Hierarchy classic3Shape();
 
   /// A 4-level variant of \p Arch: the same register file and DRAM, with
   /// the shared SRAM split into a per-PE scratchpad of \p SpadWords plus
@@ -80,6 +86,21 @@ struct Hierarchy {
                                   std::int64_t SpadWords,
                                   std::int64_t SramWords);
 };
+
+/// Parses a textual machine description into a Hierarchy. Line-oriented,
+/// '#' comments, levels inner to outer:
+///
+///   pes 256
+///   mac-pj 2.2
+///   fanout 1
+///   level RegisterFile 64 0.58 1e9     # name capacity access-pj bandwidth
+///   level SRAM 16384 8.3 160
+///   level DRAM - 128.0 16              # '-' = unbounded (outermost)
+///
+/// Returns false and sets \p Error on malformed input (including a
+/// hierarchy that fails validate()).
+bool parseHierarchy(const std::string &Text, Hierarchy &Out,
+                    std::string &Error);
 
 } // namespace thistle
 

@@ -4,6 +4,7 @@
 
 #include "expr/FactoredExpr.h"
 #include "support/MathUtil.h"
+#include "support/ThreadPool.h"
 #include "thistle/PermutationSpace.h"
 
 #include <algorithm>
@@ -191,8 +192,24 @@ MultiResult thistle::optimizeHierarchy(const Problem &Prob,
   std::size_t Combos = static_cast<std::size_t>(
       std::min<double>(TotalCombos, Options.MaxPermCombos));
 
-  double BestObj = 0.0;
-  for (std::size_t Combo = 0; Combo < Combos; ++Combo) {
+  // One shard-local accumulator of the combo sweep: the local winner plus
+  // the solver counters. Combos fold into these independently and the
+  // shards merge in combo order with a strict minimum, so the reduction
+  // reproduces the serial first-minimum winner at every thread count
+  // (each combo's Tried budget is already per-combo, and the serial
+  // incumbent never pruned later combos).
+  struct ComboAcc {
+    bool Found = false;
+    MultiMapping Map;
+    MultiEvalResult Eval;
+    Hierarchy Arch;
+    double ModelObjective = 0.0;
+    double BestObj = 0.0;
+    unsigned CombosSolved = 0;
+    unsigned GpInfeasible = 0;
+  };
+
+  auto runCombo = [&](ComboAcc &Local, std::size_t Combo) {
     // Spread combo indices across the full space when capped.
     std::size_t Index = static_cast<std::size_t>(
         TotalCombos <= Options.MaxPermCombos
@@ -324,10 +341,10 @@ MultiResult thistle::optimizeHierarchy(const Problem &Prob,
     }
 
     GpSolution Sol = solveGp(Gp, Options.Solver);
-    ++Result.CombosSolved;
+    ++Local.CombosSolved;
     if (!Sol.Feasible) {
-      ++Result.GpInfeasible;
-      continue;
+      ++Local.GpInfeasible;
+      return;
     }
 
     // Hierarchy candidates: the fixed input, or rounded capacities / PE
@@ -381,7 +398,7 @@ MultiResult thistle::optimizeHierarchy(const Problem &Prob,
           break;
       }
       if (HierCandidates.empty())
-        continue;
+        return;
     }
 
     // ---- Rounding: per-iterator cumulative divisor chains, nearest
@@ -459,18 +476,14 @@ MultiResult thistle::optimizeHierarchy(const Problem &Prob,
           MultiEvalResult Eval = evaluateMultiMapping(Prob, Hc, Map);
           if (!Eval.Legal)
             continue;
-          double Obj = Options.Objective == SearchObjective::Energy
-                           ? Eval.EnergyPj
-                       : Options.Objective == SearchObjective::Delay
-                           ? Eval.Cycles
-                           : Eval.EdpPjCycles;
-          if (!Result.Found || Obj < BestObj) {
-            Result.Found = true;
-            Result.Map = Map;
-            Result.Eval = Eval;
-            Result.Arch = Hc;
-            Result.ModelObjective = Sol.Objective;
-            BestObj = Obj;
+          double Obj = objectiveValue(Eval, Options.Objective);
+          if (!Local.Found || Obj < Local.BestObj) {
+            Local.Found = true;
+            Local.Map = Map;
+            Local.Eval = Eval;
+            Local.Arch = Hc;
+            Local.ModelObjective = Sol.Objective;
+            Local.BestObj = Obj;
           }
         }
         return;
@@ -481,6 +494,32 @@ MultiResult thistle::optimizeHierarchy(const Problem &Prob,
       }
     };
     recurse(recurse, 0);
+  };
+
+  ThreadPool Pool(Options.Threads);
+  ComboAcc Best = parallelReduce(
+      Pool, Combos, ComboAcc(),
+      [&](ComboAcc &Local, std::size_t Combo) { runCombo(Local, Combo); },
+      [](ComboAcc &Acc, ComboAcc &&Local) {
+        Acc.CombosSolved += Local.CombosSolved;
+        Acc.GpInfeasible += Local.GpInfeasible;
+        if (Local.Found && (!Acc.Found || Local.BestObj < Acc.BestObj)) {
+          Acc.Found = true;
+          Acc.Map = std::move(Local.Map);
+          Acc.Eval = std::move(Local.Eval);
+          Acc.Arch = std::move(Local.Arch);
+          Acc.ModelObjective = Local.ModelObjective;
+          Acc.BestObj = Local.BestObj;
+        }
+      });
+  Result.CombosSolved = Best.CombosSolved;
+  Result.GpInfeasible = Best.GpInfeasible;
+  if (Best.Found) {
+    Result.Found = true;
+    Result.Map = std::move(Best.Map);
+    Result.Eval = std::move(Best.Eval);
+    Result.Arch = std::move(Best.Arch);
+    Result.ModelObjective = Best.ModelObjective;
   }
   return Result;
 }

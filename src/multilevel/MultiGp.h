@@ -19,7 +19,7 @@
 #define THISTLE_MULTILEVEL_MULTIGP_H
 
 #include "multilevel/MultiNestAnalysis.h"
-#include "nestmodel/Mapper.h"
+#include "nestmodel/Objective.h"
 #include "solver/GpSolver.h"
 
 #include <string>
@@ -51,6 +51,10 @@ struct MultiOptions {
   unsigned NumCandidates = 2;
   /// Cap on integer candidates evaluated per rounded solution.
   std::size_t MaxMappingCandidates = 4000;
+  /// Worker threads for the combo sweep (0 = one per hardware thread).
+  /// The result is bit-identical at every thread count: combos fold into
+  /// per-shard winners merged in combo order with a strict minimum.
+  unsigned Threads = 0;
   GpSolverOptions Solver;
 };
 

@@ -2,6 +2,7 @@
 
 #include "multilevel/MultiMapping.h"
 
+#include <cassert>
 #include <numeric>
 #include <sstream>
 
@@ -116,4 +117,21 @@ MultiMapping MultiMapping::fromMapping(const Problem &Prob,
   std::iota(Identity.begin(), Identity.end(), 0u);
   M.Perms = {Identity, Map.PePerm, Map.DramPerm};
   return M;
+}
+
+Mapping MultiMapping::toMapping() const {
+  assert(numLevels() == 3 && "only 3-level mappings are fixed-depth");
+  const std::size_t NumIters = SpatialFactors.size();
+  Mapping Map;
+  Map.Factors.resize(NumIters);
+  for (std::size_t I = 0; I < NumIters; ++I) {
+    unsigned It = static_cast<unsigned>(I);
+    Map.factor(It, TileLevel::Register) = TempFactors[0][I];
+    Map.factor(It, TileLevel::PeTemporal) = TempFactors[1][I];
+    Map.factor(It, TileLevel::DramTemporal) = TempFactors[2][I];
+    Map.factor(It, TileLevel::Spatial) = SpatialFactors[I];
+  }
+  Map.PePerm = Perms[1];
+  Map.DramPerm = Perms[2];
+  return Map;
 }

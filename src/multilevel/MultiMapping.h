@@ -64,6 +64,9 @@ struct MultiMapping {
   /// first shared / outer): level-0 = register factors, level-1 =
   /// PeTemporal, level-2 = DramTemporal, spatial = spatial.
   static MultiMapping fromMapping(const Problem &Prob, const Mapping &Map);
+
+  /// The inverse of fromMapping; requires numLevels() == 3.
+  Mapping toMapping() const;
 };
 
 } // namespace thistle

@@ -86,19 +86,29 @@ MultiProfile thistle::analyzeMultiNest(const Problem &Prob,
   Profile.Occupancy.assign(L, 0);
   Profile.PEsUsed = Map.numPEsUsed();
 
+  // Per-level tile extents and outer-trip products, hoisted out of the
+  // per-tensor loop: this is the hot path of the mapper wrappers.
+  std::vector<std::vector<std::int64_t>> Extents(L);
+  for (unsigned Lv = 0; Lv < L; ++Lv)
+    Extents[Lv] = Map.tileExtents(H, Lv);
+  // OuterTrips[Lv] = product of every trip count of levels > Lv.
+  std::vector<std::int64_t> OuterTrips(L, 1);
+  for (unsigned Lv = L - 1; Lv > 0; --Lv) {
+    std::int64_t LevelTrips = 1;
+    for (unsigned I = 0; I < NumIters; ++I)
+      LevelTrips *= Map.TempFactors[Lv][I];
+    OuterTrips[Lv - 1] = OuterTrips[Lv] * LevelTrips;
+  }
+
   for (std::size_t TI = 0; TI < Prob.tensors().size(); ++TI) {
     const Tensor &T = Prob.tensors()[TI];
     for (unsigned B = 0; B < H.numBoundaries(); ++B) {
       const unsigned WalkLevel = B + 1;
-      std::vector<std::int64_t> StartExtents = Map.tileExtents(H, B);
       LevelWalk Walk =
           walkLevel(T, Map.Perms[WalkLevel], Map.TempFactors[WalkLevel]);
 
-      std::int64_t M = Walk.Multiplier;
       // Every trip count of the levels above the walked one.
-      for (unsigned Lv = WalkLevel + 1; Lv < L; ++Lv)
-        for (unsigned I = 0; I < NumIters; ++I)
-          M *= Map.TempFactors[Lv][I];
+      std::int64_t M = Walk.Multiplier * OuterTrips[WalkLevel];
       // Spatial contribution (see file header).
       if (WalkLevel < F) {
         for (unsigned I = 0; I < NumIters; ++I)
@@ -109,13 +119,13 @@ MultiProfile thistle::analyzeMultiNest(const Problem &Prob,
             M *= Map.SpatialFactors[I];
       }
 
-      std::int64_t Volume = M * unionWords(T, StartExtents, Walk);
+      std::int64_t Volume = M * unionWords(T, Extents[B], Walk);
       if (T.ReadWrite)
         Volume *= 2;
       Profile.Words[B][TI] = Volume;
     }
     for (unsigned Lv = 0; Lv < L; ++Lv)
-      Profile.Occupancy[Lv] += T.footprintWords(Map.tileExtents(H, Lv));
+      Profile.Occupancy[Lv] += T.footprintWords(Extents[Lv]);
   }
   return Profile;
 }
@@ -141,26 +151,47 @@ MultiEvalResult thistle::evaluateMultiMapping(const Problem &Prob,
   }
   Result.IllegalReason = Why.str();
 
+  const unsigned L = H.numLevels();
   const double Nops = static_cast<double>(Prob.numOps());
-  // Energy: MAC + registers per operation, plus each boundary's words
-  // priced at both adjacent levels' access energies.
-  double Energy = (4.0 * H.Levels[0].AccessEnergyPj + H.MacEnergyPj) * Nops;
+
+  // Boundary traffic, as doubles, with one-past-the-end zeros so every
+  // level sees its two adjacent boundaries (W_{-1} = W_{L-1} = 0).
+  std::vector<double> W(H.numBoundaries());
   for (unsigned B = 0; B < H.numBoundaries(); ++B)
-    Energy += static_cast<double>(P.boundaryWords(B)) *
-              (H.Levels[B].AccessEnergyPj + H.Levels[B + 1].AccessEnergyPj);
+    W[B] = static_cast<double>(P.boundaryWords(B));
+  auto boundary = [&](int B) {
+    return B < 0 || B >= static_cast<int>(H.numBoundaries()) ? 0.0 : W[B];
+  };
+
+  // Energy, Eq. 3 generalized: the MAC term (register accesses ride every
+  // operation), then each level priced over the words crossing its two
+  // adjacent boundaries. Grouping by level (not by boundary) keeps the
+  // floating-point sum identical to the fixed-depth Eq. 3 components.
+  Result.MacEnergyPj =
+      (4.0 * H.Levels[0].AccessEnergyPj + H.MacEnergyPj) * Nops;
+  Result.EnergyPerLevelPj.assign(L, 0.0);
+  for (unsigned Lv = 0; Lv < L; ++Lv)
+    Result.EnergyPerLevelPj[Lv] =
+        H.Levels[Lv].AccessEnergyPj *
+        (boundary(static_cast<int>(Lv) - 1) + boundary(static_cast<int>(Lv)));
+  double Energy = Result.MacEnergyPj;
+  for (unsigned Lv = 0; Lv < L; ++Lv)
+    Energy += Result.EnergyPerLevelPj[Lv];
   Result.EnergyPj = Energy;
   Result.EnergyPerMacPj = Energy / Nops;
 
-  // Delay: compute bound plus each level's bandwidth over its adjacent
-  // boundaries; private levels have one instance per used PE.
-  double Cycles = Nops / static_cast<double>(P.PEsUsed);
-  for (unsigned Lv = 1; Lv < H.numLevels(); ++Lv) {
-    double W = static_cast<double>(P.boundaryWords(Lv - 1));
-    if (Lv < H.numBoundaries())
-      W += static_cast<double>(P.boundaryWords(Lv));
+  // Delay (section V-B): compute bound plus each level's bandwidth over
+  // its adjacent boundaries; private levels have one instance per used PE.
+  Result.ComputeCycles = Nops / static_cast<double>(P.PEsUsed);
+  Result.CyclesPerLevel.assign(L, 0.0);
+  double Cycles = Result.ComputeCycles;
+  for (unsigned Lv = 1; Lv < L; ++Lv) {
+    double Words =
+        boundary(static_cast<int>(Lv) - 1) + boundary(static_cast<int>(Lv));
     double Instances =
         Lv < H.FanoutLevel ? static_cast<double>(P.PEsUsed) : 1.0;
-    Cycles = std::max(Cycles, W / (H.Levels[Lv].Bandwidth * Instances));
+    Result.CyclesPerLevel[Lv] = Words / (H.Levels[Lv].Bandwidth * Instances);
+    Cycles = std::max(Cycles, Result.CyclesPerLevel[Lv]);
   }
   Result.Cycles = std::max(Cycles, 1.0);
   Result.MacIpc = Nops / Result.Cycles;

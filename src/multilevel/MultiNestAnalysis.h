@@ -54,15 +54,36 @@ struct MultiProfile {
 MultiProfile analyzeMultiNest(const Problem &Prob, const Hierarchy &H,
                               const MultiMapping &Map);
 
-/// Evaluated metrics of one multilevel design.
+/// Evaluated metrics of one multilevel design, with the paper's Eq. 3
+/// energy decomposition and Eq. 5/section V-B delay decomposition carried
+/// as per-level vectors. On a classic 3-level machine the components map
+/// onto the fixed-depth EvalResult exactly (bit-for-bit):
+/// EnergyPerLevelPj = {Reg, Sram, Dram} and CyclesPerLevel =
+/// {0, SramCycles, DramCycles}.
 struct MultiEvalResult {
   bool Legal = false;
   std::string IllegalReason;
+
   double EnergyPj = 0.0;
   double EnergyPerMacPj = 0.0;
-  double Cycles = 0.0;
-  double MacIpc = 0.0;
+  /// (4 eps_0 + eps_op) * Nops: the compute term including the register
+  /// accesses of every MAC.
+  double MacEnergyPj = 0.0;
+  /// EnergyPerLevelPj[l] = eps_l * (W_{l-1} + W_l): each level's access
+  /// energy over the traffic of its two adjacent boundaries (W_{-1} =
+  /// W_{L-1} = 0). EnergyPj = MacEnergyPj + sum_l EnergyPerLevelPj[l].
+  std::vector<double> EnergyPerLevelPj;
+
   double EdpPjCycles = 0.0;
+
+  double Cycles = 0.0;
+  double ComputeCycles = 0.0; ///< Nops / PEsUsed.
+  /// CyclesPerLevel[l] = (W_{l-1} + W_l) / (BW_l * instances), l >= 1;
+  /// instances = PEsUsed for per-PE levels, 1 for shared ones.
+  /// CyclesPerLevel[0] = 0 (register accesses ride the MAC pipe).
+  std::vector<double> CyclesPerLevel;
+  double MacIpc = 0.0;
+
   MultiProfile Profile;
 };
 

@@ -34,6 +34,8 @@ MultiSimResult thistle::simulateMultiNest(const Problem &Prob,
   MultiSimResult Result;
   Result.Words.assign(H.numBoundaries(),
                       std::vector<std::int64_t>(Prob.tensors().size(), 0));
+  Result.Loads = Result.Words;
+  Result.Stores = Result.Words;
 
   for (std::size_t TI = 0; TI < Prob.tensors().size(); ++TI) {
     const Tensor &T = Prob.tensors()[TI];
@@ -76,7 +78,7 @@ MultiSimResult thistle::simulateMultiNest(const Problem &Prob,
       for (unsigned It : Map.Perms[WalkLevel])
         WalkTrips.push_back(Map.TempFactors[WalkLevel][It]);
 
-      std::int64_t Total = 0;
+      std::int64_t TotalLoads = 0, TotalStores = 0;
       forEachStep(OuterTrips, [&](const std::vector<std::int64_t> &OIdx,
                                   std::size_t) {
         std::vector<std::int64_t> BaseOrigins(NumIters, 0);
@@ -105,10 +107,13 @@ MultiSimResult thistle::simulateMultiNest(const Problem &Prob,
             Buf.step(tileBox(T, TileOrigins, StartExt), Continuous);
           });
           Buf.finish();
-          Total += Buf.loads() + Buf.stores();
+          TotalLoads += Buf.loads();
+          TotalStores += Buf.stores();
         });
       });
-      Result.Words[B][TI] = Total * Replication;
+      Result.Loads[B][TI] = TotalLoads * Replication;
+      Result.Stores[B][TI] = TotalStores * Replication;
+      Result.Words[B][TI] = Result.Loads[B][TI] + Result.Stores[B][TI];
     }
   }
   return Result;

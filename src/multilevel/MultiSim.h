@@ -24,10 +24,15 @@
 
 namespace thistle {
 
-/// Oracle counts: Words[b][t] = words moved across boundary b for tensor
-/// t (reads + writes).
+/// Oracle counts per boundary b and tensor t, split by direction so the
+/// fixed-depth sim/ wrapper can report DRAM->SRAM vs SRAM->DRAM etc.:
+/// Loads[b][t] = words moved outer-to-inner (reads of level b+1),
+/// Stores[b][t] = words written back inner-to-outer (read-write tensors
+/// only), Words[b][t] = their sum.
 struct MultiSimResult {
   std::vector<std::vector<std::int64_t>> Words;
+  std::vector<std::vector<std::int64_t>> Loads;
+  std::vector<std::vector<std::int64_t>> Stores;
 };
 
 /// Simulates \p Map on \p H; cost proportional to the total tile steps.

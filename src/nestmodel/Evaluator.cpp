@@ -1,80 +1,67 @@
 //===- nestmodel/Evaluator.cpp - Energy/delay evaluation ------------------===//
+//
+// Thin wrapper over the hierarchy-generic evaluation: the architecture is
+// lifted to Hierarchy::classic3Level (which prices the levels with the
+// same Eq. 4 per-access energies the fixed-depth code used) and the
+// per-level decomposition maps back onto the Eq. 3 components. The
+// floating-point grouping of the generic evaluator matches this code's
+// original expression term for term, so the wrapped results are
+// bit-identical to the pre-unification ones.
+//
+//===----------------------------------------------------------------------===//
 
 #include "nestmodel/Evaluator.h"
 
-#include "nestmodel/Mapper.h"
+#include "multilevel/MultiNestAnalysis.h"
 
-#include <algorithm>
-#include <cassert>
 #include <sstream>
 
 using namespace thistle;
 
-EvalResult thistle::evaluateMapping(const Problem &Prob, const Mapping &Map,
-                                    const ArchConfig &Arch,
-                                    const EnergyModel &Energy) {
+EvalResult thistle::evalResultFromMulti(const Problem &Prob,
+                                        const ArchConfig &Arch,
+                                        const MultiEvalResult &ME) {
   EvalResult Result;
-  Result.Profile = analyzeNest(Prob, Map);
+  Result.Profile = profileFromMulti(Prob, ME.Profile);
   const NestProfile &P = Result.Profile;
 
-  // Legality.
-  Result.Legal = true;
+  // Legality, regenerated in the fixed-depth wording (the generic
+  // evaluator names the levels after the hierarchy).
+  Result.Legal = ME.Legal;
   std::ostringstream Why;
-  if (P.RegTileWords > Arch.RegWordsPerPE) {
-    Result.Legal = false;
+  if (P.RegTileWords > Arch.RegWordsPerPE)
     Why << "register tile " << P.RegTileWords << " words > capacity "
         << Arch.RegWordsPerPE << "; ";
-  }
-  if (P.SramTileWords > Arch.SramWords) {
-    Result.Legal = false;
+  if (P.SramTileWords > Arch.SramWords)
     Why << "SRAM tile " << P.SramTileWords << " words > capacity "
         << Arch.SramWords << "; ";
-  }
-  if (P.PEsUsed > Arch.NumPEs) {
-    Result.Legal = false;
+  if (P.PEsUsed > Arch.NumPEs)
     Why << "uses " << P.PEsUsed << " PEs > available " << Arch.NumPEs << "; ";
-  }
   Result.IllegalReason = Why.str();
 
-  const double Nops = static_cast<double>(Prob.numOps());
-  const double DvDram = static_cast<double>(P.dramTraffic());
-  const double DvSramReg = static_cast<double>(P.sramRegTraffic());
+  // Eq. 3 components from the per-level decomposition.
+  Result.MacEnergyPj = ME.MacEnergyPj;
+  Result.RegEnergyPj = ME.EnergyPerLevelPj[0];
+  Result.SramEnergyPj = ME.EnergyPerLevelPj[1];
+  Result.DramEnergyPj = ME.EnergyPerLevelPj[2];
+  Result.EnergyPj = ME.EnergyPj;
+  Result.EnergyPerMacPj = ME.EnergyPerMacPj;
 
-  // Energy, Eq. 3: per-access energies from the actual capacities.
-  const double EpsR =
-      Energy.regAccessPj(static_cast<double>(Arch.RegWordsPerPE));
-  const double EpsS = Energy.sramAccessPj(static_cast<double>(Arch.SramWords));
-  const double EpsD = Energy.dramAccessPj();
-  Result.MacEnergyPj = (4.0 * EpsR + Energy.macPj()) * Nops;
-  Result.RegEnergyPj = EpsR * DvSramReg;
-  Result.SramEnergyPj = EpsS * (DvSramReg + DvDram);
-  Result.DramEnergyPj = EpsD * DvDram;
-  Result.EnergyPj = Result.MacEnergyPj + Result.RegEnergyPj +
-                    Result.SramEnergyPj + Result.DramEnergyPj;
-  Result.EnergyPerMacPj = Result.EnergyPj / Nops;
-
-  // Delay: each component processes its events at its throughput; the
-  // slowest one bounds execution (section V-B).
-  Result.ComputeCycles = Nops / static_cast<double>(P.PEsUsed);
-  Result.DramCycles = DvDram / Arch.DramBandwidth;
-  Result.SramCycles = (DvSramReg + DvDram) / Arch.SramBandwidth;
-  Result.Cycles = std::max(
-      {Result.ComputeCycles, Result.DramCycles, Result.SramCycles, 1.0});
-  Result.MacIpc = Nops / Result.Cycles;
-  Result.EdpPjCycles = Result.EnergyPj * Result.Cycles;
+  // Section V-B delay components.
+  Result.ComputeCycles = ME.ComputeCycles;
+  Result.SramCycles = ME.CyclesPerLevel[1];
+  Result.DramCycles = ME.CyclesPerLevel[2];
+  Result.Cycles = ME.Cycles;
+  Result.MacIpc = ME.MacIpc;
+  Result.EdpPjCycles = ME.EdpPjCycles;
   return Result;
 }
 
-double thistle::objectiveValue(const EvalResult &Eval,
-                               SearchObjective Objective) {
-  switch (Objective) {
-  case SearchObjective::Energy:
-    return Eval.EnergyPj;
-  case SearchObjective::Delay:
-    return Eval.Cycles;
-  case SearchObjective::EnergyDelayProduct:
-    return Eval.EdpPjCycles;
-  }
-  assert(false && "unknown search objective");
-  return 0.0;
+EvalResult thistle::evaluateMapping(const Problem &Prob, const Mapping &Map,
+                                    const ArchConfig &Arch,
+                                    const EnergyModel &Energy) {
+  Hierarchy H = Hierarchy::classic3Level(Arch, Energy.tech());
+  MultiEvalResult ME =
+      evaluateMultiMapping(Prob, H, MultiMapping::fromMapping(Prob, Map));
+  return evalResultFromMulti(Prob, Arch, ME);
 }

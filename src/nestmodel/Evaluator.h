@@ -23,6 +23,7 @@
 #include "ir/Problem.h"
 #include "model/TechModel.h"
 #include "nestmodel/NestAnalysis.h"
+#include "nestmodel/Objective.h"
 
 #include <string>
 
@@ -55,14 +56,22 @@ struct EvalResult {
 ///
 /// Illegal mappings still carry metrics (useful for diagnostics) but are
 /// flagged. Register capacity is per PE; SRAM capacity is shared.
+///
+/// Thin wrapper: lifts \p Arch to Hierarchy::classic3Level, runs the
+/// generic L-level evaluation and maps the per-level decomposition back
+/// onto the Eq. 3 / section V-B component names — bit-identically to the
+/// pre-unification fixed-depth code.
 EvalResult evaluateMapping(const Problem &Prob, const Mapping &Map,
                            const ArchConfig &Arch, const EnergyModel &Energy);
 
-// (Defined in Mapper.h to avoid a cycle; forward declaration here.)
-enum class SearchObjective;
+struct MultiEvalResult;
 
-/// The scalar value an optimizer minimizes for \p Objective.
-double objectiveValue(const EvalResult &Eval, SearchObjective Objective);
+/// Repackages a classic-3-level generic evaluation into the fixed-depth
+/// result: Eq. 3 components from the per-level energy vector, SRAM/DRAM
+/// cycles from the per-level delay vector, and the fixed-depth legality
+/// wording regenerated against \p Arch.
+EvalResult evalResultFromMulti(const Problem &Prob, const ArchConfig &Arch,
+                               const MultiEvalResult &ME);
 
 } // namespace thistle
 

@@ -1,12 +1,22 @@
 //===- nestmodel/Mapper.cpp - Search-based mapping baseline ---------------===//
 //
-// The search runs in rounds of Options.TrialsPerRound trials. Every trial
-// slot owns an RNG stream seeded from (search seed, round, slot) — never
-// from the worker thread that happens to execute it — and candidate
-// generation plus evaluation (the hot path) fan out across a ThreadPool.
-// All search bookkeeping (incumbent best, victory-condition counter,
-// annealing walk state) is applied on one thread, in slot order, at the
-// round boundary, so the outcome is bit-identical at every thread count.
+// The search is hierarchy-generic: candidates are MultiMappings on an
+// arbitrary-depth machine, and the classic searchMappings entry point is
+// a thin wrapper running the same engine at Hierarchy::classic3Level.
+// The generic sampler and mutator are written so that at 3 levels they
+// consume the RNG stream in exactly the order the fixed-depth code did
+// (register / spatial / per-PE / DRAM factor draws, DRAM-then-PE
+// permutation shuffles, the outer-to-inner mutation-slot order of the
+// old TileLevel enum), keeping trial trajectories bit-identical.
+//
+// Concurrency (unchanged from the fixed-depth engine): the search runs
+// in rounds of Options.TrialsPerRound trials. Every trial slot owns an
+// RNG stream seeded from (search seed, round, slot) — never from the
+// worker thread that happens to execute it — and candidate generation
+// plus evaluation (the hot path) fan out across a ThreadPool. All search
+// bookkeeping (incumbent best, victory-condition counter, annealing walk
+// state) is applied on one thread, in slot order, at the round boundary,
+// so the outcome is bit-identical at every thread count.
 //
 //===----------------------------------------------------------------------===//
 
@@ -41,48 +51,64 @@ std::uint64_t slotSeed(std::uint64_t Seed, unsigned Round, unsigned Slot) {
 }
 
 /// Samples a random but budget-aware mapping: per iterator, hierarchically
-/// draws register / spatial / per-PE factors from divisors, capping the
-/// spatial product at the PE count so that most samples are placeable.
-Mapping sampleMapping(const Problem &Prob, const ArchConfig &Arch,
-                      const DivisorTable &Divs, Rng &R) {
-  Mapping Map;
+/// draws the per-iterator divisor chain v_0 | .. | v_{F-1} | v_sp | v_F |
+/// .. (innermost first, spatial at the fan-out), capping the spatial
+/// product at the PE count so that most samples are placeable. The
+/// outermost temporal level takes what remains.
+MultiMapping sampleMultiMapping(const Problem &Prob, const Hierarchy &H,
+                                const DivisorTable &Divs, Rng &R) {
   const unsigned NumIters = Prob.numIterators();
-  Map.Factors.resize(NumIters);
+  const unsigned L = H.numLevels();
+  const unsigned F = H.FanoutLevel;
+  MultiMapping Map;
+  Map.TempFactors.assign(L, std::vector<std::int64_t>(NumIters, 1));
+  Map.SpatialFactors.assign(NumIters, 1);
 
-  std::int64_t SpatialBudget = Arch.NumPEs;
+  std::int64_t SpatialBudget = H.NumPEs;
   // Visit iterators in random order so no dimension hogs the PE budget.
   std::vector<unsigned> Order(NumIters);
   std::iota(Order.begin(), Order.end(), 0u);
   R.shuffle(Order);
 
   for (unsigned I : Order) {
-    std::int64_t Extent = Prob.iterators()[I].Extent;
-    // Register tile r | N.
-    std::int64_t RegF = R.pick(Divs.of(Extent));
-    std::int64_t Rest = Extent / RegF;
+    std::int64_t Rest = Prob.iterators()[I].Extent;
+    // Per-PE temporal levels below the fan-out, innermost first.
+    for (unsigned Lv = 0; Lv < F; ++Lv) {
+      std::int64_t T = R.pick(Divs.of(Rest));
+      Map.TempFactors[Lv][I] = T;
+      Rest /= T;
+    }
     // Spatial p | rest, capped by the remaining PE budget.
     std::vector<std::int64_t> SpatialChoices;
     for (std::int64_t D : Divs.of(Rest))
       if (D <= SpatialBudget)
         SpatialChoices.push_back(D);
     std::int64_t SpatF = R.pick(SpatialChoices);
+    Map.SpatialFactors[I] = SpatF;
     SpatialBudget /= SpatF;
     Rest /= SpatF;
-    // Per-PE temporal q | rest; the DRAM level takes what remains.
-    std::int64_t PeF = R.pick(Divs.of(Rest));
-    std::int64_t DramF = Rest / PeF;
-
-    Map.factor(I, TileLevel::Register) = RegF;
-    Map.factor(I, TileLevel::Spatial) = SpatF;
-    Map.factor(I, TileLevel::PeTemporal) = PeF;
-    Map.factor(I, TileLevel::DramTemporal) = DramF;
+    // Shared temporal levels; the outermost takes what remains.
+    for (unsigned Lv = F; Lv + 1 < L; ++Lv) {
+      std::int64_t T = R.pick(Divs.of(Rest));
+      Map.TempFactors[Lv][I] = T;
+      Rest /= T;
+    }
+    Map.TempFactors[L - 1][I] = Rest;
   }
 
-  Map.DramPerm.resize(NumIters);
-  std::iota(Map.DramPerm.begin(), Map.DramPerm.end(), 0u);
-  R.shuffle(Map.DramPerm);
-  Map.PePerm = Map.DramPerm;
-  R.shuffle(Map.PePerm);
+  // Permutations: the outermost level is drawn fresh; each inner level
+  // starts from its outer neighbor and is reshuffled (the fixed-depth
+  // DramPerm-then-PePerm chain, generalized). Level 0 moves no data.
+  Map.Perms.assign(L, std::vector<unsigned>());
+  Map.Perms[L - 1].resize(NumIters);
+  std::iota(Map.Perms[L - 1].begin(), Map.Perms[L - 1].end(), 0u);
+  R.shuffle(Map.Perms[L - 1]);
+  for (unsigned Lv = L - 1; Lv > 1; --Lv) {
+    Map.Perms[Lv - 1] = Map.Perms[Lv];
+    R.shuffle(Map.Perms[Lv - 1]);
+  }
+  Map.Perms[0].resize(NumIters);
+  std::iota(Map.Perms[0].begin(), Map.Perms[0].end(), 0u);
   return Map;
 }
 
@@ -95,25 +121,44 @@ std::int64_t smallestPrimeFactor(std::int64_t N) {
   return N;
 }
 
+/// The factor of iterator \p Iter at mutation slot \p Slot. Slots order
+/// the L+1 factor positions outer to inner as they appear in the machine
+/// nest: t_{L-1}, .., t_{F+1}, spatial, t_F, .., t_0. At 3 levels this is
+/// exactly the old TileLevel enum order (Dram, Spatial, Pe, Register).
+std::int64_t &slotFactor(MultiMapping &Map, unsigned L, unsigned F,
+                         unsigned Slot, unsigned Iter) {
+  const unsigned SpatialSlot = L - 1 - F;
+  if (Slot == SpatialSlot)
+    return Map.SpatialFactors[Iter];
+  unsigned Level = Slot < SpatialSlot ? L - 1 - Slot : L - Slot;
+  return Map.TempFactors[Level][Iter];
+}
+
 /// One mutation draw: either moves one prime factor of one iterator
-/// between two tiling levels, or swaps two entries of one permutation.
-/// Returns false when the draw was a no-op (same level twice, factor
-/// already 1, or a self-swap) and left \p Map unchanged.
-bool tryMutateOnce(Mapping &Map, Rng &R) {
-  const unsigned NumIters = Map.Factors.size();
+/// between two factor slots, or swaps two entries of one permutation
+/// (permuted levels L-1 .. 1, outermost first — at 3 levels the same
+/// DramPerm-vs-PePerm coin the fixed-depth code flipped). Returns false
+/// when the draw was a no-op (same slot twice, factor already 1, or a
+/// self-swap) and left \p Map unchanged.
+bool tryMutateOnce(MultiMapping &Map, unsigned L, unsigned F, Rng &R) {
+  const unsigned NumIters =
+      static_cast<unsigned>(Map.SpatialFactors.size());
+  const unsigned NumSlots = L + 1;
   if (R.nextDouble() < 0.5) {
     unsigned I = R.nextIndex(NumIters);
-    unsigned From = R.nextIndex(NumTileLevels);
-    unsigned To = R.nextIndex(NumTileLevels);
-    if (From == To || Map.Factors[I][From] <= 1)
+    unsigned From = R.nextIndex(NumSlots);
+    unsigned To = R.nextIndex(NumSlots);
+    if (From == To || slotFactor(Map, L, F, From, I) <= 1)
       return false;
-    std::int64_t P = smallestPrimeFactor(Map.Factors[I][From]);
-    Map.Factors[I][From] /= P;
-    Map.Factors[I][To] *= P;
+    std::int64_t P = smallestPrimeFactor(slotFactor(Map, L, F, From, I));
+    slotFactor(Map, L, F, From, I) /= P;
+    slotFactor(Map, L, F, To, I) *= P;
     return true;
   }
-  std::vector<unsigned> &Perm = R.nextDouble() < 0.5 ? Map.DramPerm
-                                                     : Map.PePerm;
+  unsigned Level =
+      (L - 1) - static_cast<unsigned>(R.nextDouble() *
+                                      static_cast<double>(L - 1));
+  std::vector<unsigned> &Perm = Map.Perms[Level];
   if (Perm.size() < 2)
     return false;
   std::size_t A = R.nextIndex(Perm.size());
@@ -128,9 +173,9 @@ bool tryMutateOnce(Mapping &Map, Rng &R) {
 /// Returns false if every draw was a no-op; the caller then skips the
 /// trial — re-evaluating an unchanged candidate would waste the
 /// evaluation and spuriously advance the victory-condition counter.
-bool mutateMapping(Mapping &Map, Rng &R) {
+bool mutateMapping(MultiMapping &Map, unsigned L, unsigned F, Rng &R) {
   for (int Attempt = 0; Attempt < 8; ++Attempt)
-    if (tryMutateOnce(Map, R))
+    if (tryMutateOnce(Map, L, F, R))
       return true;
   return false;
 }
@@ -140,8 +185,8 @@ bool mutateMapping(Mapping &Map, Rng &R) {
 struct SlotOutcome {
   /// False when the slot was skipped (mutation no-op or invalid mutant).
   bool HasEval = false;
-  Mapping Candidate;
-  EvalResult Eval;
+  MultiMapping Candidate;
+  MultiEvalResult Eval;
   double Obj = 0.0;
   /// Pre-drawn uniform used by the annealing acceptance test so the
   /// stream stays attached to the slot, not to the reduction.
@@ -150,23 +195,26 @@ struct SlotOutcome {
 
 } // namespace
 
-MapperResult thistle::searchMappings(const Problem &Prob,
-                                     const ArchConfig &Arch,
-                                     const EnergyModel &Energy,
-                                     const MapperOptions &Options) {
-  MapperResult Result;
+MultiMapperResult thistle::searchMultiMappings(const Problem &Prob,
+                                               const Hierarchy &H,
+                                               const MapperOptions &Options) {
+  assert(H.validate().empty() && "hierarchy must validate");
+  const unsigned L = H.numLevels();
+  const unsigned F = H.FanoutLevel;
+
+  MultiMapperResult Result;
   double BestObj = 0.0;
   unsigned SinceImprovement = 0;
 
   // Annealing walks from a current point that may be worse than the
   // incumbent best.
-  Mapping Current;
+  MultiMapping Current;
   double CurrentObj = 0.0;
   bool HaveCurrent = false;
   double Temperature = 0.0;
 
-  // sampleMapping draws divisors of (divisors of) every extent up to
-  // three times per iterator per trial; enumerate them once up front.
+  // sampleMultiMapping draws divisors of (divisors of) every extent up to
+  // L+1 times per iterator per trial; enumerate them once up front.
   DivisorTable Divs;
   for (const Iterator &It : Prob.iterators())
     Divs.populate(It.Extent);
@@ -176,11 +224,11 @@ MapperResult thistle::searchMappings(const Problem &Prob,
   // safe because bookkeeping only mutates them between rounds.
   auto runSlot = [&](SlotOutcome &Out, unsigned Round, unsigned Slot) {
     Rng R(slotSeed(Options.Seed, Round, Slot));
-    Mapping Candidate;
+    MultiMapping Candidate;
     bool Mutated = false;
     switch (Options.Strategy) {
     case MapperStrategy::RandomSampling:
-      Candidate = sampleMapping(Prob, Arch, Divs, R);
+      Candidate = sampleMultiMapping(Prob, H, Divs, R);
       break;
     case MapperStrategy::HillClimb:
       // Exploit the incumbent half of the time once one exists.
@@ -188,7 +236,7 @@ MapperResult thistle::searchMappings(const Problem &Prob,
         Candidate = Result.Best;
         Mutated = true;
       } else {
-        Candidate = sampleMapping(Prob, Arch, Divs, R);
+        Candidate = sampleMultiMapping(Prob, H, Divs, R);
       }
       break;
     case MapperStrategy::Anneal:
@@ -196,16 +244,16 @@ MapperResult thistle::searchMappings(const Problem &Prob,
         Candidate = Current;
         Mutated = true;
       } else {
-        Candidate = sampleMapping(Prob, Arch, Divs, R);
+        Candidate = sampleMultiMapping(Prob, H, Divs, R);
       }
       break;
     }
-    if (Mutated && !mutateMapping(Candidate, R))
+    if (Mutated && !mutateMapping(Candidate, L, F, R))
       return;
-    if (Mutated && !Candidate.validate(Prob).empty())
+    if (Mutated && !Candidate.validate(Prob, H).empty())
       return;
 
-    Out.Eval = evaluateMapping(Prob, Candidate, Arch, Energy);
+    Out.Eval = evaluateMultiMapping(Prob, H, Candidate);
     Out.Obj = Out.Eval.Legal ? objectiveValue(Out.Eval, Options.Objective)
                              : 0.0;
     Out.AcceptDraw = R.nextDouble();
@@ -273,6 +321,24 @@ MapperResult thistle::searchMappings(const Problem &Prob,
         Stop = true;
       }
     }
+  }
+  return Result;
+}
+
+MapperResult thistle::searchMappings(const Problem &Prob,
+                                     const ArchConfig &Arch,
+                                     const EnergyModel &Energy,
+                                     const MapperOptions &Options) {
+  Hierarchy H = Hierarchy::classic3Level(Arch, Energy.tech());
+  MultiMapperResult MR = searchMultiMappings(Prob, H, Options);
+
+  MapperResult Result;
+  Result.Found = MR.Found;
+  Result.Trials = MR.Trials;
+  Result.LegalTrials = MR.LegalTrials;
+  if (MR.Found) {
+    Result.Best = MR.Best.toMapping();
+    Result.BestEval = evalResultFromMulti(Prob, Arch, MR.BestEval);
   }
   return Result;
 }

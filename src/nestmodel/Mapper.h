@@ -17,21 +17,13 @@
 #ifndef THISTLE_NESTMODEL_MAPPER_H
 #define THISTLE_NESTMODEL_MAPPER_H
 
+#include "multilevel/MultiNestAnalysis.h"
 #include "nestmodel/Evaluator.h"
+#include "nestmodel/Objective.h"
 
 #include <cstdint>
 
 namespace thistle {
-
-/// What the search minimizes.
-enum class SearchObjective {
-  Energy, ///< Total energy (pJ).
-  Delay,  ///< Total cycles.
-  /// Energy-delay product. The paper's formulation supports it ("energy
-  /// or delay (or energy-delay product)") without evaluating it; this
-  /// library implements it as an extension.
-  EnergyDelayProduct,
-};
 
 /// Search strategy, mirroring Timeloop's "various search strategies".
 enum class MapperStrategy {
@@ -78,7 +70,25 @@ struct MapperResult {
   unsigned LegalTrials = 0;
 };
 
+/// Search outcome over an L-level hierarchy.
+struct MultiMapperResult {
+  bool Found = false;        ///< True if any legal mapping was evaluated.
+  MultiMapping Best;         ///< Best legal mapping found.
+  MultiEvalResult BestEval;  ///< Its metrics.
+  unsigned Trials = 0;       ///< Candidates evaluated.
+  unsigned LegalTrials = 0;
+};
+
+/// Runs the stochastic mapping search for \p Prob on the fixed hierarchy
+/// \p H — the hierarchy-generic engine. On a classic 3-level machine the
+/// RNG streams, trial trajectory and winner are bit-identical to
+/// searchMappings (which wraps this), at every thread count.
+MultiMapperResult searchMultiMappings(const Problem &Prob, const Hierarchy &H,
+                                      const MapperOptions &Options);
+
 /// Runs the baseline mapping search for \p Prob on the fixed \p Arch.
+/// Thin wrapper: lifts \p Arch to Hierarchy::classic3Level and runs
+/// searchMultiMappings.
 MapperResult searchMappings(const Problem &Prob, const ArchConfig &Arch,
                             const EnergyModel &Energy,
                             const MapperOptions &Options);

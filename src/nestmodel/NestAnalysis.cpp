@@ -1,81 +1,22 @@
 //===- nestmodel/NestAnalysis.cpp - Analytical access counting ------------===//
+//
+// Since the hierarchy-generic unification this file holds no counting
+// logic of its own: the fixed register/SRAM/DRAM analysis is the generic
+// L-level engine (multilevel/MultiNestAnalysis) instantiated at the
+// classic 3-level structure, with the combined per-boundary volumes split
+// back into the directional fixed-depth profile. The mapping between the
+// two representations: boundary 0 = SRAM<->registers, boundary 1 =
+// DRAM<->SRAM, occupancy levels 0/1 = register/SRAM tiles.
+//
+//===----------------------------------------------------------------------===//
 
 #include "nestmodel/NestAnalysis.h"
 
-#include <algorithm>
+#include "multilevel/MultiNestAnalysis.h"
+
 #include <cassert>
-#include <optional>
 
 using namespace thistle;
-
-namespace {
-
-/// Result of walking one temporal level for one tensor: the volume
-/// multiplier from non-hoisted loops, and the streaming iterator (the
-/// innermost present one, with its trip count) whose consecutive tiles
-/// are counted as a union.
-struct LevelWalk {
-  std::int64_t Multiplier = 1;
-  std::optional<unsigned> StreamIter;
-  std::int64_t StreamTrip = 1;
-};
-
-/// Applies the Algorithm-1 counting rules to one tensor at one temporal
-/// level; \p Perm is the outer-to-inner loop order, \p Trips the
-/// per-iterator trip counts at this level.
-LevelWalk walkTemporalLevel(const Tensor &T, const std::vector<unsigned> &Perm,
-                            const std::vector<std::int64_t> &Trips) {
-  LevelWalk Walk;
-  bool CanHoist = true;
-  for (std::size_t Pos = Perm.size(); Pos > 0; --Pos) {
-    unsigned It = Perm[Pos - 1];
-    std::int64_t Trip = Trips[It];
-    if (Trip == 1)
-      continue; // Trip-1 loops are no-ops; the model sees through them.
-    if (CanHoist) {
-      if (T.usesIter(It)) {
-        // Innermost present iterator: consecutive tiles stream along its
-        // dimension and their union is counted once ("replace").
-        CanHoist = false;
-        Walk.StreamIter = It;
-        Walk.StreamTrip = Trip;
-      }
-      // else: absent below the hoist point -> copy hoisted above, free.
-    } else {
-      // Above the hoist point every loop re-triggers the copy.
-      Walk.Multiplier *= Trip;
-    }
-  }
-  return Walk;
-}
-
-/// Words in the exact union of \p Walk.StreamTrip consecutive tiles of
-/// shape \p Extents along the streaming iterator. Per data dimension the
-/// first tile covers E words and each subsequent tile adds
-/// min(E, shift) where shift = stride * tile extent is the per-step
-/// displacement; min(E, shift) handles both halo overlap (shift < E) and
-/// strided holes (shift > E, where the dense hull of the paper's formula
-/// would overcount).
-std::int64_t unionFootprintWords(const Tensor &T,
-                                 const std::vector<std::int64_t> &Extents,
-                                 const LevelWalk &Walk) {
-  std::int64_t Words = 1;
-  for (const DimRef &D : T.Dims) {
-    std::int64_t DimExtent = D.extentFor(Extents);
-    if (Walk.StreamIter && D.uses(*Walk.StreamIter)) {
-      std::int64_t Stride = 0;
-      for (const DimRef::Term &Term : D.Terms)
-        if (Term.Iter == *Walk.StreamIter)
-          Stride = Term.Stride;
-      std::int64_t Shift = Stride * Extents[*Walk.StreamIter];
-      DimExtent += (Walk.StreamTrip - 1) * std::min(DimExtent, Shift);
-    }
-    Words *= DimExtent;
-  }
-  return Words;
-}
-
-} // namespace
 
 std::int64_t NestProfile::dramTraffic() const {
   std::int64_t Sum = 0;
@@ -91,55 +32,31 @@ std::int64_t NestProfile::sramRegTraffic() const {
   return Sum;
 }
 
-NestProfile thistle::analyzeNest(const Problem &Prob, const Mapping &Map) {
-  assert(Map.validate(Prob).empty() && "mapping must validate");
-  const unsigned NumIters = Prob.numIterators();
-
+NestProfile thistle::profileFromMulti(const Problem &Prob,
+                                      const MultiProfile &MP) {
   NestProfile Profile;
   Profile.PerTensor.resize(Prob.tensors().size());
-  Profile.PEsUsed = Map.numPEsUsed();
-
-  std::vector<std::int64_t> DramTrips(NumIters), PeTrips(NumIters);
-  for (unsigned I = 0; I < NumIters; ++I) {
-    DramTrips[I] = Map.factor(I, TileLevel::DramTemporal);
-    PeTrips[I] = Map.factor(I, TileLevel::PeTemporal);
-  }
-
-  const std::vector<std::int64_t> RegExt = Map.registerTileExtents();
-  const std::vector<std::int64_t> SramExt = Map.sramTileExtents();
-
   for (std::size_t TI = 0; TI < Prob.tensors().size(); ++TI) {
-    const Tensor &T = Prob.tensors()[TI];
+    const bool RW = Prob.tensors()[TI].ReadWrite;
     TensorVolumes &V = Profile.PerTensor[TI];
-
-    // DRAM <-> SRAM: start from the SRAM tile, walk the DRAM-level loops.
-    {
-      LevelWalk Walk = walkTemporalLevel(T, Map.DramPerm, DramTrips);
-      std::int64_t Volume =
-          Walk.Multiplier * unionFootprintWords(T, SramExt, Walk);
-      V.DramToSram = Volume;
-      V.SramToDram = T.ReadWrite ? Volume : 0;
-    }
-
-    // SRAM <-> registers: start from the register tile, walk the per-PE
-    // loops, then multiply by present spatial trips (multicast collapse)
-    // and by every DRAM-level trip (per-level model).
-    {
-      LevelWalk Walk = walkTemporalLevel(T, Map.PePerm, PeTrips);
-      std::int64_t M = Walk.Multiplier;
-      for (unsigned I = 0; I < NumIters; ++I) {
-        if (T.usesIter(I))
-          M *= Map.factor(I, TileLevel::Spatial);
-        M *= DramTrips[I];
-      }
-      std::int64_t Volume = M * unionFootprintWords(T, RegExt, Walk);
-      V.SramToReg = Volume;
-      V.RegToSram = T.ReadWrite ? Volume : 0;
-    }
-
-    // Buffer occupancies (dense tile boxes).
-    Profile.RegTileWords += T.footprintWords(RegExt);
-    Profile.SramTileWords += T.footprintWords(SramExt);
+    // The generic profile doubles read-write volumes into one number;
+    // the split back out is exact.
+    std::int64_t Dram = RW ? MP.Words[1][TI] / 2 : MP.Words[1][TI];
+    std::int64_t SramReg = RW ? MP.Words[0][TI] / 2 : MP.Words[0][TI];
+    V.DramToSram = Dram;
+    V.SramToDram = RW ? Dram : 0;
+    V.SramToReg = SramReg;
+    V.RegToSram = RW ? SramReg : 0;
   }
+  Profile.RegTileWords = MP.Occupancy[0];
+  Profile.SramTileWords = MP.Occupancy[1];
+  Profile.PEsUsed = MP.PEsUsed;
   return Profile;
+}
+
+NestProfile thistle::analyzeNest(const Problem &Prob, const Mapping &Map) {
+  assert(Map.validate(Prob).empty() && "mapping must validate");
+  MultiProfile MP = analyzeMultiNest(Prob, Hierarchy::classic3Shape(),
+                                     MultiMapping::fromMapping(Prob, Map));
+  return profileFromMulti(Prob, MP);
 }

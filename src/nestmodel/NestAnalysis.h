@@ -21,7 +21,10 @@
 ///    tensor's reference (multicast/reduction collapse, paper Eq. 2);
 ///  - trip-1 loops are no-ops (a Timeloop-style model sees through them).
 ///
-/// Validated against the brute-force oracle in sim/ by the test suite.
+/// The rules are implemented once, for hierarchies of any depth, in
+/// multilevel/MultiNestAnalysis; this header is the classic 3-level view
+/// of that engine. Validated against the brute-force oracle in sim/ by
+/// the test suite.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -59,8 +62,16 @@ struct NestProfile {
   std::int64_t sramRegTraffic() const;
 };
 
-/// Analyzes \p Map (which must validate against \p Prob).
+/// Analyzes \p Map (which must validate against \p Prob). Thin wrapper:
+/// runs the generic L-level analysis (multilevel/MultiNestAnalysis) at
+/// the classic 3-level structure and splits the volumes back out.
 NestProfile analyzeNest(const Problem &Prob, const Mapping &Map);
+
+struct MultiProfile;
+
+/// Repackages a 3-level generic profile (boundary 0 = SRAM<->registers,
+/// boundary 1 = DRAM<->SRAM) into the fixed-depth directional profile.
+NestProfile profileFromMulti(const Problem &Prob, const MultiProfile &MP);
 
 } // namespace thistle
 

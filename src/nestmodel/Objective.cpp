@@ -1,0 +1,38 @@
+//===- nestmodel/Objective.cpp - Search objectives ------------------------===//
+
+#include "nestmodel/Objective.h"
+
+#include "multilevel/MultiNestAnalysis.h"
+#include "nestmodel/Evaluator.h"
+
+#include <cassert>
+
+using namespace thistle;
+
+double thistle::objectiveValue(const EvalResult &Eval,
+                               SearchObjective Objective) {
+  switch (Objective) {
+  case SearchObjective::Energy:
+    return Eval.EnergyPj;
+  case SearchObjective::Delay:
+    return Eval.Cycles;
+  case SearchObjective::EnergyDelayProduct:
+    return Eval.EdpPjCycles;
+  }
+  assert(false && "unknown search objective");
+  return 0.0;
+}
+
+double thistle::objectiveValue(const MultiEvalResult &Eval,
+                               SearchObjective Objective) {
+  switch (Objective) {
+  case SearchObjective::Energy:
+    return Eval.EnergyPj;
+  case SearchObjective::Delay:
+    return Eval.Cycles;
+  case SearchObjective::EnergyDelayProduct:
+    return Eval.EdpPjCycles;
+  }
+  assert(false && "unknown search objective");
+  return 0.0;
+}

@@ -1,13 +1,20 @@
 //===- sim/TiledLoopSim.cpp - Brute-force data-movement oracle ------------===//
+//
+// Since the hierarchy-generic unification the walk itself lives in
+// multilevel/MultiSim; this file runs the generic L-level oracle at the
+// classic 3-level structure and splits the per-boundary load/store counts
+// back into the directional fixed-depth fields (boundary 0 =
+// SRAM<->registers, boundary 1 = DRAM<->SRAM).
+//
+//===----------------------------------------------------------------------===//
 
 #include "sim/TiledLoopSim.h"
 
-#include "sim/TileWalk.h"
+#include "multilevel/MultiSim.h"
 
 #include <cassert>
 
 using namespace thistle;
-using namespace thistle::simdetail;
 
 std::int64_t SimResult::totalDramTraffic() const {
   std::int64_t Sum = 0;
@@ -25,91 +32,16 @@ std::int64_t SimResult::totalSramRegTraffic() const {
 
 SimResult thistle::simulateTiledNest(const Problem &Prob, const Mapping &Map) {
   assert(Map.validate(Prob).empty() && "mapping must validate");
-  const unsigned NumIters = Prob.numIterators();
-  const std::vector<std::int64_t> SramExt = Map.sramTileExtents();
-  const std::vector<std::int64_t> PeExt = Map.peTileExtents();
-  const std::vector<std::int64_t> RegExt = Map.registerTileExtents();
-
+  MultiSimResult MR = simulateMultiNest(Prob, Hierarchy::classic3Shape(),
+                                        MultiMapping::fromMapping(Prob, Map));
   SimResult Result;
   Result.PerTensor.resize(Prob.tensors().size());
-
-  // Per-level trip counts in permutation (outer-to-inner) order.
-  std::vector<std::int64_t> DramTrips, PeTrips;
-  for (unsigned P : Map.DramPerm)
-    DramTrips.push_back(Map.factor(P, TileLevel::DramTemporal));
-  for (unsigned P : Map.PePerm)
-    PeTrips.push_back(Map.factor(P, TileLevel::PeTemporal));
-
   for (std::size_t TI = 0; TI < Prob.tensors().size(); ++TI) {
-    const Tensor &T = Prob.tensors()[TI];
-
-    // ---- Level 1: DRAM <-> SRAM. One buffer, walked over the full
-    // DRAM-level temporal loop nest.
-    {
-      BufferTracker Buf(T.ReadWrite);
-      forEachStep(DramTrips, [&](const std::vector<std::int64_t> &Idx,
-                                 std::size_t AdvancedPos) {
-        std::vector<std::int64_t> Origins(NumIters, 0);
-        for (std::size_t Pos = 0; Pos < Map.DramPerm.size(); ++Pos)
-          Origins[Map.DramPerm[Pos]] = Idx[Pos] * SramExt[Map.DramPerm[Pos]];
-        bool Continuous =
-            AdvancedPos >= DramTrips.size() ||
-            isContinuousAdvance(T, Map.DramPerm, DramTrips, AdvancedPos);
-        Buf.step(tileBox(T, Origins, SramExt), Continuous);
-      });
-      Buf.finish();
-      Result.PerTensor[TI].DramToSram = Buf.loads();
-      Result.PerTensor[TI].SramToDram = Buf.stores();
-    }
-
-    // ---- Level 2: SRAM <-> registers. For every SRAM tile and every
-    // distinct spatial coordinate along *present* iterators (absent ones
-    // multicast / reduce and count once), walk the per-PE temporal loops
-    // with a fresh buffer (per-level model: no reuse across SRAM tiles).
-    {
-      std::vector<unsigned> PresentSpatial;
-      std::vector<std::int64_t> PresentTrips;
-      for (unsigned I = 0; I < NumIters; ++I)
-        if (T.usesIter(I)) {
-          PresentSpatial.push_back(I);
-          PresentTrips.push_back(Map.factor(I, TileLevel::Spatial));
-        }
-
-      std::int64_t Loads = 0, Stores = 0;
-      forEachStep(DramTrips, [&](const std::vector<std::int64_t> &DramIdx,
-                                 std::size_t) {
-        std::vector<std::int64_t> SramOrigins(NumIters, 0);
-        for (std::size_t Pos = 0; Pos < Map.DramPerm.size(); ++Pos)
-          SramOrigins[Map.DramPerm[Pos]] =
-              DramIdx[Pos] * SramExt[Map.DramPerm[Pos]];
-
-        forEachStep(PresentTrips, [&](const std::vector<std::int64_t> &SpIdx,
-                                      std::size_t) {
-          std::vector<std::int64_t> PeOrigins = SramOrigins;
-          for (std::size_t K = 0; K < PresentSpatial.size(); ++K)
-            PeOrigins[PresentSpatial[K]] +=
-                SpIdx[K] * PeExt[PresentSpatial[K]];
-
-          BufferTracker Buf(T.ReadWrite);
-          forEachStep(PeTrips, [&](const std::vector<std::int64_t> &QIdx,
-                                   std::size_t AdvancedPos) {
-            std::vector<std::int64_t> Origins = PeOrigins;
-            for (std::size_t Pos = 0; Pos < Map.PePerm.size(); ++Pos)
-              Origins[Map.PePerm[Pos]] +=
-                  QIdx[Pos] * RegExt[Map.PePerm[Pos]];
-            bool Continuous =
-                AdvancedPos >= PeTrips.size() ||
-                isContinuousAdvance(T, Map.PePerm, PeTrips, AdvancedPos);
-            Buf.step(tileBox(T, Origins, RegExt), Continuous);
-          });
-          Buf.finish();
-          Loads += Buf.loads();
-          Stores += Buf.stores();
-        });
-      });
-      Result.PerTensor[TI].SramToReg = Loads;
-      Result.PerTensor[TI].RegToSram = Stores;
-    }
+    SimTensorTraffic &T = Result.PerTensor[TI];
+    T.DramToSram = MR.Loads[1][TI];
+    T.SramToDram = MR.Stores[1][TI];
+    T.SramToReg = MR.Loads[0][TI];
+    T.RegToSram = MR.Stores[0][TI];
   }
   return Result;
 }

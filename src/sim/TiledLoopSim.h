@@ -29,7 +29,9 @@
 ///    per-level, exactly as Algorithm 1 multiplies all outer trip counts.
 ///
 /// This is an executable specification: O(steps * tensors) time, intended
-/// for small problem sizes in tests only.
+/// for small problem sizes in tests only. The walk is implemented once,
+/// for hierarchies of any depth, in multilevel/MultiSim; this header is
+/// its classic 3-level view.
 ///
 //===----------------------------------------------------------------------===//
 

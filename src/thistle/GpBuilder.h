@@ -25,7 +25,7 @@
 
 #include "ir/Problem.h"
 #include "model/TechModel.h"
-#include "nestmodel/Mapper.h"
+#include "nestmodel/Objective.h"
 #include "solver/GpProblem.h"
 #include "solver/GpSolver.h"
 #include "thistle/ExprGen.h"

@@ -21,6 +21,7 @@
 #ifndef THISTLE_THISTLE_ROUNDING_H
 #define THISTLE_THISTLE_ROUNDING_H
 
+#include "nestmodel/Evaluator.h"
 #include "thistle/GpBuilder.h"
 
 #include <cstddef>

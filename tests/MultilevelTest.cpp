@@ -11,6 +11,7 @@
 #include "multilevel/MultiGp.h"
 #include "multilevel/MultiSim.h"
 #include "nestmodel/Evaluator.h"
+#include "nestmodel/Mapper.h"
 #include "support/MathUtil.h"
 #include "support/Rng.h"
 #include "thistle/Optimizer.h"
@@ -88,11 +89,122 @@ TEST(Hierarchy, ValidationCatchesMistakes) {
   H = testHierarchy(3, 1);
   H.NumPEs = 0;
   EXPECT_FALSE(H.validate().empty());
+  // A non-outermost level with no storage is a modeling error; the
+  // outermost (backing store) level is the only one allowed capacity 0
+  // (= unbounded).
+  H = testHierarchy(3, 1);
+  H.Levels[1].CapacityWords = 0;
+  EXPECT_FALSE(H.validate().empty());
+  EXPECT_NE(H.validate().find("no capacity"), std::string::npos);
+  H = testHierarchy(3, 1);
+  H.Levels[2].CapacityWords = 0;
+  EXPECT_TRUE(H.validate().empty());
+  H = testHierarchy(3, 1);
+  H.Levels[0].AccessEnergyPj = -1.0;
+  EXPECT_FALSE(H.validate().empty());
+  H = testHierarchy(3, 1);
+  H.Levels[1].Bandwidth = 0.0;
+  EXPECT_FALSE(H.validate().empty());
+}
+
+TEST(Hierarchy, AreaPricesPrivateLevelsPerPE) {
+  // On a 4-level machine with fan-out at level 2, the register file and
+  // the scratchpad are replicated per PE while the SRAM is shared; the
+  // DRAM level contributes no on-chip area.
+  TechParams Tech = TechParams::cgo45nm();
+  Hierarchy H;
+  H.NumPEs = 64;
+  H.MacEnergyPj = 2.2;
+  H.FanoutLevel = 2;
+  H.Levels = {{"RegisterFile", 512, 0.2, 1e9},
+              {"Scratchpad", 2048, 0.8, 4.0},
+              {"SRAM", 65536, 6.0, 16.0},
+              {"DRAM", 0, 128.0, 4.0}};
+  ASSERT_TRUE(H.validate().empty());
+  const double PerPE = Tech.AreaMacUm2 + Tech.AreaRegWordUm2 * 512.0 +
+                       Tech.AreaSramWordUm2 * 2048.0;
+  const double Shared = Tech.AreaSramWordUm2 * 65536.0;
+  EXPECT_DOUBLE_EQ(H.areaUm2(Tech), 64.0 * PerPE + Shared);
+
+  // Moving the fan-out boundary up one level turns the scratchpad into a
+  // shared structure: the area drops by (NumPEs - 1) copies of it.
+  Hierarchy Shared2 = H;
+  Shared2.FanoutLevel = 1;
+  EXPECT_DOUBLE_EQ(Shared2.areaUm2(Tech),
+                   H.areaUm2(Tech) -
+                       63.0 * Tech.AreaSramWordUm2 * 2048.0);
+}
+
+TEST(Hierarchy, ParseRoundTripsAndRejectsGarbage) {
+  const std::string Text = "# four-level scratchpad machine\n"
+                           "pes 128\n"
+                           "mac-pj 2.2\n"
+                           "fanout 2\n"
+                           "level RegisterFile 512 0.2 1e9\n"
+                           "level Scratchpad 2048 0.8 4\n"
+                           "level SRAM 65536 6.0 16\n"
+                           "level DRAM - 128.0 4\n";
+  Hierarchy H;
+  std::string Error;
+  ASSERT_TRUE(parseHierarchy(Text, H, Error)) << Error;
+  EXPECT_TRUE(H.validate().empty());
+  EXPECT_EQ(H.NumPEs, 128);
+  EXPECT_EQ(H.FanoutLevel, 2u);
+  EXPECT_EQ(H.numLevels(), 4u);
+  EXPECT_EQ(H.Levels[1].Name, "Scratchpad");
+  EXPECT_EQ(H.Levels[1].CapacityWords, 2048);
+  EXPECT_EQ(H.Levels[3].CapacityWords, 0); // "-" = unbounded.
+  EXPECT_DOUBLE_EQ(H.MacEnergyPj, 2.2);
+  EXPECT_DOUBLE_EQ(H.Levels[0].Bandwidth, 1e9);
+
+  Hierarchy Bad;
+  EXPECT_FALSE(parseHierarchy("pes 16\nwibble 3\n", Bad, Error));
+  EXPECT_FALSE(parseHierarchy("pes 16\nlevel OnlyName\n", Bad, Error));
+  EXPECT_FALSE(Error.empty());
+}
+
+TEST(MultiMapper, FindsLegalMappingOnFourLevelMachine) {
+  // The generic mapper must search a 4-level machine directly, and its
+  // trajectory must not depend on the thread count (same round/slot RNG
+  // scheme as the classic path).
+  ConvLayer L;
+  L.K = 16;
+  L.C = 8;
+  L.Hin = 14;
+  L.Win = 14;
+  L.R = 3;
+  L.S = 3;
+  Problem P = makeConvProblem(L);
+  Hierarchy H = Hierarchy::withScratchpad(eyerissArch(),
+                                          TechParams::cgo45nm(),
+                                          /*SpadWords=*/2048,
+                                          /*SramWords=*/65536);
+  MapperOptions Opts;
+  Opts.Seed = 3;
+  Opts.MaxTrials = 1024;
+  Opts.VictoryCondition = 300;
+  Opts.Threads = 1;
+  MultiMapperResult Ref = searchMultiMappings(P, H, Opts);
+  ASSERT_TRUE(Ref.Found);
+  EXPECT_TRUE(Ref.BestEval.Legal);
+  EXPECT_TRUE(Ref.Best.validate(P, H).empty());
+  ASSERT_EQ(Ref.Best.TempFactors.size(), 4u);
+  EXPECT_LE(Ref.BestEval.Profile.Occupancy[1], 2048);
+
+  Opts.Threads = 4;
+  MultiMapperResult Par = searchMultiMappings(P, H, Opts);
+  EXPECT_EQ(Par.Trials, Ref.Trials);
+  EXPECT_EQ(Par.LegalTrials, Ref.LegalTrials);
+  ASSERT_TRUE(Par.Found);
+  EXPECT_EQ(Par.Best.TempFactors, Ref.Best.TempFactors);
+  EXPECT_EQ(Par.Best.SpatialFactors, Ref.Best.SpatialFactors);
+  EXPECT_EQ(Par.Best.Perms, Ref.Best.Perms);
+  EXPECT_DOUBLE_EQ(Par.BestEval.EnergyPj, Ref.BestEval.EnergyPj);
 }
 
 TEST(Hierarchy, ClassicMatchesArchConfig) {
   ArchConfig Arch = eyerissArch();
-  Hierarchy H = Hierarchy::classic(Arch, TechParams::cgo45nm());
+  Hierarchy H = Hierarchy::classic3Level(Arch, TechParams::cgo45nm());
   ASSERT_TRUE(H.validate().empty());
   EXPECT_EQ(H.numLevels(), 3u);
   EXPECT_EQ(H.FanoutLevel, 1u);
@@ -177,7 +289,7 @@ TEST(MultiNestAnalysis, ClassicHierarchyAgreesWithFixedPipeline) {
   Arch.RegWordsPerPE = 4096;
   Arch.SramWords = 65536;
   TechParams Tech = TechParams::cgo45nm();
-  Hierarchy H = Hierarchy::classic(Arch, Tech);
+  Hierarchy H = Hierarchy::classic3Level(Arch, Tech);
   EnergyModel Energy(Tech);
 
   Rng R(5);
@@ -235,7 +347,7 @@ TEST(MultiGp, ClassicHierarchyTracksFixedOptimizer) {
   MultiOptions MOpts;
   MOpts.MaxPermCombos = 16;
   MultiResult Multi =
-      optimizeHierarchy(P, Hierarchy::classic(Arch, Tech), MOpts);
+      optimizeHierarchy(P, Hierarchy::classic3Level(Arch, Tech), MOpts);
   ASSERT_TRUE(Multi.Found);
   EXPECT_TRUE(Multi.Eval.Legal);
 
@@ -286,7 +398,7 @@ TEST(MultiGp, DelayObjectiveUsesParallelism) {
   MOpts.Objective = SearchObjective::Delay;
   MOpts.MaxPermCombos = 8;
   MultiResult R = optimizeHierarchy(
-      P, Hierarchy::classic(eyerissArch(), TechParams::cgo45nm()), MOpts);
+      P, Hierarchy::classic3Level(eyerissArch(), TechParams::cgo45nm()), MOpts);
   ASSERT_TRUE(R.Found);
   EXPECT_GT(R.Eval.MacIpc, 4.0);
 }
@@ -295,7 +407,7 @@ TEST(MultiGp, DeterministicAcrossRuns) {
   Problem P = smallConvProblem();
   MultiOptions MOpts;
   MOpts.MaxPermCombos = 6;
-  Hierarchy H = Hierarchy::classic(eyerissArch(), TechParams::cgo45nm());
+  Hierarchy H = Hierarchy::classic3Level(eyerissArch(), TechParams::cgo45nm());
   MultiResult A = optimizeHierarchy(P, H, MOpts);
   MultiResult B = optimizeHierarchy(P, H, MOpts);
   ASSERT_TRUE(A.Found);
@@ -318,7 +430,7 @@ TEST(MultiCoDesign, RespectsAreaBudgetAndBeatsEyeriss) {
   Problem P = makeConvProblem(L);
   TechParams Tech = TechParams::cgo45nm();
   ArchConfig Arch = eyerissArch();
-  Hierarchy H = Hierarchy::classic(Arch, Tech);
+  Hierarchy H = Hierarchy::classic3Level(Arch, Tech);
 
   MultiOptions Fixed;
   Fixed.MaxPermCombos = 8;

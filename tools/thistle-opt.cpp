@@ -16,6 +16,8 @@
 
 #include "export/TimeloopExport.h"
 #include "ir/Builders.h"
+#include "multilevel/MultiGp.h"
+#include "nestmodel/Mapper.h"
 #include "support/ThreadPool.h"
 #include "thistle/Optimizer.h"
 #include "workloads/Workloads.h"
@@ -24,6 +26,8 @@
 #include <cstdlib>
 #include <cctype>
 #include <cstring>
+#include <fstream>
+#include <sstream>
 #include <string>
 #include <vector>
 
@@ -49,6 +53,16 @@ void printUsage(const char *Prog) {
       "  --threads N                   worker threads for the pair sweep\n"
       "                                (default: all hardware threads;\n"
       "                                results are identical at any N)\n"
+      "  --hierarchy classic3|spad4|<file>\n"
+      "                                memory hierarchy to optimize for\n"
+      "                                (default: classic3, the fixed\n"
+      "                                reg/SRAM/DRAM machine). spad4 adds\n"
+      "                                a per-PE scratchpad; a file holds\n"
+      "                                'pes/mac-pj/fanout/level' lines\n"
+      "                                (see docs/HIERARCHY.md). Non-classic\n"
+      "                                hierarchies run the L-level GP\n"
+      "                                optimizer and validate the winner\n"
+      "                                with the stochastic mapper.\n"
       "\n"
       "architecture (dataflow mode; defaults to Eyeriss):\n"
       "  --pes N --regs N --sram-words N\n"
@@ -83,6 +97,87 @@ bool parseInts(const char *Text, std::vector<std::int64_t> &Out) {
 } // namespace
 
 namespace {
+
+/// --hierarchy mode: optimize onto an arbitrary-depth machine with the
+/// L-level GP engine, then cross-check the winner with the stochastic
+/// mapper on the same hierarchy.
+int runHierarchy(const Problem &Prob, const Hierarchy &H,
+                 const ThistleOptions &Options, const TechParams &Tech) {
+  std::printf("hierarchy: %lld PEs, fan-out below level %u\n",
+              static_cast<long long>(H.NumPEs), H.FanoutLevel);
+  for (unsigned Lv = 0; Lv < H.numLevels(); ++Lv) {
+    const HierarchyLevel &L = H.Levels[Lv];
+    if (L.CapacityWords > 0)
+      std::printf("  level %u %-14s %8lld words  %7.3f pJ/word  BW %g\n",
+                  Lv, L.Name.c_str(),
+                  static_cast<long long>(L.CapacityWords), L.AccessEnergyPj,
+                  L.Bandwidth);
+    else
+      std::printf("  level %u %-14s %8s        %7.3f pJ/word  BW %g\n", Lv,
+                  L.Name.c_str(), "-", L.AccessEnergyPj, L.Bandwidth);
+  }
+  std::printf("  area %.3f mm^2\n", H.areaUm2(Tech) * 1e-6);
+
+  MultiOptions MO;
+  MO.Objective = Options.Objective;
+  MO.NumCandidates = Options.Rounding.NumCandidates;
+  MO.Threads = Options.Threads;
+  MO.Tech = Tech;
+  MultiResult R = optimizeHierarchy(Prob, H, MO);
+  std::printf("search: %u GP solves (%u infeasible)\n", R.CombosSolved,
+              R.GpInfeasible);
+  if (!R.Found) {
+    std::fprintf(stderr, "no legal design found\n");
+    return 1;
+  }
+
+  std::printf("\nenergy: %.1f uJ (%.3f pJ/MAC)\n", R.Eval.EnergyPj * 1e-6,
+              R.Eval.EnergyPerMacPj);
+  std::printf("delay:  %.0f cycles (IPC %.1f), EDP %.4g pJ*cycles\n",
+              R.Eval.Cycles, R.Eval.MacIpc, R.Eval.EdpPjCycles);
+  std::printf("energy breakdown [pJ]: mac+reg %.4g", R.Eval.MacEnergyPj);
+  for (unsigned Lv = 0; Lv < H.numLevels(); ++Lv)
+    std::printf(", %s %.4g", H.Levels[Lv].Name.c_str(),
+                R.Eval.EnergyPerLevelPj[Lv]);
+  std::printf("\ncycle components:");
+  std::printf(" compute %.0f", R.Eval.ComputeCycles);
+  for (unsigned Lv = 1; Lv < H.numLevels(); ++Lv)
+    std::printf(", %s %.0f", H.Levels[Lv].Name.c_str(),
+                R.Eval.CyclesPerLevel[Lv]);
+  std::printf("\nmapping (factors per iterator, innermost level first):\n");
+  for (unsigned I = 0; I < Prob.numIterators(); ++I) {
+    std::printf("  %-5s", Prob.iterators()[I].Name.c_str());
+    for (unsigned Lv = 0; Lv < H.numLevels(); ++Lv) {
+      std::printf(" t%u=%-4lld", Lv,
+                  static_cast<long long>(R.Map.TempFactors[Lv][I]));
+      if (Lv + 1 == H.FanoutLevel)
+        std::printf(" sp=%-4lld",
+                    static_cast<long long>(R.Map.SpatialFactors[I]));
+    }
+    std::printf("\n");
+  }
+
+  // Cross-check with the stochastic mapper on the same machine: the GP
+  // winner should land within, or ahead of, the sampled population.
+  MapperOptions MapOpt;
+  MapOpt.Objective = Options.Objective;
+  MapOpt.Threads = Options.Threads;
+  MapOpt.MaxTrials = 4000;
+  MapOpt.VictoryCondition = 1000;
+  MultiMapperResult MR = searchMultiMappings(Prob, H, MapOpt);
+  if (MR.Found) {
+    double GpObj = objectiveValue(R.Eval, Options.Objective);
+    double MapObj = objectiveValue(MR.BestEval, Options.Objective);
+    std::printf("mapper validation: best of %u trials (%u legal) reaches "
+                "%.4g vs GP %.4g (ratio %.3f)\n",
+                MR.Trials, MR.LegalTrials, MapObj, GpObj,
+                GpObj > 0.0 ? MapObj / GpObj : 0.0);
+  } else {
+    std::printf("mapper validation: no legal mapping in %u trials\n",
+                MR.Trials);
+  }
+  return 0;
+}
 
 /// --pipeline mode: optimize every stage and print one summary row each.
 int runPipeline(const std::vector<ConvLayer> &Layers,
@@ -121,6 +216,7 @@ int main(int Argc, char **Argv) {
   TechParams Tech = TechParams::cgo45nm();
   double AreaBudget = 0.0;
   bool ExportTimeloop = false;
+  std::string HierarchySpec = "classic3";
 
   for (int I = 1; I < Argc; ++I) {
     std::string Arg = Argv[I];
@@ -201,6 +297,8 @@ int main(int Argc, char **Argv) {
           static_cast<unsigned>(std::atoi(needValue()));
     } else if (Arg == "--threads") {
       Options.Threads = static_cast<unsigned>(std::atoi(needValue()));
+    } else if (Arg == "--hierarchy") {
+      HierarchySpec = needValue();
     } else if (Arg == "--pes") {
       Arch.NumPEs = std::atoll(needValue());
     } else if (Arg == "--regs") {
@@ -226,8 +324,13 @@ int main(int Argc, char **Argv) {
   }
   if (Options.Mode == DesignMode::CoDesign && AreaBudget == 0.0)
     AreaBudget = eyerissAreaUm2(Tech);
-  if (!Pipeline.empty())
+  if (!Pipeline.empty()) {
+    if (HierarchySpec != "classic3") {
+      std::fprintf(stderr, "error: --hierarchy works on a single layer\n");
+      return 2;
+    }
     return runPipeline(Pipeline, Options, Arch, Tech, AreaBudget);
+  }
 
   Problem Prob = makeConvProblem(Layer);
   std::printf("layer %s: %lld MACs, iteration space", Layer.Name.c_str(),
@@ -236,6 +339,35 @@ int main(int Argc, char **Argv) {
     std::printf(" %s=%lld", It.Name.c_str(),
                 static_cast<long long>(It.Extent));
   std::printf("\n");
+
+  if (HierarchySpec != "classic3") {
+    if (Options.Mode == DesignMode::CoDesign) {
+      std::fprintf(stderr, "error: --hierarchy fixes the machine; use "
+                           "--mode dataflow\n");
+      return 2;
+    }
+    Hierarchy H;
+    if (HierarchySpec == "spad4") {
+      H = Hierarchy::withScratchpad(Arch, Tech, /*SpadWords=*/512,
+                                    Arch.SramWords);
+    } else {
+      std::ifstream In(HierarchySpec);
+      if (!In) {
+        std::fprintf(stderr, "error: cannot open hierarchy file '%s'\n",
+                     HierarchySpec.c_str());
+        return 2;
+      }
+      std::ostringstream Text;
+      Text << In.rdbuf();
+      std::string Error;
+      if (!parseHierarchy(Text.str(), H, Error)) {
+        std::fprintf(stderr, "error: %s: %s\n", HierarchySpec.c_str(),
+                     Error.c_str());
+        return 2;
+      }
+    }
+    return runHierarchy(Prob, H, Options, Tech);
+  }
 
   ThistleResult R = optimizeLayer(Prob, Arch, Tech, Options, AreaBudget);
   if (!R.Found) {
