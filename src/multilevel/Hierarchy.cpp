@@ -2,6 +2,11 @@
 
 #include "multilevel/Hierarchy.h"
 
+#include "support/FaultInjection.h"
+
+#include <algorithm>
+#include <cerrno>
+#include <cmath>
 #include <cstdlib>
 #include <sstream>
 
@@ -102,15 +107,38 @@ Hierarchy Hierarchy::withScratchpad(const ArchConfig &Arch,
   return H;
 }
 
-bool thistle::parseHierarchy(const std::string &Text, Hierarchy &Out,
-                             std::string &Error) {
+namespace {
+
+/// Strict integer parse: the whole token must be a decimal integer.
+bool parseInt64(const std::string &Token, std::int64_t &Out) {
+  if (Token.empty())
+    return false;
+  errno = 0;
+  char *End = nullptr;
+  long long V = std::strtoll(Token.c_str(), &End, 10);
+  if (errno == ERANGE || End != Token.c_str() + Token.size())
+    return false;
+  Out = V;
+  return true;
+}
+
+} // namespace
+
+Expected<Hierarchy> thistle::parseHierarchy(const std::string &Text) {
   Hierarchy H;
   H.Levels.clear();
   bool SawFanout = false;
 
+  if (fault::shouldFail("parse.hierarchy"))
+    return Status::parseError("injected fault at site parse.hierarchy");
+
   std::istringstream Lines(Text);
   std::string Line;
   unsigned LineNo = 0;
+  // The level whose capacity was '-' (unbounded); only the outermost
+  // level may leave its capacity open.
+  int UnboundedAtLine = 0;
+  std::size_t UnboundedLevel = 0;
   while (std::getline(Lines, Line)) {
     ++LineNo;
     std::size_t Hash = Line.find('#');
@@ -121,30 +149,55 @@ bool thistle::parseHierarchy(const std::string &Text, Hierarchy &Out,
     if (!(Fields >> Key))
       continue; // Blank or comment-only line.
 
-    std::ostringstream Err;
     auto fail = [&](const std::string &What) {
+      std::ostringstream Err;
       Err << "line " << LineNo << ": " << What;
-      Error = Err.str();
-      return false;
+      return Status::parseError(Err.str());
     };
 
     if (Key == "pes") {
-      if (!(Fields >> H.NumPEs))
+      std::string Token;
+      if (!(Fields >> Token) || !parseInt64(Token, H.NumPEs))
         return fail("'pes' wants an integer");
+      if (H.NumPEs < 1)
+        return fail("'pes' wants a positive count, got " + Token);
     } else if (Key == "mac-pj") {
-      if (!(Fields >> H.MacEnergyPj))
-        return fail("'mac-pj' wants a number");
+      if (!(Fields >> H.MacEnergyPj) || !std::isfinite(H.MacEnergyPj))
+        return fail("'mac-pj' wants a finite number");
+      if (H.MacEnergyPj < 0.0)
+        return fail("'mac-pj' wants a non-negative energy");
     } else if (Key == "fanout") {
-      if (!(Fields >> H.FanoutLevel))
+      std::int64_t Level = 0;
+      std::string Token;
+      if (!(Fields >> Token) || !parseInt64(Token, Level))
         return fail("'fanout' wants a level index");
+      if (Level < 1)
+        return fail("'fanout' wants a level index >= 1, got " + Token);
+      H.FanoutLevel = static_cast<unsigned>(Level);
       SawFanout = true;
     } else if (Key == "level") {
       HierarchyLevel L;
       std::string Capacity;
       if (!(Fields >> L.Name >> Capacity >> L.AccessEnergyPj >> L.Bandwidth))
         return fail("'level' wants: name capacity access-pj bandwidth");
-      L.CapacityWords =
-          Capacity == "-" ? 0 : std::atoll(Capacity.c_str());
+      for (const HierarchyLevel &Seen : H.Levels)
+        if (Seen.Name == L.Name)
+          return fail("duplicate level name '" + L.Name + "'");
+      if (Capacity == "-") {
+        L.CapacityWords = 0;
+        UnboundedAtLine = static_cast<int>(LineNo);
+        UnboundedLevel = H.Levels.size();
+      } else if (!parseInt64(Capacity, L.CapacityWords) ||
+                 L.CapacityWords < 1) {
+        return fail("level '" + L.Name +
+                    "' wants a positive integer capacity or '-', got '" +
+                    Capacity + "'");
+      }
+      if (!std::isfinite(L.AccessEnergyPj) || L.AccessEnergyPj < 0.0)
+        return fail("level '" + L.Name +
+                    "' wants a non-negative access energy");
+      if (!std::isfinite(L.Bandwidth) || L.Bandwidth <= 0.0)
+        return fail("level '" + L.Name + "' wants a positive bandwidth");
       H.Levels.push_back(L);
     } else {
       return fail("unknown key '" + Key + "'");
@@ -154,13 +207,28 @@ bool thistle::parseHierarchy(const std::string &Text, Hierarchy &Out,
       return fail("trailing field '" + Extra + "'");
   }
 
+  if (UnboundedAtLine && UnboundedLevel + 1 != H.Levels.size()) {
+    std::ostringstream Err;
+    Err << "line " << UnboundedAtLine << ": level '"
+        << H.Levels[UnboundedLevel].Name
+        << "' has unbounded capacity '-' but is not the outermost level";
+    return Status::parseError(Err.str());
+  }
   if (!SawFanout)
     H.FanoutLevel = 1;
   std::string Why = H.validate();
-  if (!Why.empty()) {
-    Error = Why;
+  if (!Why.empty())
+    return Status::parseError(std::move(Why));
+  return H;
+}
+
+bool thistle::parseHierarchy(const std::string &Text, Hierarchy &Out,
+                             std::string &Error) {
+  Expected<Hierarchy> Parsed = parseHierarchy(Text);
+  if (!Parsed) {
+    Error = Parsed.status().message();
     return false;
   }
-  Out = H;
+  Out = Parsed.takeValue();
   return true;
 }

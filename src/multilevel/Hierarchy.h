@@ -24,6 +24,7 @@
 #define THISTLE_MULTILEVEL_HIERARCHY_H
 
 #include "model/TechModel.h"
+#include "support/Status.h"
 
 #include <cstdint>
 #include <string>
@@ -97,8 +98,15 @@ struct Hierarchy {
 ///   level SRAM 16384 8.3 160
 ///   level DRAM - 128.0 16              # '-' = unbounded (outermost)
 ///
-/// Returns false and sets \p Error on malformed input (including a
-/// hierarchy that fails validate()).
+/// Returns the parsed hierarchy, or a ParseError Status with a
+/// line-numbered message on malformed input: unknown keys, missing or
+/// trailing fields, malformed or non-positive integers, duplicate level
+/// names, an unbounded capacity ('-') anywhere but the outermost level,
+/// or a hierarchy that fails validate().
+Expected<Hierarchy> parseHierarchy(const std::string &Text);
+
+/// Bool-and-string wrapper around the Expected overload, kept for
+/// existing call sites. Returns false and sets \p Error on failure.
 bool parseHierarchy(const std::string &Text, Hierarchy &Out,
                     std::string &Error);
 

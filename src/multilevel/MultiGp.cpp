@@ -3,6 +3,7 @@
 #include "multilevel/MultiGp.h"
 
 #include "expr/FactoredExpr.h"
+#include "support/FaultInjection.h"
 #include "support/MathUtil.h"
 #include "support/ThreadPool.h"
 #include "thistle/PermutationSpace.h"
@@ -10,6 +11,7 @@
 #include <algorithm>
 #include <cassert>
 #include <cmath>
+#include <exception>
 #include <numeric>
 #include <sstream>
 
@@ -160,12 +162,46 @@ void chainToFactors(const IterChain &Chain, unsigned L, unsigned F,
   Map.SpatialFactors[Iter] = Chain[F] / Chain[F - 1];
 }
 
+/// Resolves the relative/absolute deadline options into one instant;
+/// false when no deadline is configured.
+bool resolveDeadline(std::chrono::milliseconds Relative,
+                     std::chrono::steady_clock::time_point Absolute,
+                     std::chrono::steady_clock::time_point &Out) {
+  if (Absolute != std::chrono::steady_clock::time_point{}) {
+    Out = Absolute;
+    return true;
+  }
+  if (Relative.count() > 0) {
+    Out = std::chrono::steady_clock::now() + Relative;
+    return true;
+  }
+  return false;
+}
+
 } // namespace
 
 MultiResult thistle::optimizeHierarchy(const Problem &Prob,
                                        const Hierarchy &H,
                                        const MultiOptions &Options) {
-  assert(H.validate().empty() && "hierarchy must validate");
+  {
+    MultiResult Invalid;
+    std::string HierErr = H.validate();
+    if (!HierErr.empty()) {
+      Invalid.InputStatus = Status::invalidArgument(std::move(HierErr))
+                                .withContext("validating hierarchy");
+      return Invalid;
+    }
+    if (Options.CoDesignCapacities &&
+        !(Options.AreaBudgetUm2 > 0.0 &&
+          std::isfinite(Options.AreaBudgetUm2))) {
+      Invalid.InputStatus =
+          Status::invalidArgument(
+              "capacity co-design needs a positive finite area budget, "
+              "got " + std::to_string(Options.AreaBudgetUm2))
+              .withContext("validating multilevel options");
+      return Invalid;
+    }
+  }
   const unsigned L = H.numLevels();
   const unsigned F = H.FanoutLevel;
   const unsigned NumIters = Prob.numIterators();
@@ -207,15 +243,18 @@ MultiResult thistle::optimizeHierarchy(const Problem &Prob,
     double BestObj = 0.0;
     unsigned CombosSolved = 0;
     unsigned GpInfeasible = 0;
+    SweepReport Report;
   };
 
-  auto runCombo = [&](ComboAcc &Local, std::size_t Combo) {
-    // Spread combo indices across the full space when capped.
-    std::size_t Index = static_cast<std::size_t>(
-        TotalCombos <= Options.MaxPermCombos
-            ? static_cast<double>(Combo)
-            : std::floor(static_cast<double>(Combo) * TotalCombos /
-                         static_cast<double>(Combos)));
+  std::chrono::steady_clock::time_point DeadlineAt;
+  const bool HasDeadline =
+      resolveDeadline(Options.Deadline, Options.DeadlineAt, DeadlineAt);
+
+  // The build -> solve -> round -> evaluate chain of one combination;
+  // runCombo below wraps it with the deadline/fault/exception guards.
+  auto comboBody = [&](ComboAcc &Local, std::size_t Combo,
+                       std::size_t FullIndex) {
+    std::size_t Index = FullIndex;
     std::vector<std::vector<unsigned>> TiledPerms(L);
     for (unsigned Slot = 1; Slot < L; ++Slot) {
       TiledPerms[Slot] = Classes[Index % Classes.size()].Representative;
@@ -254,7 +293,7 @@ MultiResult thistle::optimizeHierarchy(const Problem &Prob,
     std::vector<VarId> CapVars(L, 0);
     VarId PeVar = 0;
     if (Options.CoDesignCapacities) {
-      assert(Options.AreaBudgetUm2 > 0.0 && "co-design needs a budget");
+      // A non-positive budget is rejected up front (InputStatus).
       const TechParams &Tech = Options.Tech;
       Posynomial PerPEArea(Monomial(Tech.AreaMacUm2));
       for (unsigned Lv = 0; Lv + 1 < L; ++Lv) {
@@ -340,12 +379,26 @@ MultiResult thistle::optimizeHierarchy(const Problem &Prob,
         Gp.setObjective(EnergyObj * Epi);
     }
 
-    GpSolution Sol = solveGp(Gp, Options.Solver);
+    GpSolveReport Solve;
+    GpSolution Sol = solveGpWithRetry(Gp, Options.Solver, &Solve);
     ++Local.CombosSolved;
-    if (!Sol.Feasible) {
+    if (!Sol.Feasible || Sol.Outcome == SolveOutcome::NonFinite) {
       ++Local.GpInfeasible;
+      Local.Report.record(Sol.Outcome == SolveOutcome::Infeasible
+                              ? TaskOutcome::Infeasible
+                              : TaskOutcome::Failed,
+                          Combo, FullIndex, 0, Solve.attempts(),
+                          Sol.Failure.empty()
+                              ? std::string(solveOutcomeName(Sol.Outcome))
+                              : Sol.Failure);
       return;
     }
+    // Feasible but unconverged iterates are still rounded (Degraded),
+    // exactly as the sweep has always done.
+    Local.Report.record(Sol.Converged ? TaskOutcome::Solved
+                                      : TaskOutcome::Degraded,
+                        Combo, FullIndex, 0, Solve.attempts(),
+                        Sol.Converged ? std::string() : Sol.Failure);
 
     // Hierarchy candidates: the fixed input, or rounded capacities / PE
     // counts around the real co-design solution (powers of two, Eq. 4
@@ -496,6 +549,34 @@ MultiResult thistle::optimizeHierarchy(const Problem &Prob,
     recurse(recurse, 0);
   };
 
+  auto runCombo = [&](ComboAcc &Local, std::size_t Combo) {
+    // Spread combo indices across the full space when capped.
+    const std::size_t FullIndex = static_cast<std::size_t>(
+        TotalCombos <= Options.MaxPermCombos
+            ? static_cast<double>(Combo)
+            : std::floor(static_cast<double>(Combo) * TotalCombos /
+                         static_cast<double>(Combos)));
+
+    if (HasDeadline && std::chrono::steady_clock::now() >= DeadlineAt) {
+      Local.Report.DeadlineExpired = true;
+      Local.Report.record(TaskOutcome::Skipped, Combo, FullIndex, 0, 0,
+                          "deadline expired before the combo was attempted");
+      return;
+    }
+    if (fault::shouldFail("multigp.combo",
+                          static_cast<std::int64_t>(Combo))) {
+      Local.Report.record(TaskOutcome::Failed, Combo, FullIndex, 0, 0,
+                          "injected fault at site multigp.combo");
+      return;
+    }
+    try {
+      comboBody(Local, Combo, FullIndex);
+    } catch (const std::exception &E) {
+      Local.Report.record(TaskOutcome::Failed, Combo, FullIndex, 0, 0,
+                          std::string("exception: ") + E.what());
+    }
+  };
+
   ThreadPool Pool(Options.Threads);
   ComboAcc Best = parallelReduce(
       Pool, Combos, ComboAcc(),
@@ -503,6 +584,7 @@ MultiResult thistle::optimizeHierarchy(const Problem &Prob,
       [](ComboAcc &Acc, ComboAcc &&Local) {
         Acc.CombosSolved += Local.CombosSolved;
         Acc.GpInfeasible += Local.GpInfeasible;
+        Acc.Report.merge(std::move(Local.Report));
         if (Local.Found && (!Acc.Found || Local.BestObj < Acc.BestObj)) {
           Acc.Found = true;
           Acc.Map = std::move(Local.Map);
@@ -514,6 +596,7 @@ MultiResult thistle::optimizeHierarchy(const Problem &Prob,
       });
   Result.CombosSolved = Best.CombosSolved;
   Result.GpInfeasible = Best.GpInfeasible;
+  Result.Report = std::move(Best.Report);
   if (Best.Found) {
     Result.Found = true;
     Result.Map = std::move(Best.Map);

@@ -21,7 +21,10 @@
 #include "multilevel/MultiNestAnalysis.h"
 #include "nestmodel/Objective.h"
 #include "solver/GpSolver.h"
+#include "support/Status.h"
+#include "support/SweepReport.h"
 
+#include <chrono>
 #include <string>
 #include <vector>
 
@@ -56,11 +59,23 @@ struct MultiOptions {
   /// per-shard winners merged in combo order with a strict minimum.
   unsigned Threads = 0;
   GpSolverOptions Solver;
+  /// Wall-clock budget for the combo sweep (0 = unlimited); combos
+  /// starting after the deadline are skipped and the sweep returns the
+  /// best of the completed ones (see ThistleOptions::Deadline).
+  std::chrono::milliseconds Deadline{0};
+  /// Absolute deadline (steady clock); overrides Deadline when set.
+  std::chrono::steady_clock::time_point DeadlineAt{};
 };
 
 /// Best multilevel design found.
 struct MultiResult {
   bool Found = false;
+  /// Non-Ok when the hierarchy or options failed validation up front;
+  /// no combo was attempted in that case.
+  Status InputStatus;
+  /// Per-combo solved/retried/failed/skipped accounting (incident
+  /// coordinates: A = combo index in the full combination space).
+  SweepReport Report;
   MultiMapping Map;
   MultiEvalResult Eval;
   /// The hierarchy the winner runs on: the input hierarchy, or the

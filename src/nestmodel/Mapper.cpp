@@ -198,7 +198,15 @@ struct SlotOutcome {
 MultiMapperResult thistle::searchMultiMappings(const Problem &Prob,
                                                const Hierarchy &H,
                                                const MapperOptions &Options) {
-  assert(H.validate().empty() && "hierarchy must validate");
+  {
+    std::string HierErr = H.validate();
+    if (!HierErr.empty()) {
+      MultiMapperResult Invalid;
+      Invalid.InputStatus = Status::invalidArgument(std::move(HierErr))
+                                .withContext("validating hierarchy");
+      return Invalid;
+    }
+  }
   const unsigned L = H.numLevels();
   const unsigned F = H.FanoutLevel;
 
@@ -261,6 +269,18 @@ MultiMapperResult thistle::searchMultiMappings(const Problem &Prob,
     Out.HasEval = true;
   };
 
+  // The deadline is only consulted between rounds, so a search that
+  // finishes in time is bit-identical to an unbounded one.
+  std::chrono::steady_clock::time_point DeadlineAt{};
+  bool HasDeadline = false;
+  if (Options.DeadlineAt != std::chrono::steady_clock::time_point{}) {
+    DeadlineAt = Options.DeadlineAt;
+    HasDeadline = true;
+  } else if (Options.Deadline.count() > 0) {
+    DeadlineAt = std::chrono::steady_clock::now() + Options.Deadline;
+    HasDeadline = true;
+  }
+
   ThreadPool Pool(Options.Threads);
   const unsigned RoundSize = std::max(1u, Options.TrialsPerRound);
   std::vector<SlotOutcome> Slots;
@@ -269,6 +289,10 @@ MultiMapperResult thistle::searchMultiMappings(const Problem &Prob,
   bool Stop = false;
   for (unsigned Round = 0; !Stop && SlotsIssued < Options.MaxTrials;
        ++Round) {
+    if (HasDeadline && std::chrono::steady_clock::now() >= DeadlineAt) {
+      Result.DeadlineExpired = true;
+      break;
+    }
     const unsigned Batch =
         std::min(RoundSize, Options.MaxTrials - SlotsIssued);
     Slots.assign(Batch, SlotOutcome());
@@ -334,6 +358,8 @@ MapperResult thistle::searchMappings(const Problem &Prob,
 
   MapperResult Result;
   Result.Found = MR.Found;
+  Result.InputStatus = std::move(MR.InputStatus);
+  Result.DeadlineExpired = MR.DeadlineExpired;
   Result.Trials = MR.Trials;
   Result.LegalTrials = MR.LegalTrials;
   if (MR.Found) {

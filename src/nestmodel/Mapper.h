@@ -20,7 +20,9 @@
 #include "multilevel/MultiNestAnalysis.h"
 #include "nestmodel/Evaluator.h"
 #include "nestmodel/Objective.h"
+#include "support/Status.h"
 
+#include <chrono>
 #include <cstdint>
 
 namespace thistle {
@@ -59,11 +61,24 @@ struct MapperOptions {
   /// definition: RNG streams are seeded per (round, slot), so changing it
   /// changes the trajectory.
   unsigned TrialsPerRound = 64;
+  /// Wall-clock budget (0 = unlimited), checked at round boundaries:
+  /// once it expires no further round is issued and the incumbent best
+  /// is returned with DeadlineExpired set. A search that never hits the
+  /// deadline is bit-identical to an unbounded one (the RNG streams are
+  /// per-(round, slot), untouched by the deadline check).
+  std::chrono::milliseconds Deadline{0};
+  /// Absolute deadline (steady clock); overrides Deadline when set.
+  std::chrono::steady_clock::time_point DeadlineAt{};
 };
 
 /// Search outcome.
 struct MapperResult {
   bool Found = false;   ///< True if any legal mapping was evaluated.
+  /// Non-Ok when the inputs failed validation; no trial ran.
+  Status InputStatus;
+  /// True when the search stopped at the wall-clock deadline rather
+  /// than at MaxTrials or the victory condition.
+  bool DeadlineExpired = false;
   Mapping Best;         ///< Best legal mapping found.
   EvalResult BestEval;  ///< Its metrics.
   unsigned Trials = 0;  ///< Candidates evaluated.
@@ -73,6 +88,10 @@ struct MapperResult {
 /// Search outcome over an L-level hierarchy.
 struct MultiMapperResult {
   bool Found = false;        ///< True if any legal mapping was evaluated.
+  /// Non-Ok when the hierarchy failed validation; no trial ran.
+  Status InputStatus;
+  /// True when the search stopped at the wall-clock deadline.
+  bool DeadlineExpired = false;
   MultiMapping Best;         ///< Best legal mapping found.
   MultiEvalResult BestEval;  ///< Its metrics.
   unsigned Trials = 0;       ///< Candidates evaluated.

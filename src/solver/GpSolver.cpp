@@ -3,6 +3,7 @@
 #include "solver/GpSolver.h"
 
 #include "linalg/Matrix.h"
+#include "support/FaultInjection.h"
 
 #include <algorithm>
 #include <cassert>
@@ -11,6 +12,15 @@
 using namespace thistle;
 
 namespace {
+
+/// True when every entry is finite (guards Newton against NaN/inf
+/// leaking out of an ill-conditioned derivative evaluation).
+bool allFinite(const Vector &V) {
+  for (double X : V)
+    if (!std::isfinite(X))
+      return false;
+  return true;
+}
 
 /// A log-sum-exp function over the reduced variables z:
 ///   F(z) = log sum_k exp(A_k . z + B_k).
@@ -219,6 +229,10 @@ bool centerNewton(const CenteringProblem &Prob, double T, Vector &W,
     Matrix Hess;
     Prob.barrierDerivatives(T, W, Grad, Hess);
     ++IterCounter;
+    if (fault::shouldFail("solver.nan-grad"))
+      Grad[0] = std::numeric_limits<double>::quiet_NaN();
+    if (!allFinite(Grad))
+      return false;
 
     // Regularized Newton direction.
     Vector Step;
@@ -239,6 +253,8 @@ bool centerNewton(const CenteringProblem &Prob, double T, Vector &W,
 
     // Newton decrement as a stopping test.
     double Decrement = -dot(Grad, Step);
+    if (!std::isfinite(Decrement))
+      return false;
     if (Decrement < 0.0)
       Decrement = 0.0;
     if (Decrement * 0.5 < 1e-10)
@@ -273,6 +289,15 @@ GpSolution thistle::solveGp(const GpProblem &Problem,
   const std::size_t N = Vars.size();
   assert(!Problem.objective().isZero() && "GP objective must be set");
 
+  if (fault::shouldFail("solver.infeasible")) {
+    Solution.Failure = "injected: no strictly feasible point (phase I)";
+    Solution.Outcome = SolveOutcome::Infeasible;
+    return Solution;
+  }
+  // Consumed once per solve: every phase-II convergence test of this
+  // call is suppressed, so one armed hit fails exactly one solve.
+  const bool ForceNonConverge = fault::shouldFail("solver.nonconverge");
+
   // ---- Eliminate monomial equalities: rows a . y = -ln c.
   const auto &Equalities = Problem.equalities();
   Matrix A(Equalities.size(), N);
@@ -286,6 +311,7 @@ GpSolution thistle::solveGp(const GpProblem &Problem,
   Vector Y0;
   if (!solveParticular(A, B, Y0)) {
     Solution.Failure = "inconsistent monomial equality constraints";
+    Solution.Outcome = SolveOutcome::Infeasible;
     return Solution;
   }
   Matrix Z = Equalities.empty() ? Matrix::identity(N) : nullSpaceOf(A);
@@ -293,11 +319,24 @@ GpSolution thistle::solveGp(const GpProblem &Problem,
   // ---- Compile objective and constraints into reduced log-sum-exp form.
   BarrierContext Ctx;
   Ctx.Objective = compileLse(Problem.objective(), Vars, Y0, Z);
+  if (Options.ObjectiveScale > 0.0 && Options.ObjectiveScale != 1.0) {
+    // Minimize f/scale instead of f: same argmin, offsets recentred
+    // near zero so exp() stays in range for huge coefficient spreads.
+    const double LogScale = std::log(Options.ObjectiveScale);
+    for (std::size_t K = 0; K < Ctx.Objective.Offsets.size(); ++K)
+      Ctx.Objective.Offsets[K] -= LogScale;
+  }
   for (const GpProblem::Constraint &C : Problem.constraints())
     Ctx.Constraints.push_back(compileLse(C.Lhs, Vars, Y0, Z));
 
   const std::size_t Reduced = Z.cols();
   Vector ZVec(Reduced, 0.0);
+  if (Options.StartPerturbation != 0.0)
+    // Deterministic start offset (stays on the equality subspace): the
+    // retry ladder's way out of a pathological phase-I trajectory.
+    for (std::size_t I = 0; I < Reduced; ++I)
+      ZVec[I] = Options.StartPerturbation *
+                std::sin(static_cast<double>(I + 1));
 
   auto recoverX = [&](const Vector &ZV) {
     Assignment X(N);
@@ -323,6 +362,7 @@ GpSolution thistle::solveGp(const GpProblem &Problem,
       if (!centerNewton(PhaseOne, T, W, Options.MaxNewtonIters,
                         Solution.NewtonIterations, +FoundInterior)) {
         Solution.Failure = "numerical breakdown in phase I";
+        Solution.Outcome = SolveOutcome::NumericalBreakdown;
         return Solution;
       }
       if (FoundInterior(W))
@@ -331,6 +371,7 @@ GpSolution thistle::solveGp(const GpProblem &Problem,
     }
     if (!FoundInterior(W)) {
       Solution.Failure = "no strictly feasible point found (phase I)";
+      Solution.Outcome = SolveOutcome::Infeasible;
       return Solution;
     }
     ZVec.assign(W.begin(), W.end() - 1);
@@ -347,11 +388,12 @@ GpSolution thistle::solveGp(const GpProblem &Problem,
     if (!centerNewton(PhaseTwo, T, ZVec, Options.MaxNewtonIters,
                       Solution.NewtonIterations, nullptr)) {
       Solution.Failure = "numerical breakdown in phase II";
+      Solution.Outcome = SolveOutcome::NumericalBreakdown;
       Solution.Values = recoverX(ZVec);
       Solution.Objective = Problem.objective().evaluate(Solution.Values);
       return Solution;
     }
-    if (NumConstraints / T < Options.Tolerance) {
+    if (NumConstraints / T < Options.Tolerance && !ForceNonConverge) {
       Solution.Converged = true;
       break;
     }
@@ -360,5 +402,120 @@ GpSolution thistle::solveGp(const GpProblem &Problem,
 
   Solution.Values = recoverX(ZVec);
   Solution.Objective = Problem.objective().evaluate(Solution.Values);
+  if (!allFinite(Solution.Values) || !std::isfinite(Solution.Objective)) {
+    // A non-finite iterate must never reach extraction/rounding; strip
+    // the convergence claim so callers discard rather than consume it.
+    Solution.Converged = false;
+    Solution.Outcome = SolveOutcome::NonFinite;
+    Solution.Failure = "non-finite iterate or objective";
+  } else if (Solution.Converged) {
+    Solution.Outcome = SolveOutcome::Converged;
+  } else {
+    Solution.Outcome = SolveOutcome::NotConverged;
+    Solution.Failure = ForceNonConverge
+                           ? "injected: barrier loop never converged"
+                           : "barrier loop hit MaxOuterIters before "
+                             "reaching tolerance";
+  }
   return Solution;
+}
+
+const char *thistle::solveOutcomeName(SolveOutcome Outcome) {
+  switch (Outcome) {
+  case SolveOutcome::Converged:
+    return "converged";
+  case SolveOutcome::NotConverged:
+    return "not-converged";
+  case SolveOutcome::Infeasible:
+    return "infeasible";
+  case SolveOutcome::NumericalBreakdown:
+    return "numerical-breakdown";
+  case SolveOutcome::NonFinite:
+    return "non-finite";
+  }
+  return "unknown";
+}
+
+namespace {
+
+/// Usability rank of an attempt's outcome for the ladder's final pick.
+/// Breakdown-with-a-feasible-iterate still carries a usable point (the
+/// pre-breakdown central-path iterate), so it outranks infeasibility.
+int outcomeRank(const GpSolution &S) {
+  switch (S.Outcome) {
+  case SolveOutcome::Converged:
+    return 4;
+  case SolveOutcome::NotConverged:
+    return 3;
+  case SolveOutcome::NumericalBreakdown:
+    return S.Feasible ? 2 : 1;
+  case SolveOutcome::Infeasible:
+    return 1;
+  case SolveOutcome::NonFinite:
+    return 0;
+  }
+  return 0;
+}
+
+/// Largest objective coefficient, for the rescaling rung.
+double objectiveScaleFor(const GpProblem &Problem) {
+  double Max = 0.0;
+  for (const Monomial &M : Problem.objective().monomials())
+    Max = std::max(Max, M.coefficient());
+  return std::isfinite(Max) && Max > 0.0 ? Max : 1.0;
+}
+
+} // namespace
+
+GpSolution thistle::solveGpWithRetry(const GpProblem &Problem,
+                                     const GpSolverOptions &Options,
+                                     GpSolveReport *Report) {
+  const unsigned MaxAttempts = std::max(1u, Options.MaxSolveAttempts);
+  GpSolution Best;
+  unsigned BestAttempt = 0;
+  unsigned TotalNewton = 0;
+
+  for (unsigned Attempt = 0; Attempt < MaxAttempts; ++Attempt) {
+    GpSolverOptions Rung = Options;
+    if (Attempt == 1) {
+      // Perturbed start, gentler initial barrier weight.
+      Rung.StartPerturbation = 1e-3;
+      Rung.TInitial = Options.TInitial * 0.1;
+    } else if (Attempt >= 2) {
+      // Stronger perturbation, slow barrier growth, rescaled objective.
+      Rung.StartPerturbation = 1e-2 * static_cast<double>(Attempt - 1);
+      Rung.TInitial = Options.TInitial * 0.01;
+      Rung.TMultiplier = std::max(4.0, Options.TMultiplier * 0.5);
+      Rung.ObjectiveScale = objectiveScaleFor(Problem);
+    }
+
+    GpSolution S = solveGp(Problem, Rung);
+    TotalNewton += S.NewtonIterations;
+    if (Report)
+      Report->Attempts.push_back({S.Outcome, Rung.StartPerturbation,
+                                  Rung.TInitial, Rung.TMultiplier,
+                                  Rung.ObjectiveScale, S.NewtonIterations,
+                                  S.Failure});
+
+    // Strictly-better outcomes displace the incumbent; ties keep the
+    // earliest attempt so a clean first solve is bit-identical to
+    // solveGp with the caller's options.
+    if (Attempt == 0 || outcomeRank(S) > outcomeRank(Best)) {
+      Best = std::move(S);
+      BestAttempt = Attempt;
+    }
+    if (Best.Outcome == SolveOutcome::Converged)
+      break;
+    // Infeasibility is a property of the problem, not of the numerics:
+    // retrying cannot cure it, so stop the ladder early.
+    if (Best.Outcome == SolveOutcome::Infeasible &&
+        Best.Failure.find("injected") == std::string::npos)
+      break;
+  }
+
+  Best.NewtonIterations = TotalNewton;
+  if (Report)
+    Report->Recovered =
+        BestAttempt > 0 && Best.Outcome == SolveOutcome::Converged;
+  return Best;
 }

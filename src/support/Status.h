@@ -1,0 +1,167 @@
+//===- support/Status.h - Structured, recoverable errors --------*- C++ -*-===//
+//
+// Part of the Thistle reproduction (CGO 2022).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Structured error reporting for the user-reachable paths of the solve
+/// pipeline. A Status carries a machine-checkable code, a human-readable
+/// message and an outer-to-inner context chain ("loading hierarchy" ->
+/// "line 3: 'pes' wants an integer"), so a bad input degrades into a
+/// diagnostic instead of aborting via assert. Expected<T> is the
+/// value-or-Status return type used by parsers and validators.
+///
+/// Internal invariants (solver postconditions, index arithmetic) keep
+/// using assert; Status is for conditions a user of the library or the
+/// command-line tool can trigger.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef THISTLE_SUPPORT_STATUS_H
+#define THISTLE_SUPPORT_STATUS_H
+
+#include <cassert>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace thistle {
+
+/// Error taxonomy of the solve pipeline (docs/ROBUSTNESS.md).
+enum class StatusCode {
+  Ok = 0,
+  /// A caller-supplied option or specification is malformed (bad flag
+  /// value, negative budget, inconsistent permutation set).
+  InvalidArgument,
+  /// Textual input failed to parse (hierarchy files, layer strings).
+  ParseError,
+  /// The solver failed numerically after every retry (breakdown,
+  /// non-finite iterates, non-convergence).
+  SolverFailure,
+  /// The problem was solved and is genuinely infeasible.
+  Infeasible,
+  /// A sweep deadline or trial budget expired before completion.
+  DeadlineExceeded,
+  /// An internal component violated its contract (caught exception).
+  Internal,
+};
+
+/// Renders a code as a stable lower-case token (used in diagnostics).
+inline const char *statusCodeName(StatusCode Code) {
+  switch (Code) {
+  case StatusCode::Ok:
+    return "ok";
+  case StatusCode::InvalidArgument:
+    return "invalid-argument";
+  case StatusCode::ParseError:
+    return "parse-error";
+  case StatusCode::SolverFailure:
+    return "solver-failure";
+  case StatusCode::Infeasible:
+    return "infeasible";
+  case StatusCode::DeadlineExceeded:
+    return "deadline-exceeded";
+  case StatusCode::Internal:
+    return "internal";
+  }
+  return "unknown";
+}
+
+/// A recoverable diagnostic: code + message + context chain.
+class Status {
+public:
+  /// Success; carries no message.
+  Status() = default;
+
+  static Status ok() { return Status(); }
+  static Status error(StatusCode Code, std::string Message) {
+    assert(Code != StatusCode::Ok && "errors need a non-Ok code");
+    Status S;
+    S.Code = Code;
+    S.Message = std::move(Message);
+    return S;
+  }
+  static Status invalidArgument(std::string Message) {
+    return error(StatusCode::InvalidArgument, std::move(Message));
+  }
+  static Status parseError(std::string Message) {
+    return error(StatusCode::ParseError, std::move(Message));
+  }
+
+  bool isOk() const { return Code == StatusCode::Ok; }
+  explicit operator bool() const { return isOk(); }
+  StatusCode code() const { return Code; }
+  const std::string &message() const { return Message; }
+  const std::vector<std::string> &context() const { return Context; }
+
+  /// Prepends an outer context frame ("parsing --hierarchy file") and
+  /// returns *this for chaining at return sites. No-op on Ok.
+  Status &withContext(std::string Frame) {
+    if (!isOk())
+      Context.insert(Context.begin(), std::move(Frame));
+    return *this;
+  }
+
+  /// "code: outer: inner: message" — one line, outermost context first.
+  std::string toString() const {
+    if (isOk())
+      return "ok";
+    std::string Out = statusCodeName(Code);
+    Out += ": ";
+    for (const std::string &Frame : Context) {
+      Out += Frame;
+      Out += ": ";
+    }
+    Out += Message;
+    return Out;
+  }
+
+private:
+  StatusCode Code = StatusCode::Ok;
+  std::string Message;
+  std::vector<std::string> Context;
+};
+
+/// A value of type T or the Status explaining its absence.
+template <typename T> class Expected {
+public:
+  /*implicit*/ Expected(T Value) : Value(std::move(Value)) {}
+  /*implicit*/ Expected(Status Error) : Error(std::move(Error)) {
+    assert(!this->Error.isOk() && "Expected wants a real error, not Ok");
+  }
+
+  bool hasValue() const { return Value.has_value(); }
+  explicit operator bool() const { return hasValue(); }
+
+  const T &value() const {
+    assert(hasValue() && "value() on an errored Expected");
+    return *Value;
+  }
+  T &value() {
+    assert(hasValue() && "value() on an errored Expected");
+    return *Value;
+  }
+  T &&takeValue() {
+    assert(hasValue() && "takeValue() on an errored Expected");
+    return std::move(*Value);
+  }
+
+  /// The error; Status::ok() when a value is present.
+  const Status &status() const { return Error; }
+
+  /// Adds an outer context frame to the error (no-op on success).
+  Expected &withContext(std::string Frame) {
+    Error.withContext(std::move(Frame));
+    return *this;
+  }
+
+private:
+  std::optional<T> Value;
+  Status Error;
+};
+
+} // namespace thistle
+
+#endif // THISTLE_SUPPORT_STATUS_H

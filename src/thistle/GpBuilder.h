@@ -25,6 +25,7 @@
 
 #include "ir/Problem.h"
 #include "model/TechModel.h"
+#include "support/Status.h"
 #include "nestmodel/Objective.h"
 #include "solver/GpProblem.h"
 #include "solver/GpSolver.h"
@@ -94,7 +95,17 @@ struct GpBuild {
   VarId EpigraphVar = 0; ///< T (delay objective only).
 };
 
-/// Builds the GP for \p Prob under \p Spec.
+/// Validates the user-reachable parts of \p Spec against \p Prob before
+/// any GP is generated: the co-design area budget must be positive and
+/// finite, the fixed architecture (DataflowOnly) must have non-zero
+/// capacities, the technology constants actually used must be positive,
+/// and the permutations/tiled-iterator lists must reference real
+/// iterators. buildGp requires a spec that passes this check.
+Status validateGpBuildSpec(const Problem &Prob, const GpBuildSpec &Spec);
+
+/// Builds the GP for \p Prob under \p Spec. \p Spec must satisfy
+/// validateGpBuildSpec; a failing spec yields an unusable program
+/// (e.g. infinite variable bounds), not a diagnostic.
 GpBuild buildGp(const Problem &Prob, const GpBuildSpec &Spec);
 
 /// The real (pre-rounding) solution in mapping terms.

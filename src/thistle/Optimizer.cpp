@@ -2,11 +2,13 @@
 
 #include "thistle/Optimizer.h"
 
+#include "support/FaultInjection.h"
 #include "support/ThreadPool.h"
 #include "thistle/PermutationSpace.h"
 
 #include <algorithm>
 #include <cassert>
+#include <exception>
 #include <tuple>
 #include <utility>
 
@@ -49,7 +51,24 @@ struct SweepAccumulator {
   unsigned NewtonIterations = 0;
   unsigned GpInfeasible = 0;
   std::size_t CandidatesEvaluated = 0;
+  SweepReport Report;
 };
+
+/// Resolves the two deadline options into one absolute instant.
+/// Returns false when no deadline is configured.
+bool resolveDeadline(std::chrono::milliseconds Relative,
+                     std::chrono::steady_clock::time_point Absolute,
+                     std::chrono::steady_clock::time_point &Out) {
+  if (Absolute != std::chrono::steady_clock::time_point{}) {
+    Out = Absolute;
+    return true;
+  }
+  if (Relative.count() > 0) {
+    Out = std::chrono::steady_clock::now() + Relative;
+    return true;
+  }
+  return false;
+}
 
 /// The deterministic winner order: lexicographic on (objective, QI, SI).
 /// This reproduces the sequential sweep exactly, where a later pair only
@@ -69,6 +88,23 @@ ThistleResult thistle::optimizeLayer(const Problem &Prob,
                                      double AreaBudgetUm2) {
   ThistleResult Result;
   std::vector<unsigned> Tiled = tiledIterators(Prob, Options);
+
+  // Validate the user-reachable inputs once, before any GP is built.
+  // The per-pair permutations come from our own enumeration, so an
+  // empty-permutation spec covers everything the caller controls.
+  {
+    GpBuildSpec Probe;
+    Probe.Mode = Options.Mode;
+    Probe.Objective = Options.Objective;
+    Probe.TiledIters = Tiled;
+    Probe.Arch = Arch;
+    Probe.Tech = Tech;
+    Probe.AreaBudgetUm2 = AreaBudgetUm2;
+    Result.InputStatus = validateGpBuildSpec(Prob, Probe)
+                             .withContext("validating optimizer inputs");
+    if (!Result.InputStatus.isOk())
+      return Result;
+  }
 
   // The class enumeration is a function of the problem and the tiled
   // iterator set only, so the two temporal levels share it.
@@ -116,54 +152,101 @@ ThistleResult thistle::optimizeLayer(const Problem &Prob,
   }
   Result.Stats.PairsSolved = static_cast<unsigned>(Pairs.size());
 
+  std::chrono::steady_clock::time_point DeadlineAt;
+  const bool HasDeadline =
+      resolveDeadline(Options.Deadline, Options.DeadlineAt, DeadlineAt);
+
   // Each task runs the full build -> solve -> halo-retry -> extract ->
-  // round chain independently; everything it reads is const-shared.
+  // round chain independently; everything it reads is const-shared. A
+  // task that fails (numerics, injected fault, exception) or is skipped
+  // (deadline) records an incident and drops out; the sweep still
+  // returns the optimum over the pairs that completed.
   auto solvePair = [&](SweepAccumulator &Acc, std::size_t TaskIdx) {
     const PairTask &Task = Pairs[TaskIdx];
 
-    GpBuildSpec Spec;
-    Spec.Mode = Options.Mode;
-    Spec.Objective = Options.Objective;
-    Spec.PePerm = Classes[Task.QI].Representative;
-    Spec.DramPerm = Classes[Task.SI].Representative;
-    Spec.TiledIters = Tiled;
-    Spec.SpatialUntiled = Options.SpatialUntiled;
-    Spec.Arch = Arch;
-    Spec.Tech = Tech;
-    Spec.AreaBudgetUm2 = AreaBudgetUm2;
+    if (HasDeadline && std::chrono::steady_clock::now() >= DeadlineAt) {
+      Acc.Report.DeadlineExpired = true;
+      Acc.Report.record(TaskOutcome::Skipped, TaskIdx, Task.QI, Task.SI, 0,
+                        "deadline expired before the pair was attempted");
+      return;
+    }
+    if (fault::shouldFail("thistle.pair",
+                          static_cast<std::int64_t>(TaskIdx))) {
+      Acc.Report.record(TaskOutcome::Failed, TaskIdx, Task.QI, Task.SI, 0,
+                        "injected fault at site thistle.pair");
+      return;
+    }
 
-    GpBuild Build = buildGp(Prob, Spec);
-    GpSolution Solution = solveGp(Build.Gp, Options.Solver);
-    Acc.NewtonIterations += Solution.NewtonIterations;
-    if (!Solution.Feasible) {
-      // The drop-negative halo bound can reject tiny register files
-      // that are actually feasible; retry with the product bound,
-      // which is exact in the small-tile regime.
-      Spec.Halo = HaloBound::ProductOfTerms;
-      Build = buildGp(Prob, Spec);
-      Solution = solveGp(Build.Gp, Options.Solver);
+    try {
+      GpBuildSpec Spec;
+      Spec.Mode = Options.Mode;
+      Spec.Objective = Options.Objective;
+      Spec.PePerm = Classes[Task.QI].Representative;
+      Spec.DramPerm = Classes[Task.SI].Representative;
+      Spec.TiledIters = Tiled;
+      Spec.SpatialUntiled = Options.SpatialUntiled;
+      Spec.Arch = Arch;
+      Spec.Tech = Tech;
+      Spec.AreaBudgetUm2 = AreaBudgetUm2;
+
+      GpSolveReport Solve;
+      GpBuild Build = buildGp(Prob, Spec);
+      GpSolution Solution =
+          solveGpWithRetry(Build.Gp, Options.Solver, &Solve);
       Acc.NewtonIterations += Solution.NewtonIterations;
-    }
-    if (!Solution.Feasible) {
-      ++Acc.GpInfeasible;
-      return;
-    }
+      unsigned Attempts = Solve.attempts();
+      if (!Solution.Feasible) {
+        // The drop-negative halo bound can reject tiny register files
+        // that are actually feasible; retry with the product bound,
+        // which is exact in the small-tile regime.
+        Spec.Halo = HaloBound::ProductOfTerms;
+        Build = buildGp(Prob, Spec);
+        GpSolveReport Fallback;
+        Solution = solveGpWithRetry(Build.Gp, Options.Solver, &Fallback);
+        Acc.NewtonIterations += Solution.NewtonIterations;
+        Attempts += Fallback.attempts();
+      }
+      if (!Solution.Feasible ||
+          Solution.Outcome == SolveOutcome::NonFinite) {
+        // Keep the historical stat for ANY pair that yields no feasible
+        // iterate, whatever the cause, so Stats stay comparable.
+        ++Acc.GpInfeasible;
+        TaskOutcome Outcome =
+            Solution.Outcome == SolveOutcome::Infeasible
+                ? TaskOutcome::Infeasible
+                : TaskOutcome::Failed;
+        Acc.Report.record(Outcome, TaskIdx, Task.QI, Task.SI, Attempts,
+                          Solution.Failure.empty()
+                              ? std::string(solveOutcomeName(Solution.Outcome))
+                              : Solution.Failure);
+        return;
+      }
+      // Feasible but not converged: accept the best iterate (as the
+      // sweep always has), flagged Degraded in the report.
+      Acc.Report.record(Solution.Converged ? TaskOutcome::Solved
+                                           : TaskOutcome::Degraded,
+                        TaskIdx, Task.QI, Task.SI, Attempts,
+                        Solution.Converged ? std::string() : Solution.Failure);
 
-    RealSolution Real = extractSolution(Prob, Build, Spec, Solution);
-    RoundedDesign Design =
-        roundSolution(Prob, Spec, Real, Options.Rounding);
-    Acc.CandidatesEvaluated += Design.CandidatesTried;
-    if (!Design.Found)
-      return;
+      RealSolution Real = extractSolution(Prob, Build, Spec, Solution);
+      RoundedDesign Design =
+          roundSolution(Prob, Spec, Real, Options.Rounding);
+      Acc.CandidatesEvaluated += Design.CandidatesTried;
+      if (!Design.Found)
+        return;
 
-    double Obj = objectiveValue(Design.Eval, Options.Objective);
-    if (winsOver(Obj, Task.QI, Task.SI, Acc)) {
-      Acc.Found = true;
-      Acc.Obj = Obj;
-      Acc.QI = Task.QI;
-      Acc.SI = Task.SI;
-      Acc.Design = std::move(Design);
-      Acc.ModelObjective = Real.Objective;
+      double Obj = objectiveValue(Design.Eval, Options.Objective);
+      if (winsOver(Obj, Task.QI, Task.SI, Acc)) {
+        Acc.Found = true;
+        Acc.Obj = Obj;
+        Acc.QI = Task.QI;
+        Acc.SI = Task.SI;
+        Acc.Design = std::move(Design);
+        Acc.ModelObjective = Real.Objective;
+      }
+    } catch (const std::exception &E) {
+      Acc.Report.record(TaskOutcome::Failed, TaskIdx, Task.QI, Task.SI, 0,
+                        std::string("exception: ") + E.what());
     }
   };
 
@@ -171,6 +254,7 @@ ThistleResult thistle::optimizeLayer(const Problem &Prob,
     A.NewtonIterations += B.NewtonIterations;
     A.GpInfeasible += B.GpInfeasible;
     A.CandidatesEvaluated += B.CandidatesEvaluated;
+    A.Report.merge(std::move(B.Report));
     if (B.Found && winsOver(B.Obj, B.QI, B.SI, A)) {
       A.Found = true;
       A.Obj = B.Obj;
@@ -188,6 +272,7 @@ ThistleResult thistle::optimizeLayer(const Problem &Prob,
   Result.Stats.NewtonIterations = Total.NewtonIterations;
   Result.Stats.GpInfeasible = Total.GpInfeasible;
   Result.Stats.CandidatesEvaluated = Total.CandidatesEvaluated;
+  Result.Report = std::move(Total.Report);
   if (Total.Found) {
     Result.Found = true;
     Result.Arch = Total.Design.Arch;

@@ -20,9 +20,12 @@
 #ifndef THISTLE_THISTLE_OPTIMIZER_H
 #define THISTLE_THISTLE_OPTIMIZER_H
 
+#include "support/Status.h"
+#include "support/SweepReport.h"
 #include "thistle/GpBuilder.h"
 #include "thistle/Rounding.h"
 
+#include <chrono>
 #include <string>
 #include <vector>
 
@@ -49,6 +52,17 @@ struct ThistleOptions {
   /// is fixed before fan-out and the winner is reduced with a total
   /// (objective, pair-index) order — so this only affects wall clock.
   unsigned Threads = 0;
+  /// Wall-clock budget for the pair sweep (0 = unlimited). Checked
+  /// before each pair solve: pairs starting after the deadline are
+  /// skipped and counted in the SweepReport, and the sweep returns the
+  /// best of the completed pairs (graceful degradation). Which pairs
+  /// complete under a live deadline is wall-clock dependent; a sweep
+  /// that never hits the deadline is bit-identical to an unbounded one.
+  std::chrono::milliseconds Deadline{0};
+  /// Absolute form of the deadline (steady clock); takes precedence
+  /// over Deadline when set. Lets tests pin an already-expired or
+  /// far-future instant deterministically.
+  std::chrono::steady_clock::time_point DeadlineAt{};
 };
 
 /// Search statistics (exposed for the ablation benchmarks).
@@ -66,6 +80,14 @@ struct ThistleStats {
 /// The best design found for one layer.
 struct ThistleResult {
   bool Found = false;
+  /// Non-Ok when the inputs failed validation before the sweep ran
+  /// (bad architecture, non-positive area budget, malformed options);
+  /// Found is false and the report is empty in that case.
+  Status InputStatus;
+  /// Per-pair solved/retried/degraded/failed/skipped accounting. When
+  /// pairs fail or are skipped, the sweep still returns the optimum
+  /// over the remaining pairs and names the losses here.
+  SweepReport Report;
   ArchConfig Arch; ///< Input arch (dataflow mode) or co-designed.
   Mapping Map;
   EvalResult Eval;

@@ -507,3 +507,193 @@ TEST(MultiGp, FanoutAtTopLevelWorks) {
   ASSERT_TRUE(R.Found);
   EXPECT_TRUE(R.Eval.Legal);
 }
+
+// ---- Robustness: structured parse errors, validation, degradation ---------
+
+#include "support/FaultInjection.h"
+
+#include <chrono>
+
+namespace {
+
+/// Shorthand: parse and return the error message (empty on success).
+std::string parseErrorOf(const std::string &Text) {
+  Expected<Hierarchy> Parsed = parseHierarchy(Text);
+  return Parsed.hasValue() ? std::string() : Parsed.status().message();
+}
+
+} // namespace
+
+TEST(Hierarchy, ParseReportsLineNumbers) {
+  // Each malformed input names the offending line.
+  EXPECT_NE(parseErrorOf("pes zero\n").find("line 1"), std::string::npos);
+  EXPECT_NE(parseErrorOf("pes 16\npes -2\n").find("line 2"),
+            std::string::npos);
+  EXPECT_NE(parseErrorOf("pes 16\nmac-pj nan\n").find("line 2"),
+            std::string::npos);
+  EXPECT_NE(parseErrorOf("pes 16\nfanout 0\n").find("line 2"),
+            std::string::npos);
+  // Truncated level line (name only, missing fields).
+  EXPECT_NE(parseErrorOf("pes 16\nlevel OnlyName\n").find("line 2"),
+            std::string::npos);
+  // Malformed capacity token.
+  EXPECT_NE(
+      parseErrorOf("pes 16\nlevel RF 12cats 0.5 16\n").find("line 2"),
+      std::string::npos);
+  // Non-positive capacity.
+  EXPECT_NE(parseErrorOf("pes 16\nlevel RF 0 0.5 16\n").find("line 2"),
+            std::string::npos);
+  // Negative access energy / non-positive bandwidth.
+  EXPECT_NE(parseErrorOf("pes 16\nlevel RF 64 -0.5 16\n").find("line 2"),
+            std::string::npos);
+  EXPECT_NE(parseErrorOf("pes 16\nlevel RF 64 0.5 0\n").find("line 2"),
+            std::string::npos);
+  // Trailing junk after the fields.
+  EXPECT_NE(
+      parseErrorOf("pes 16\nlevel RF 64 0.5 16 extra\n").find("line 2"),
+      std::string::npos);
+  // Unknown directive.
+  EXPECT_NE(parseErrorOf("pes 16\nwibble 3\n").find("line 2"),
+            std::string::npos);
+}
+
+TEST(Hierarchy, ParseRejectsDuplicateLevelNames) {
+  std::string Error = parseErrorOf("pes 16\n"
+                                   "level RF 64 0.5 1e9\n"
+                                   "level RF 1024 2.0 80\n"
+                                   "level DRAM - 128 16\n");
+  EXPECT_NE(Error.find("line 3"), std::string::npos);
+  EXPECT_NE(Error.find("RF"), std::string::npos);
+}
+
+TEST(Hierarchy, ParseRejectsUnboundedInnerLevel) {
+  // "-" (unbounded capacity) is only meaningful at the outermost level.
+  std::string Error = parseErrorOf("pes 16\n"
+                                   "level RF - 0.5 1e9\n"
+                                   "level DRAM 1024 128 16\n");
+  EXPECT_FALSE(Error.empty());
+  EXPECT_NE(Error.find("line 2"), std::string::npos);
+}
+
+TEST(Hierarchy, ParseExpectedOverloadRoundTrips) {
+  Expected<Hierarchy> Parsed = parseHierarchy("pes 128\n"
+                                              "mac-pj 2.2\n"
+                                              "fanout 1\n"
+                                              "level RF 512 0.2 1e9\n"
+                                              "level SRAM 65536 6.0 16\n"
+                                              "level DRAM - 128.0 4\n");
+  ASSERT_TRUE(Parsed.hasValue()) << Parsed.status().toString();
+  const Hierarchy &H = Parsed.value();
+  EXPECT_EQ(H.NumPEs, 128);
+  EXPECT_EQ(H.numLevels(), 3u);
+  EXPECT_EQ(H.Levels[2].CapacityWords, 0); // Unbounded DRAM.
+}
+
+TEST(MultiGp, RejectsInvalidHierarchy) {
+  Problem P = smallConvProblem();
+  Hierarchy Bad; // Zero levels: validate() cannot pass.
+  MultiResult R = optimizeHierarchy(P, Bad);
+  EXPECT_FALSE(R.Found);
+  ASSERT_FALSE(R.InputStatus.isOk());
+  EXPECT_EQ(R.InputStatus.code(), StatusCode::InvalidArgument);
+  EXPECT_EQ(R.Report.total(), 0u);
+}
+
+TEST(MultiGp, RejectsCoDesignWithoutBudget) {
+  Problem P = smallConvProblem();
+  Hierarchy H = Hierarchy::classic3Level(eyerissArch(), TechParams::cgo45nm());
+  MultiOptions O;
+  O.CoDesignCapacities = true;
+  O.AreaBudgetUm2 = 0.0;
+  MultiResult R = optimizeHierarchy(P, H, O);
+  EXPECT_FALSE(R.Found);
+  ASSERT_FALSE(R.InputStatus.isOk());
+  EXPECT_EQ(R.InputStatus.code(), StatusCode::InvalidArgument);
+}
+
+TEST(MultiGp, ExpiredDeadlineSkipsAllCombos) {
+  Problem P = smallConvProblem();
+  Hierarchy H = Hierarchy::classic3Level(eyerissArch(), TechParams::cgo45nm());
+  MultiOptions O;
+  O.MaxPermCombos = 6;
+  O.DeadlineAt = std::chrono::steady_clock::now() - std::chrono::hours(1);
+  MultiResult R = optimizeHierarchy(P, H, O);
+  EXPECT_FALSE(R.Found);
+  EXPECT_TRUE(R.InputStatus.isOk());
+  EXPECT_TRUE(R.Report.DeadlineExpired);
+  EXPECT_GT(R.Report.Skipped, 0u);
+  EXPECT_EQ(R.Report.Skipped, R.Report.total());
+}
+
+TEST(MultiGp, FarFutureDeadlineMatchesUnboundedRun) {
+  Problem P = smallConvProblem();
+  Hierarchy H = Hierarchy::classic3Level(eyerissArch(), TechParams::cgo45nm());
+  MultiOptions O;
+  O.MaxPermCombos = 6;
+  MultiResult Ref = optimizeHierarchy(P, H, O);
+  ASSERT_TRUE(Ref.Found);
+  O.DeadlineAt = std::chrono::steady_clock::now() + std::chrono::hours(24);
+  MultiResult R = optimizeHierarchy(P, H, O);
+  ASSERT_TRUE(R.Found);
+  EXPECT_EQ(R.Eval.EnergyPj, Ref.Eval.EnergyPj);
+  EXPECT_EQ(R.ModelObjective, Ref.ModelObjective);
+  EXPECT_FALSE(R.Report.DeadlineExpired);
+}
+
+#if THISTLE_FAULT_INJECTION_ENABLED
+
+namespace {
+
+struct MultiFaultGuard {
+  ~MultiFaultGuard() { fault::disarmAll(); }
+};
+
+} // namespace
+
+TEST(MultiGp, PoisonedComboDegradesGracefully) {
+  MultiFaultGuard G;
+  Problem P = smallConvProblem();
+  Hierarchy H = Hierarchy::classic3Level(eyerissArch(), TechParams::cgo45nm());
+  MultiOptions O;
+  O.MaxPermCombos = 6;
+  O.Threads = 1;
+
+  fault::arm("multigp.combo", /*Key=*/0, /*MaxHits=*/1);
+  MultiResult Ref = optimizeHierarchy(P, H, O);
+  ASSERT_TRUE(Ref.Found); // Best of the surviving combos.
+  EXPECT_EQ(Ref.Report.Failed, 1u);
+  const SweepIncident *Poisoned = nullptr;
+  for (const SweepIncident &I : Ref.Report.Incidents)
+    if (I.Outcome == TaskOutcome::Failed)
+      Poisoned = &I;
+  ASSERT_NE(Poisoned, nullptr);
+  EXPECT_EQ(Poisoned->Index, 0u);
+  EXPECT_NE(Poisoned->Detail.find("injected"), std::string::npos);
+
+  for (unsigned Threads : {2u, 8u}) {
+    SCOPED_TRACE(std::to_string(Threads) + " threads");
+    fault::arm("multigp.combo", /*Key=*/0, /*MaxHits=*/1);
+    O.Threads = Threads;
+    MultiResult R = optimizeHierarchy(P, H, O);
+    ASSERT_TRUE(R.Found);
+    EXPECT_EQ(R.Eval.EnergyPj, Ref.Eval.EnergyPj);
+    EXPECT_EQ(R.ModelObjective, Ref.ModelObjective);
+    EXPECT_EQ(R.Report.Failed, Ref.Report.Failed);
+    EXPECT_EQ(R.Report.Solved, Ref.Report.Solved);
+    ASSERT_EQ(R.Report.Incidents.size(), Ref.Report.Incidents.size());
+    for (std::size_t I = 0; I < R.Report.Incidents.size(); ++I)
+      EXPECT_EQ(R.Report.Incidents[I].Index, Ref.Report.Incidents[I].Index);
+  }
+}
+
+TEST(Hierarchy, ParseFaultSiteInjects) {
+  MultiFaultGuard G;
+  fault::arm("parse.hierarchy", fault::AnyKey, /*MaxHits=*/1);
+  Expected<Hierarchy> Parsed =
+      parseHierarchy("pes 16\nlevel DRAM - 1 1\n");
+  ASSERT_FALSE(Parsed.hasValue());
+  EXPECT_EQ(Parsed.status().code(), StatusCode::ParseError);
+  EXPECT_NE(Parsed.status().message().find("injected"), std::string::npos);
+}
+
+#endif // THISTLE_FAULT_INJECTION_ENABLED

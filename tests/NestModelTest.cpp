@@ -328,3 +328,46 @@ TEST(Mapper, RespectsVictoryCondition) {
   MapperResult R = searchMappings(P, Arch, E, Opts);
   EXPECT_LT(R.Trials, Opts.MaxTrials);
 }
+
+TEST(Mapper, ExpiredDeadlineStopsBeforeAnyRound) {
+  Problem P = makeMatmulProblem(16, 16, 16);
+  ArchConfig Arch = eyerissArch();
+  EnergyModel E(TechParams::cgo45nm());
+  MapperOptions Opts;
+  Opts.MaxTrials = 500;
+  Opts.DeadlineAt = std::chrono::steady_clock::now() - std::chrono::hours(1);
+  MapperResult R = searchMappings(P, Arch, E, Opts);
+  EXPECT_TRUE(R.DeadlineExpired);
+  EXPECT_FALSE(R.Found);
+  EXPECT_EQ(R.Trials, 0u);
+  EXPECT_TRUE(R.InputStatus.isOk());
+}
+
+TEST(Mapper, FarFutureDeadlineMatchesUnboundedSearch) {
+  // A deadline that never fires must not perturb the RNG streams: the
+  // check happens at round boundaries, outside the sampling loop.
+  Problem P = makeMatmulProblem(16, 16, 16);
+  ArchConfig Arch = eyerissArch();
+  EnergyModel E(TechParams::cgo45nm());
+  MapperOptions Opts;
+  Opts.MaxTrials = 500;
+  MapperResult Ref = searchMappings(P, Arch, E, Opts);
+  ASSERT_TRUE(Ref.Found);
+  Opts.DeadlineAt = std::chrono::steady_clock::now() + std::chrono::hours(24);
+  MapperResult R = searchMappings(P, Arch, E, Opts);
+  ASSERT_TRUE(R.Found);
+  EXPECT_FALSE(R.DeadlineExpired);
+  EXPECT_EQ(R.Trials, Ref.Trials);
+  EXPECT_EQ(R.BestEval.EnergyPj, Ref.BestEval.EnergyPj);
+  EXPECT_EQ(R.Best.Factors, Ref.Best.Factors);
+}
+
+TEST(Mapper, RejectsInvalidHierarchy) {
+  Problem P = makeMatmulProblem(8, 8, 8);
+  Hierarchy Bad; // Zero levels: validate() cannot pass.
+  MultiMapperResult R = searchMultiMappings(P, Bad, MapperOptions());
+  EXPECT_FALSE(R.Found);
+  ASSERT_FALSE(R.InputStatus.isOk());
+  EXPECT_EQ(R.InputStatus.code(), StatusCode::InvalidArgument);
+  EXPECT_EQ(R.Trials, 0u);
+}

@@ -181,3 +181,131 @@ TEST(Optimizer, ReportsWinningPermutations) {
   EXPECT_GT(R.Eval.EnergyPj, 0.2 * R.ModelObjective);
   EXPECT_LT(R.Eval.EnergyPj, 5.0 * R.ModelObjective);
 }
+
+// ---- Robustness: validation, deadlines, graceful degradation --------------
+
+#include "support/FaultInjection.h"
+
+#include <chrono>
+
+TEST(Optimizer, RejectsInvalidArchitecture) {
+  Problem P = makeConvProblem(smallConv());
+  ArchConfig Bad = eyerissArch();
+  Bad.NumPEs = 0;
+  ThistleResult R =
+      optimizeLayer(P, Bad, TechParams::cgo45nm(), fastOptions());
+  EXPECT_FALSE(R.Found);
+  ASSERT_FALSE(R.InputStatus.isOk());
+  EXPECT_EQ(R.InputStatus.code(), StatusCode::InvalidArgument);
+  // Nothing ran: the report is empty rather than full of failures.
+  EXPECT_EQ(R.Report.total(), 0u);
+}
+
+TEST(Optimizer, RejectsNonPositiveAreaBudget) {
+  Problem P = makeConvProblem(smallConv());
+  ThistleOptions O = fastOptions();
+  O.Mode = DesignMode::CoDesign;
+  ThistleResult R = optimizeLayer(P, eyerissArch(), TechParams::cgo45nm(),
+                                  O, /*AreaBudgetUm2=*/0.0);
+  EXPECT_FALSE(R.Found);
+  ASSERT_FALSE(R.InputStatus.isOk());
+  EXPECT_EQ(R.InputStatus.code(), StatusCode::InvalidArgument);
+}
+
+TEST(Optimizer, ExpiredDeadlineSkipsAllPairs) {
+  Problem P = makeConvProblem(smallConv());
+  ThistleOptions O = fastOptions();
+  O.DeadlineAt = std::chrono::steady_clock::now() - std::chrono::hours(1);
+  ThistleResult R =
+      optimizeLayer(P, eyerissArch(), TechParams::cgo45nm(), O);
+  EXPECT_FALSE(R.Found);
+  EXPECT_TRUE(R.InputStatus.isOk()); // Inputs were fine; time was not.
+  EXPECT_TRUE(R.Report.DeadlineExpired);
+  EXPECT_EQ(R.Report.Skipped, R.Report.total());
+  EXPECT_GT(R.Report.Skipped, 0u);
+}
+
+TEST(Optimizer, FarFutureDeadlineMatchesUnboundedRun) {
+  Problem P = makeConvProblem(smallConv());
+  ThistleOptions O = fastOptions();
+  ThistleResult Ref =
+      optimizeLayer(P, eyerissArch(), TechParams::cgo45nm(), O);
+  ASSERT_TRUE(Ref.Found);
+  O.DeadlineAt = std::chrono::steady_clock::now() + std::chrono::hours(24);
+  ThistleResult R =
+      optimizeLayer(P, eyerissArch(), TechParams::cgo45nm(), O);
+  ASSERT_TRUE(R.Found);
+  EXPECT_EQ(R.Eval.EnergyPj, Ref.Eval.EnergyPj);
+  EXPECT_EQ(R.ModelObjective, Ref.ModelObjective);
+  EXPECT_EQ(R.Map.Factors, Ref.Map.Factors);
+  EXPECT_FALSE(R.Report.DeadlineExpired);
+  EXPECT_EQ(R.Report.Skipped, 0u);
+}
+
+#if THISTLE_FAULT_INJECTION_ENABLED
+
+namespace {
+
+struct OptFaultGuard {
+  ~OptFaultGuard() { fault::disarmAll(); }
+};
+
+} // namespace
+
+TEST(Optimizer, PoisonedPairDegradesGracefully) {
+  OptFaultGuard G;
+  Problem P = makeConvProblem(smallConv());
+  ThistleOptions O = fastOptions();
+  O.Threads = 1;
+
+  // Kill exactly pair task 0; the sweep must return the optimum over
+  // the remaining pairs and name the loss in the report.
+  fault::arm("thistle.pair", /*Key=*/0, /*MaxHits=*/1);
+  ThistleResult Ref =
+      optimizeLayer(P, eyerissArch(), TechParams::cgo45nm(), O);
+  ASSERT_TRUE(Ref.Found);
+  EXPECT_FALSE(Ref.Report.clean());
+  EXPECT_EQ(Ref.Report.Failed, 1u);
+  ASSERT_GE(Ref.Report.Incidents.size(), 1u);
+  const SweepIncident *Poisoned = nullptr;
+  for (const SweepIncident &I : Ref.Report.Incidents)
+    if (I.Outcome == TaskOutcome::Failed)
+      Poisoned = &I;
+  ASSERT_NE(Poisoned, nullptr);
+  EXPECT_EQ(Poisoned->Index, 0u);
+  EXPECT_NE(Poisoned->Detail.find("injected"), std::string::npos);
+
+  // The degraded result is bit-identical at every thread count: the
+  // injection is keyed on the global task index, which does not depend
+  // on the shard layout.
+  for (unsigned Threads : {2u, 8u}) {
+    SCOPED_TRACE(std::to_string(Threads) + " threads");
+    fault::arm("thistle.pair", /*Key=*/0, /*MaxHits=*/1);
+    O.Threads = Threads;
+    ThistleResult R =
+        optimizeLayer(P, eyerissArch(), TechParams::cgo45nm(), O);
+    ASSERT_TRUE(R.Found);
+    EXPECT_EQ(R.Eval.EnergyPj, Ref.Eval.EnergyPj);
+    EXPECT_EQ(R.ModelObjective, Ref.ModelObjective);
+    EXPECT_EQ(R.Map.Factors, Ref.Map.Factors);
+    EXPECT_EQ(R.Report.Failed, Ref.Report.Failed);
+    EXPECT_EQ(R.Report.Solved, Ref.Report.Solved);
+    ASSERT_EQ(R.Report.Incidents.size(), Ref.Report.Incidents.size());
+    for (std::size_t I = 0; I < R.Report.Incidents.size(); ++I)
+      EXPECT_EQ(R.Report.Incidents[I].Index, Ref.Report.Incidents[I].Index);
+  }
+}
+
+TEST(Optimizer, CleanRunReportIsClean) {
+  Problem P = makeConvProblem(smallConv());
+  ThistleResult R = optimizeLayer(P, eyerissArch(), TechParams::cgo45nm(),
+                                  fastOptions());
+  ASSERT_TRUE(R.Found);
+  EXPECT_TRUE(R.Report.clean());
+  EXPECT_EQ(R.Report.Failed, 0u);
+  EXPECT_EQ(R.Report.Skipped, 0u);
+  EXPECT_EQ(R.Report.Solved + R.Report.Degraded + R.Report.Infeasible,
+            R.Report.total());
+}
+
+#endif // THISTLE_FAULT_INJECTION_ENABLED

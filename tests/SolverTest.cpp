@@ -185,3 +185,186 @@ TEST(GpSolver, ReportsNewtonWork) {
   ASSERT_TRUE(S.Feasible);
   EXPECT_GT(S.NewtonIterations, 0u);
 }
+
+// ---- Outcome classification and the retry ladder --------------------------
+
+#include "support/FaultInjection.h"
+
+namespace {
+
+/// minimize x*y s.t. x >= 1, y >= 1 with coefficient spread \p Scale:
+/// objective Scale * x * y. Optimum Scale at (1, 1).
+GpProblem scaledCornerGp(VarId &X, VarId &Y, double Scale) {
+  GpProblem Gp;
+  X = Gp.addVariable("x");
+  Y = Gp.addVariable("y");
+  Gp.addVariableBounds(X, 100.0);
+  Gp.addVariableBounds(Y, 100.0);
+  Gp.setObjective(Posynomial(
+      (Monomial::variable(X) * Monomial::variable(Y)).scaled(Scale)));
+  return Gp;
+}
+
+} // namespace
+
+TEST(GpSolver, OutcomeIsConvergedOnSuccess) {
+  VarId X, Y;
+  GpProblem Gp = scaledCornerGp(X, Y, 1.0);
+  GpSolution S = solveGp(Gp);
+  EXPECT_EQ(S.Outcome, SolveOutcome::Converged);
+  EXPECT_STREQ(solveOutcomeName(S.Outcome), "converged");
+}
+
+TEST(GpSolver, OutcomeIsInfeasibleOnEmptyInterior) {
+  // x <= 0.5 and x >= 1 cannot both hold.
+  GpProblem Gp;
+  VarId X = Gp.addVariable("x");
+  Gp.addVariableBounds(X, 100.0);
+  Gp.addUpperBound(Posynomial(Monomial::variable(X)), 0.5, "x small");
+  Gp.setObjective(Posynomial(Monomial::variable(X)));
+  GpSolution S = solveGp(Gp);
+  EXPECT_FALSE(S.Feasible);
+  EXPECT_EQ(S.Outcome, SolveOutcome::Infeasible);
+}
+
+TEST(GpSolver, TinyAndHugeCoefficientSpreads) {
+  // The raw solver must survive pathological objective scalings; the
+  // retry ladder's rescaling rung normalizes the rest.
+  for (double Scale : {1e-18, 1e-9, 1.0, 1e9, 1e18}) {
+    VarId X, Y;
+    GpProblem Gp = scaledCornerGp(X, Y, Scale);
+    GpSolveReport Report;
+    GpSolution S = solveGpWithRetry(Gp, GpSolverOptions(), &Report);
+    ASSERT_TRUE(S.Feasible) << "scale " << Scale << ": " << S.Failure;
+    EXPECT_NEAR(S.Values[X], 1.0, 1e-2) << "scale " << Scale;
+    EXPECT_NEAR(S.Values[Y], 1.0, 1e-2) << "scale " << Scale;
+    // The reported objective is on the original posynomial.
+    EXPECT_NEAR(S.Objective / Scale, 1.0, 1e-2) << "scale " << Scale;
+  }
+}
+
+TEST(GpSolver, ObjectiveScaleIsArgminPreserving) {
+  VarId X, Y;
+  GpProblem Gp = scaledCornerGp(X, Y, 1e12);
+  GpSolverOptions Options;
+  Options.ObjectiveScale = 1e12;
+  GpSolution S = solveGp(Gp, Options);
+  ASSERT_TRUE(S.Feasible);
+  EXPECT_NEAR(S.Values[X], 1.0, 1e-3);
+  EXPECT_NEAR(S.Objective, 1e12, 1e10);
+}
+
+TEST(GpSolver, StartPerturbationStaysCorrect) {
+  VarId X, Y;
+  GpProblem Gp = scaledCornerGp(X, Y, 1.0);
+  GpSolverOptions Options;
+  Options.StartPerturbation = 1e-2;
+  GpSolution S = solveGp(Gp, Options);
+  ASSERT_TRUE(S.Feasible);
+  EXPECT_TRUE(S.Converged);
+  EXPECT_NEAR(S.Values[X], 1.0, 1e-3);
+  EXPECT_NEAR(S.Values[Y], 1.0, 1e-3);
+}
+
+TEST(GpSolver, RetryMatchesPlainSolveWhenFirstAttemptSucceeds) {
+  VarId X, Y;
+  GpProblem Gp = scaledCornerGp(X, Y, 3.0);
+  GpSolution Plain = solveGp(Gp);
+  GpSolveReport Report;
+  GpSolution Retry = solveGpWithRetry(Gp, GpSolverOptions(), &Report);
+  ASSERT_TRUE(Plain.Feasible);
+  // Bit-identical: the ladder's first rung is exactly the caller's
+  // options, and a converged first attempt short-circuits.
+  EXPECT_EQ(Report.attempts(), 1u);
+  EXPECT_FALSE(Report.Recovered);
+  EXPECT_EQ(Retry.Objective, Plain.Objective);
+  EXPECT_EQ(Retry.Values[X], Plain.Values[X]);
+  EXPECT_EQ(Retry.Values[Y], Plain.Values[Y]);
+  EXPECT_EQ(Retry.NewtonIterations, Plain.NewtonIterations);
+}
+
+TEST(GpSolver, RetryStopsOnGenuineInfeasibility) {
+  GpProblem Gp;
+  VarId X = Gp.addVariable("x");
+  Gp.addVariableBounds(X, 100.0);
+  Gp.addUpperBound(Posynomial(Monomial::variable(X)), 0.5, "x small");
+  Gp.setObjective(Posynomial(Monomial::variable(X)));
+  GpSolveReport Report;
+  GpSolution S = solveGpWithRetry(Gp, GpSolverOptions(), &Report);
+  EXPECT_FALSE(S.Feasible);
+  EXPECT_EQ(S.Outcome, SolveOutcome::Infeasible);
+  // Infeasibility is a model property, not numerics: no retries burned.
+  EXPECT_EQ(Report.attempts(), 1u);
+}
+
+#if THISTLE_FAULT_INJECTION_ENABLED
+
+namespace {
+
+struct SolverFaultGuard {
+  ~SolverFaultGuard() { fault::disarmAll(); }
+};
+
+} // namespace
+
+TEST(GpSolver, InjectedNonConvergenceIsClassified) {
+  SolverFaultGuard G;
+  VarId X, Y;
+  GpProblem Gp = scaledCornerGp(X, Y, 1.0);
+  fault::arm("solver.nonconverge", fault::AnyKey, /*MaxHits=*/1);
+  GpSolution S = solveGp(Gp);
+  EXPECT_TRUE(S.Feasible);
+  EXPECT_FALSE(S.Converged);
+  EXPECT_EQ(S.Outcome, SolveOutcome::NotConverged);
+}
+
+TEST(GpSolver, RetryLadderRecoversFromNonConvergence) {
+  SolverFaultGuard G;
+  VarId X, Y;
+  GpProblem Gp = scaledCornerGp(X, Y, 1.0);
+  // Poison exactly the first attempt; the second must converge.
+  fault::arm("solver.nonconverge", fault::AnyKey, /*MaxHits=*/1);
+  GpSolveReport Report;
+  GpSolution S = solveGpWithRetry(Gp, GpSolverOptions(), &Report);
+  ASSERT_TRUE(S.Feasible) << S.Failure;
+  EXPECT_TRUE(S.Converged);
+  EXPECT_TRUE(Report.Recovered);
+  EXPECT_EQ(Report.attempts(), 2u);
+  EXPECT_EQ(Report.Attempts[0].Outcome, SolveOutcome::NotConverged);
+  EXPECT_EQ(Report.Attempts[1].Outcome, SolveOutcome::Converged);
+  EXPECT_NEAR(S.Values[X], 1.0, 1e-2);
+  // Total Newton work across both attempts is accounted.
+  EXPECT_EQ(S.NewtonIterations, Report.Attempts[0].NewtonIterations +
+                                    Report.Attempts[1].NewtonIterations);
+}
+
+TEST(GpSolver, RetryLadderRecoversFromNanGradient) {
+  SolverFaultGuard G;
+  VarId X, Y;
+  GpProblem Gp = scaledCornerGp(X, Y, 1.0);
+  fault::arm("solver.nan-grad", fault::AnyKey, /*MaxHits=*/1);
+  GpSolveReport Report;
+  GpSolution S = solveGpWithRetry(Gp, GpSolverOptions(), &Report);
+  ASSERT_TRUE(S.Feasible) << S.Failure;
+  EXPECT_TRUE(S.Converged);
+  EXPECT_TRUE(Report.Recovered);
+  EXPECT_GE(Report.attempts(), 2u);
+  EXPECT_NEAR(S.Values[X], 1.0, 1e-2);
+}
+
+TEST(GpSolver, LadderExhaustsOnPersistentFault) {
+  SolverFaultGuard G;
+  VarId X, Y;
+  GpProblem Gp = scaledCornerGp(X, Y, 1.0);
+  fault::arm("solver.nonconverge"); // Unlimited: every attempt fails.
+  GpSolverOptions Options;
+  GpSolveReport Report;
+  GpSolution S = solveGpWithRetry(Gp, Options, &Report);
+  EXPECT_EQ(Report.attempts(), Options.MaxSolveAttempts);
+  EXPECT_FALSE(Report.Recovered);
+  // Best effort: the iterate is still feasible, just not converged.
+  EXPECT_TRUE(S.Feasible);
+  EXPECT_EQ(S.Outcome, SolveOutcome::NotConverged);
+}
+
+#endif // THISTLE_FAULT_INJECTION_ENABLED

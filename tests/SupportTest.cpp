@@ -138,3 +138,158 @@ TEST(TablePrinter, FormatHelpers) {
   EXPECT_EQ(TablePrinter::formatDouble(2.0, 0), "2");
   EXPECT_EQ(TablePrinter::formatInt(168), "168");
 }
+
+// ---- Status / Expected ----------------------------------------------------
+
+#include "support/FaultInjection.h"
+#include "support/Status.h"
+#include "support/SweepReport.h"
+
+TEST(Status, OkByDefault) {
+  Status S;
+  EXPECT_TRUE(S.isOk());
+  EXPECT_EQ(S.code(), StatusCode::Ok);
+  EXPECT_EQ(S.toString(), "ok");
+}
+
+TEST(Status, ErrorCarriesCodeAndMessage) {
+  Status S = Status::invalidArgument("negative budget");
+  EXPECT_FALSE(S.isOk());
+  EXPECT_EQ(S.code(), StatusCode::InvalidArgument);
+  EXPECT_EQ(S.toString(), "invalid-argument: negative budget");
+}
+
+TEST(Status, ContextChainsOuterFirst) {
+  Status S = Status::parseError("'pes' wants an integer");
+  S.withContext("line 3").withContext("loading machine.txt");
+  EXPECT_EQ(S.toString(),
+            "parse-error: loading machine.txt: line 3: "
+            "'pes' wants an integer");
+}
+
+TEST(Status, ContextIsNoOpOnOk) {
+  Status S = Status::ok();
+  S.withContext("should vanish");
+  EXPECT_EQ(S.toString(), "ok");
+}
+
+TEST(Expected, HoldsValue) {
+  Expected<int> E(42);
+  ASSERT_TRUE(E.hasValue());
+  EXPECT_EQ(E.value(), 42);
+  EXPECT_TRUE(E.status().isOk());
+}
+
+TEST(Expected, HoldsError) {
+  Expected<int> E(Status::parseError("bad token"));
+  EXPECT_FALSE(E.hasValue());
+  EXPECT_EQ(E.status().code(), StatusCode::ParseError);
+  E.withContext("parsing input");
+  EXPECT_EQ(E.status().toString(), "parse-error: parsing input: bad token");
+}
+
+// ---- SweepReport ----------------------------------------------------------
+
+TEST(SweepReport, CountsAndCleanliness) {
+  SweepReport R;
+  EXPECT_TRUE(R.clean());
+  R.record(TaskOutcome::Solved, 0, 0, 0, 1, "");
+  R.record(TaskOutcome::Solved, 1, 0, 1, 3, ""); // Needed retries.
+  R.record(TaskOutcome::Infeasible, 2, 1, 0, 1, "no interior");
+  EXPECT_TRUE(R.clean()); // Infeasible pairs are a model property.
+  R.record(TaskOutcome::Failed, 3, 1, 1, 3, "breakdown");
+  EXPECT_FALSE(R.clean());
+  EXPECT_EQ(R.Solved, 2u);
+  // Retried counts every task that burned more than one attempt,
+  // whether or not it ultimately succeeded.
+  EXPECT_EQ(R.Retried, 2u);
+  EXPECT_EQ(R.Infeasible, 1u);
+  EXPECT_EQ(R.Failed, 1u);
+  EXPECT_EQ(R.total(), 4u);
+  // Incidents list every non-Solved task, in order.
+  ASSERT_EQ(R.Incidents.size(), 2u);
+  EXPECT_EQ(R.Incidents[0].Index, 2u);
+  EXPECT_EQ(R.Incidents[1].Index, 3u);
+}
+
+TEST(SweepReport, MergePreservesShardOrder) {
+  SweepReport A, B;
+  A.record(TaskOutcome::Failed, 1, 0, 1, 1, "x");
+  B.record(TaskOutcome::Skipped, 5, 2, 1, 0, "deadline");
+  B.DeadlineExpired = true;
+  A.merge(std::move(B));
+  EXPECT_EQ(A.Failed, 1u);
+  EXPECT_EQ(A.Skipped, 1u);
+  EXPECT_TRUE(A.DeadlineExpired);
+  ASSERT_EQ(A.Incidents.size(), 2u);
+  EXPECT_EQ(A.Incidents[0].Index, 1u);
+  EXPECT_EQ(A.Incidents[1].Index, 5u);
+}
+
+TEST(SweepReport, ToStringNamesIncidents) {
+  SweepReport R;
+  R.record(TaskOutcome::Solved, 0, 0, 0, 1, "");
+  R.record(TaskOutcome::Failed, 7, 2, 1, 3, "numerical breakdown");
+  std::string S = R.toString("pair");
+  EXPECT_NE(S.find("failed"), std::string::npos);
+  EXPECT_NE(S.find("numerical breakdown"), std::string::npos);
+  EXPECT_NE(S.find("7"), std::string::npos);
+}
+
+// ---- Fault injection ------------------------------------------------------
+
+#if THISTLE_FAULT_INJECTION_ENABLED
+
+namespace {
+
+/// Disarms every site on scope exit so tests cannot leak armed faults.
+struct FaultGuard {
+  ~FaultGuard() { fault::disarmAll(); }
+};
+
+} // namespace
+
+TEST(FaultInjection, DisarmedByDefault) {
+  FaultGuard G;
+  EXPECT_FALSE(fault::shouldFail("unit.some-site"));
+}
+
+TEST(FaultInjection, ArmedSiteFires) {
+  FaultGuard G;
+  fault::arm("unit.site-a");
+  EXPECT_TRUE(fault::shouldFail("unit.site-a"));
+  EXPECT_FALSE(fault::shouldFail("unit.site-b"));
+  fault::disarm("unit.site-a");
+  EXPECT_FALSE(fault::shouldFail("unit.site-a"));
+}
+
+TEST(FaultInjection, KeyedInjectionMatchesOnlyItsKey) {
+  FaultGuard G;
+  fault::arm("unit.keyed", /*Key=*/3);
+  EXPECT_FALSE(fault::shouldFail("unit.keyed", 2));
+  EXPECT_TRUE(fault::shouldFail("unit.keyed", 3));
+  EXPECT_FALSE(fault::shouldFail("unit.keyed", 4));
+}
+
+TEST(FaultInjection, HitBudgetExpires) {
+  FaultGuard G;
+  fault::arm("unit.budget", fault::AnyKey, /*MaxHits=*/2);
+  EXPECT_TRUE(fault::shouldFail("unit.budget"));
+  EXPECT_TRUE(fault::shouldFail("unit.budget"));
+  EXPECT_FALSE(fault::shouldFail("unit.budget"));
+  EXPECT_EQ(fault::hitCount("unit.budget"), 2u);
+}
+
+TEST(FaultInjection, SpecParsing) {
+  FaultGuard G;
+  EXPECT_EQ(fault::armFromSpec("unit.spec-a,unit.spec-b:5:1"),
+            std::string());
+  EXPECT_TRUE(fault::shouldFail("unit.spec-a"));
+  EXPECT_FALSE(fault::shouldFail("unit.spec-b", 4));
+  EXPECT_TRUE(fault::shouldFail("unit.spec-b", 5));
+  EXPECT_FALSE(fault::shouldFail("unit.spec-b", 5)); // Budget spent.
+  EXPECT_EQ(fault::armFromSpec(""), std::string()); // Empty = no-op.
+  EXPECT_NE(fault::armFromSpec("site:notanumber"), std::string());
+}
+
+#endif // THISTLE_FAULT_INJECTION_ENABLED

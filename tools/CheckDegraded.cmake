@@ -1,0 +1,58 @@
+# Exercises thistle-opt's graceful-degradation and error exit codes.
+# Invoked by ctest as:
+#   cmake -DTOOL=<thistle-opt> -DWORK_DIR=<dir> -P CheckDegraded.cmake
+
+# 1. Inject a fault that kills exactly GP pair 0: the sweep must still
+#    find the best remaining design, print the failure summary and exit
+#    with code 1 (partial/degraded).
+execute_process(
+  COMMAND ${CMAKE_COMMAND} -E env THISTLE_FAULT=thistle.pair:0:1
+          ${TOOL} --layer 16,8,14,14,3,3 --threads 2
+  OUTPUT_VARIABLE OUT
+  ERROR_VARIABLE ERR
+  RESULT_VARIABLE CODE)
+if(NOT CODE EQUAL 1)
+  message(FATAL_ERROR
+    "degraded sweep: expected exit code 1, got '${CODE}'\n${OUT}\n${ERR}")
+endif()
+if(NOT OUT MATCHES "sweep degraded")
+  message(FATAL_ERROR
+    "degraded sweep: missing failure summary in output\n${OUT}")
+endif()
+if(NOT OUT MATCHES "architecture:")
+  message(FATAL_ERROR
+    "degraded sweep: no design printed despite surviving pairs\n${OUT}")
+endif()
+
+# 2. The same run without the fault must be clean (exit 0).
+execute_process(
+  COMMAND ${TOOL} --layer 16,8,14,14,3,3 --threads 2
+  OUTPUT_VARIABLE OUT
+  ERROR_VARIABLE ERR
+  RESULT_VARIABLE CODE)
+if(NOT CODE EQUAL 0)
+  message(FATAL_ERROR
+    "clean sweep: expected exit code 0, got '${CODE}'\n${OUT}\n${ERR}")
+endif()
+if(OUT MATCHES "sweep degraded")
+  message(FATAL_ERROR "clean sweep: spurious failure summary\n${OUT}")
+endif()
+
+# 3. A malformed hierarchy file must exit with code 2 and a
+#    line-numbered parse error.
+file(WRITE ${WORK_DIR}/bad-hierarchy.txt
+  "pes 16\nlevel RF 64 0.5 1e9\nlevel RF 1024 2.0 80\nlevel DRAM - 128 16\n")
+execute_process(
+  COMMAND ${TOOL} --layer 16,8,14,14,3,3
+          --hierarchy ${WORK_DIR}/bad-hierarchy.txt
+  OUTPUT_VARIABLE OUT
+  ERROR_VARIABLE ERR
+  RESULT_VARIABLE CODE)
+if(NOT CODE EQUAL 2)
+  message(FATAL_ERROR
+    "bad hierarchy: expected exit code 2, got '${CODE}'\n${OUT}\n${ERR}")
+endif()
+if(NOT ERR MATCHES "line 3")
+  message(FATAL_ERROR
+    "bad hierarchy: missing line-numbered diagnostic\n${ERR}")
+endif()

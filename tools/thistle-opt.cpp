@@ -18,15 +18,19 @@
 #include "ir/Builders.h"
 #include "multilevel/MultiGp.h"
 #include "nestmodel/Mapper.h"
+#include "support/FaultInjection.h"
+#include "support/TablePrinter.h"
 #include "support/ThreadPool.h"
 #include "thistle/Optimizer.h"
 #include "workloads/Workloads.h"
 
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cctype>
 #include <cstring>
 #include <fstream>
+#include <iostream>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -53,6 +57,10 @@ void printUsage(const char *Prog) {
       "  --threads N                   worker threads for the pair sweep\n"
       "                                (default: all hardware threads;\n"
       "                                results are identical at any N)\n"
+      "  --deadline-ms N               wall-clock budget for the sweep;\n"
+      "                                pairs starting after it are skipped\n"
+      "                                and the best completed design is\n"
+      "                                returned (exit code 1)\n"
       "  --hierarchy classic3|spad4|<file>\n"
       "                                memory hierarchy to optimize for\n"
       "                                (default: classic3, the fixed\n"
@@ -70,7 +78,14 @@ void printUsage(const char *Prog) {
       "\n"
       "output:\n"
       "  --export-timeloop             emit Timeloop-style YAML specs\n"
-      "  --help\n",
+      "  --help\n"
+      "\n"
+      "exit codes:\n"
+      "  0  success (clean sweep)\n"
+      "  1  partial/degraded: a design was found but some GP pairs were\n"
+      "     lost (solver failure, deadline); see the failure summary\n"
+      "  2  invalid input (bad flags, malformed hierarchy file, bad spec)\n"
+      "  3  no feasible design found\n",
       Prog);
 }
 
@@ -92,6 +107,29 @@ bool parseInts(const char *Text, std::vector<std::int64_t> &Out) {
       return false;
     }
   }
+}
+
+/// Prints the failure-summary table of a degraded sweep and returns the
+/// tool's exit code contribution: 0 for a clean sweep, 1 otherwise.
+int sweepExitCode(const SweepReport &Report, const char *TaskNoun) {
+  if (Report.clean())
+    return 0;
+  std::printf("\nsweep degraded: %u %s(s) solved (%u retried), %u degraded, "
+              "%u infeasible, %u failed, %u skipped%s\n",
+              Report.Solved, TaskNoun, Report.Retried, Report.Degraded,
+              Report.Infeasible, Report.Failed, Report.Skipped,
+              Report.DeadlineExpired ? " [deadline expired]" : "");
+  TablePrinter Table({TaskNoun, "coords", "outcome", "attempts", "detail"});
+  for (const SweepIncident &I : Report.Incidents) {
+    if (I.Outcome == TaskOutcome::Infeasible)
+      continue; // Infeasible pairs are an expected model property.
+    Table.addRow({TablePrinter::formatInt(static_cast<std::int64_t>(I.Index)),
+                  "(" + std::to_string(I.A) + "," + std::to_string(I.B) + ")",
+                  taskOutcomeName(I.Outcome),
+                  TablePrinter::formatInt(I.Attempts), I.Detail});
+  }
+  Table.print(std::cout);
+  return 1;
 }
 
 } // namespace
@@ -123,12 +161,18 @@ int runHierarchy(const Problem &Prob, const Hierarchy &H,
   MO.NumCandidates = Options.Rounding.NumCandidates;
   MO.Threads = Options.Threads;
   MO.Tech = Tech;
+  MO.Deadline = Options.Deadline;
   MultiResult R = optimizeHierarchy(Prob, H, MO);
+  if (!R.InputStatus.isOk()) {
+    std::fprintf(stderr, "error: %s\n", R.InputStatus.toString().c_str());
+    return 2;
+  }
   std::printf("search: %u GP solves (%u infeasible)\n", R.CombosSolved,
               R.GpInfeasible);
   if (!R.Found) {
-    std::fprintf(stderr, "no legal design found\n");
-    return 1;
+    sweepExitCode(R.Report, "combo");
+    std::fprintf(stderr, "no feasible design found\n");
+    return 3;
   }
 
   std::printf("\nenergy: %.1f uJ (%.3f pJ/MAC)\n", R.Eval.EnergyPj * 1e-6,
@@ -164,19 +208,21 @@ int runHierarchy(const Problem &Prob, const Hierarchy &H,
   MapOpt.Threads = Options.Threads;
   MapOpt.MaxTrials = 4000;
   MapOpt.VictoryCondition = 1000;
+  MapOpt.Deadline = Options.Deadline;
   MultiMapperResult MR = searchMultiMappings(Prob, H, MapOpt);
   if (MR.Found) {
     double GpObj = objectiveValue(R.Eval, Options.Objective);
     double MapObj = objectiveValue(MR.BestEval, Options.Objective);
     std::printf("mapper validation: best of %u trials (%u legal) reaches "
-                "%.4g vs GP %.4g (ratio %.3f)\n",
+                "%.4g vs GP %.4g (ratio %.3f)%s\n",
                 MR.Trials, MR.LegalTrials, MapObj, GpObj,
-                GpObj > 0.0 ? MapObj / GpObj : 0.0);
+                GpObj > 0.0 ? MapObj / GpObj : 0.0,
+                MR.DeadlineExpired ? " [deadline expired]" : "");
   } else {
     std::printf("mapper validation: no legal mapping in %u trials\n",
                 MR.Trials);
   }
-  return 0;
+  return sweepExitCode(R.Report, "combo");
 }
 
 /// --pipeline mode: optimize every stage and print one summary row each.
@@ -186,9 +232,17 @@ int runPipeline(const std::vector<ConvLayer> &Layers,
   std::printf("%-11s %10s %9s %9s %6s %5s %9s\n", "layer", "pJ/MAC",
               "IPC", "cycles(K)", "P", "R", "S words");
   double TotalUj = 0.0;
+  int Exit = 0;
   for (const ConvLayer &L : Layers) {
     Problem P = makeConvProblem(L);
     ThistleResult R = optimizeLayer(P, Arch, Tech, Options, AreaBudget);
+    if (!R.InputStatus.isOk()) {
+      std::fprintf(stderr, "error: %s: %s\n", L.Name.c_str(),
+                   R.InputStatus.toString().c_str());
+      return 2;
+    }
+    if (!R.Report.clean())
+      Exit = 1;
     if (!R.Found) {
       std::printf("%-11s %10s\n", L.Name.c_str(), "-");
       continue;
@@ -202,12 +256,21 @@ int runPipeline(const std::vector<ConvLayer> &Layers,
                 static_cast<long long>(R.Arch.SramWords));
   }
   std::printf("pipeline total energy: %.1f uJ\n", TotalUj);
-  return 0;
+  if (Exit)
+    std::printf("warning: some layers lost GP pairs to failures or the "
+                "deadline; rerun a degraded layer alone for the details\n");
+  return Exit;
 }
 
 } // namespace
 
 int main(int Argc, char **Argv) {
+  // THISTLE_FAULT=site[:key[:maxhits]] arms the deterministic fault
+  // hooks (testing only; a no-op unless compiled in and set).
+  if (std::string FaultErr = fault::armFromEnv(); !FaultErr.empty()) {
+    std::fprintf(stderr, "error: THISTLE_FAULT: %s\n", FaultErr.c_str());
+    return 2;
+  }
   ConvLayer Layer;
   bool HaveLayer = false;
   std::vector<ConvLayer> Pipeline;
@@ -297,6 +360,14 @@ int main(int Argc, char **Argv) {
           static_cast<unsigned>(std::atoi(needValue()));
     } else if (Arg == "--threads") {
       Options.Threads = static_cast<unsigned>(std::atoi(needValue()));
+    } else if (Arg == "--deadline-ms") {
+      long Ms = std::atol(needValue());
+      if (Ms <= 0) {
+        std::fprintf(stderr, "error: --deadline-ms wants a positive "
+                             "millisecond count\n");
+        return 2;
+      }
+      Options.Deadline = std::chrono::milliseconds(Ms);
     } else if (Arg == "--hierarchy") {
       HierarchySpec = needValue();
     } else if (Arg == "--pes") {
@@ -370,9 +441,14 @@ int main(int Argc, char **Argv) {
   }
 
   ThistleResult R = optimizeLayer(Prob, Arch, Tech, Options, AreaBudget);
+  if (!R.InputStatus.isOk()) {
+    std::fprintf(stderr, "error: %s\n", R.InputStatus.toString().c_str());
+    return 2;
+  }
   if (!R.Found) {
-    std::fprintf(stderr, "no legal design found\n");
-    return 1;
+    sweepExitCode(R.Report, "pair");
+    std::fprintf(stderr, "no feasible design found\n");
+    return 3;
   }
 
   std::printf("\narchitecture: P=%lld PEs, R=%lld regs/PE, S=%lld SRAM "
@@ -405,5 +481,5 @@ int main(int Argc, char **Argv) {
     std::printf("\n# ---- Timeloop mapping spec ----\n%s",
                 exportTimeloopMapping(Prob, R.Map).c_str());
   }
-  return 0;
+  return sweepExitCode(R.Report, "pair");
 }
