@@ -5,6 +5,7 @@
 #include "expr/FactoredExpr.h"
 #include "support/FaultInjection.h"
 #include "support/MathUtil.h"
+#include "support/Telemetry.h"
 #include "support/ThreadPool.h"
 #include "thistle/PermutationSpace.h"
 
@@ -382,8 +383,10 @@ MultiResult thistle::optimizeHierarchy(const Problem &Prob,
     GpSolveReport Solve;
     GpSolution Sol = solveGpWithRetry(Gp, Options.Solver, &Solve);
     ++Local.CombosSolved;
+    telemetry::count("multigp.combos.solved");
     if (!Sol.Feasible || Sol.Outcome == SolveOutcome::NonFinite) {
       ++Local.GpInfeasible;
+      telemetry::count("multigp.combos.infeasible");
       Local.Report.record(Sol.Outcome == SolveOutcome::Infeasible
                               ? TaskOutcome::Infeasible
                               : TaskOutcome::Failed,
@@ -556,6 +559,7 @@ MultiResult thistle::optimizeHierarchy(const Problem &Prob,
             ? static_cast<double>(Combo)
             : std::floor(static_cast<double>(Combo) * TotalCombos /
                          static_cast<double>(Combos)));
+    telemetry::TraceScope ComboSpan("multigp.combo", Combo);
 
     if (HasDeadline && std::chrono::steady_clock::now() >= DeadlineAt) {
       Local.Report.DeadlineExpired = true;
@@ -577,6 +581,9 @@ MultiResult thistle::optimizeHierarchy(const Problem &Prob,
     }
   };
 
+  telemetry::beginEpoch();
+  telemetry::TraceScope SweepSpan("multigp.optimize_hierarchy");
+  telemetry::count("multigp.sweeps");
   ThreadPool Pool(Options.Threads);
   ComboAcc Best = parallelReduce(
       Pool, Combos, ComboAcc(),
@@ -594,6 +601,10 @@ MultiResult thistle::optimizeHierarchy(const Problem &Prob,
           Acc.BestObj = Local.BestObj;
         }
       });
+  if (telemetry::traceEnabled())
+    SweepSpan.setDetail("combos=" + std::to_string(Combos) + " solved=" +
+                        std::to_string(Best.Report.Solved) + " degraded=" +
+                        std::to_string(Best.Report.Degraded));
   Result.CombosSolved = Best.CombosSolved;
   Result.GpInfeasible = Best.GpInfeasible;
   Result.Report = std::move(Best.Report);

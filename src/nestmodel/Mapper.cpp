@@ -24,6 +24,7 @@
 
 #include "support/MathUtil.h"
 #include "support/Rng.h"
+#include "support/Telemetry.h"
 #include "support/ThreadPool.h"
 
 #include <algorithm>
@@ -195,6 +196,20 @@ struct SlotOutcome {
 
 } // namespace
 
+const char *thistle::mapperStopCauseName(MapperStopCause Cause) {
+  switch (Cause) {
+  case MapperStopCause::None:
+    return "none";
+  case MapperStopCause::Victory:
+    return "victory";
+  case MapperStopCause::MaxTrials:
+    return "max-trials";
+  case MapperStopCause::Deadline:
+    return "deadline";
+  }
+  return "unknown";
+}
+
 MultiMapperResult thistle::searchMultiMappings(const Problem &Prob,
                                                const Hierarchy &H,
                                                const MapperOptions &Options) {
@@ -285,6 +300,11 @@ MultiMapperResult thistle::searchMultiMappings(const Problem &Prob,
   const unsigned RoundSize = std::max(1u, Options.TrialsPerRound);
   std::vector<SlotOutcome> Slots;
 
+  telemetry::beginEpoch();
+  telemetry::TraceScope SearchSpan("mapper.search");
+  unsigned Rounds = 0;
+  unsigned Improvements = 0;
+
   unsigned SlotsIssued = 0;
   bool Stop = false;
   for (unsigned Round = 0; !Stop && SlotsIssued < Options.MaxTrials;
@@ -296,6 +316,11 @@ MultiMapperResult thistle::searchMultiMappings(const Problem &Prob,
     const unsigned Batch =
         std::min(RoundSize, Options.MaxTrials - SlotsIssued);
     Slots.assign(Batch, SlotOutcome());
+    // One span per round, keyed by the round number and opened on this
+    // thread: the slots inside a round are an unordered parallel batch,
+    // so the round is the mapper's deterministic trace granularity.
+    telemetry::TraceScope RoundSpan("mapper.round", Round);
+    ++Rounds;
     parallelFor(Pool, Batch, [&](std::size_t Slot, unsigned) {
       runSlot(Slots[Slot], Round, static_cast<unsigned>(Slot));
     });
@@ -341,11 +366,33 @@ MultiMapperResult thistle::searchMultiMappings(const Problem &Prob,
         Result.BestEval = std::move(Out.Eval);
         BestObj = Out.Obj;
         SinceImprovement = 0;
+        ++Improvements;
       } else if (++SinceImprovement >= Options.VictoryCondition) {
         Stop = true;
       }
     }
   }
+
+  Result.StopCause = Result.DeadlineExpired ? MapperStopCause::Deadline
+                     : Stop                 ? MapperStopCause::Victory
+                                            : MapperStopCause::MaxTrials;
+  if (telemetry::metricsEnabled()) {
+    telemetry::count("mapper.searches");
+    telemetry::count("mapper.rounds", Rounds);
+    telemetry::count("mapper.trials", Result.Trials);
+    telemetry::count("mapper.legal_trials", Result.LegalTrials);
+    telemetry::count("mapper.improvements", Improvements);
+    if (Result.Trials)
+      telemetry::observe("mapper.acceptance_rate",
+                         static_cast<double>(Result.LegalTrials) /
+                             static_cast<double>(Result.Trials));
+  }
+  if (telemetry::traceEnabled())
+    SearchSpan.setDetail(
+        std::string("cause=") + mapperStopCauseName(Result.StopCause) +
+        " rounds=" + std::to_string(Rounds) +
+        " trials=" + std::to_string(Result.Trials) +
+        " legal=" + std::to_string(Result.LegalTrials));
   return Result;
 }
 
@@ -362,6 +409,7 @@ MapperResult thistle::searchMappings(const Problem &Prob,
   Result.DeadlineExpired = MR.DeadlineExpired;
   Result.Trials = MR.Trials;
   Result.LegalTrials = MR.LegalTrials;
+  Result.StopCause = MR.StopCause;
   if (MR.Found) {
     Result.Best = MR.Best.toMapping();
     Result.BestEval = evalResultFromMulti(Prob, Arch, MR.BestEval);

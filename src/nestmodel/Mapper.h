@@ -71,6 +71,22 @@ struct MapperOptions {
   std::chrono::steady_clock::time_point DeadlineAt{};
 };
 
+/// Why a mapper search returned when it did.
+enum class MapperStopCause {
+  /// No trial ran (input validation failed).
+  None,
+  /// The victory condition fired: VictoryCondition consecutive trials
+  /// without improvement over the incumbent.
+  Victory,
+  /// The MaxTrials budget was exhausted (the Mapper's "timeout").
+  MaxTrials,
+  /// The wall-clock deadline expired at a round boundary.
+  Deadline,
+};
+
+/// Printable name of a stop cause ("victory", "max-trials", ...).
+const char *mapperStopCauseName(MapperStopCause Cause);
+
 /// Search outcome.
 struct MapperResult {
   bool Found = false;   ///< True if any legal mapping was evaluated.
@@ -83,6 +99,8 @@ struct MapperResult {
   EvalResult BestEval;  ///< Its metrics.
   unsigned Trials = 0;  ///< Candidates evaluated.
   unsigned LegalTrials = 0;
+  /// What ended the search (victory, trial budget, or deadline).
+  MapperStopCause StopCause = MapperStopCause::None;
 };
 
 /// Search outcome over an L-level hierarchy.
@@ -96,6 +114,8 @@ struct MultiMapperResult {
   MultiEvalResult BestEval;  ///< Its metrics.
   unsigned Trials = 0;       ///< Candidates evaluated.
   unsigned LegalTrials = 0;
+  /// What ended the search (victory, trial budget, or deadline).
+  MapperStopCause StopCause = MapperStopCause::None;
 };
 
 /// Runs the stochastic mapping search for \p Prob on the fixed hierarchy

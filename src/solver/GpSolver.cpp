@@ -4,10 +4,12 @@
 
 #include "linalg/Matrix.h"
 #include "support/FaultInjection.h"
+#include "support/Telemetry.h"
 
 #include <algorithm>
 #include <cassert>
 #include <cmath>
+#include <string>
 
 using namespace thistle;
 
@@ -280,10 +282,10 @@ bool centerNewton(const CenteringProblem &Prob, double T, Vector &W,
   return true;
 }
 
-} // namespace
-
-GpSolution thistle::solveGp(const GpProblem &Problem,
-                            const GpSolverOptions &Options) {
+/// The uninstrumented solve (the body of the public solveGp); the
+/// wrapper below records the per-solve outcome metrics in one place.
+GpSolution solveGpImpl(const GpProblem &Problem,
+                       const GpSolverOptions &Options) {
   GpSolution Solution;
   const VarTable &Vars = Problem.variables();
   const std::size_t N = Vars.size();
@@ -349,6 +351,7 @@ GpSolution thistle::solveGp(const GpProblem &Problem,
   // ---- Phase I: find a strictly feasible point if needed.
   CenteringProblem PhaseTwo(Ctx, /*PhaseOne=*/false);
   if (!Ctx.Constraints.empty() && !PhaseTwo.strictlyFeasible(ZVec)) {
+    telemetry::count("solver.phase1.runs");
     CenteringProblem PhaseOne(Ctx, /*PhaseOne=*/true);
     double MaxG = -std::numeric_limits<double>::infinity();
     for (const LseFunction &C : Ctx.Constraints)
@@ -382,9 +385,11 @@ GpSolution thistle::solveGp(const GpProblem &Problem,
 
   // ---- Phase II: follow the central path.
   double T = Options.TInitial;
+  unsigned OuterIters = 0;
   const double NumConstraints =
       std::max<std::size_t>(Ctx.Constraints.size(), 1);
   for (unsigned Outer = 0; Outer < Options.MaxOuterIters; ++Outer) {
+    ++OuterIters;
     if (!centerNewton(PhaseTwo, T, ZVec, Options.MaxNewtonIters,
                       Solution.NewtonIterations, nullptr)) {
       Solution.Failure = "numerical breakdown in phase II";
@@ -398,6 +403,13 @@ GpSolution thistle::solveGp(const GpProblem &Problem,
       break;
     }
     T *= Options.TMultiplier;
+  }
+  if (telemetry::metricsEnabled()) {
+    // Barrier-stage telemetry: how many centering steps phase II took
+    // and the duality-gap bound m/t it stopped at (the residual).
+    telemetry::observe("solver.phase2.outer_iters",
+                       static_cast<double>(OuterIters));
+    telemetry::observe("solver.phase2.barrier_gap", NumConstraints / T);
   }
 
   Solution.Values = recoverX(ZVec);
@@ -416,6 +428,23 @@ GpSolution thistle::solveGp(const GpProblem &Problem,
                            ? "injected: barrier loop never converged"
                            : "barrier loop hit MaxOuterIters before "
                              "reaching tolerance";
+  }
+  return Solution;
+}
+
+} // namespace
+
+GpSolution thistle::solveGp(const GpProblem &Problem,
+                            const GpSolverOptions &Options) {
+  GpSolution Solution = solveGpImpl(Problem, Options);
+  if (telemetry::metricsEnabled()) {
+    telemetry::count("solver.solves");
+    telemetry::count("solver.newton_iters", Solution.NewtonIterations);
+    telemetry::observe("solver.newton_per_solve",
+                       static_cast<double>(Solution.NewtonIterations));
+    telemetry::count((std::string("solver.outcome.") +
+                      solveOutcomeName(Solution.Outcome))
+                         .c_str());
   }
   return Solution;
 }
@@ -489,7 +518,14 @@ GpSolution thistle::solveGpWithRetry(const GpProblem &Problem,
       Rung.ObjectiveScale = objectiveScaleFor(Problem);
     }
 
+    telemetry::TraceScope AttemptSpan("solver.attempt");
     GpSolution S = solveGp(Problem, Rung);
+    if (telemetry::traceEnabled())
+      AttemptSpan.setDetail(std::string(solveOutcomeName(S.Outcome)) +
+                            " newton=" +
+                            std::to_string(S.NewtonIterations));
+    if (Attempt > 0)
+      telemetry::count("solver.retry.attempts");
     TotalNewton += S.NewtonIterations;
     if (Report)
       Report->Attempts.push_back({S.Outcome, Rung.StartPerturbation,
@@ -514,6 +550,8 @@ GpSolution thistle::solveGpWithRetry(const GpProblem &Problem,
   }
 
   Best.NewtonIterations = TotalNewton;
+  if (BestAttempt > 0 && Best.Outcome == SolveOutcome::Converged)
+    telemetry::count("solver.retry.recovered");
   if (Report)
     Report->Recovered =
         BestAttempt > 0 && Best.Outcome == SolveOutcome::Converged;

@@ -1,0 +1,345 @@
+//===- support/RunReport.cpp - Schema-versioned JSON run report -----------===//
+
+#include "support/RunReport.h"
+
+#include "support/TablePrinter.h"
+
+#include <cmath>
+#include <cstdio>
+#include <map>
+#include <ostream>
+#include <sstream>
+
+using namespace thistle;
+
+namespace {
+
+/// Minimal JSON string escaping (quotes, backslashes, control chars).
+std::string jsonEscape(const std::string &S) {
+  std::string Out;
+  Out.reserve(S.size() + 2);
+  for (char C : S) {
+    switch (C) {
+    case '"':
+      Out += "\\\"";
+      break;
+    case '\\':
+      Out += "\\\\";
+      break;
+    case '\n':
+      Out += "\\n";
+      break;
+    case '\r':
+      Out += "\\r";
+      break;
+    case '\t':
+      Out += "\\t";
+      break;
+    default:
+      if (static_cast<unsigned char>(C) < 0x20) {
+        char Buf[8];
+        std::snprintf(Buf, sizeof(Buf), "\\u%04x",
+                      static_cast<unsigned>(static_cast<unsigned char>(C)));
+        Out += Buf;
+      } else {
+        Out += C;
+      }
+    }
+  }
+  return Out;
+}
+
+/// JSON number: finite doubles in shortest-ish form, non-finite as null
+/// (JSON has no inf/nan).
+std::string jsonNumber(double V) {
+  if (!std::isfinite(V))
+    return "null";
+  char Buf[64];
+  std::snprintf(Buf, sizeof(Buf), "%.17g", V);
+  return Buf;
+}
+
+/// Tiny order-preserving JSON writer: enough structure to keep the
+/// emitter readable without pulling in a library.
+class JsonWriter {
+public:
+  explicit JsonWriter(std::ostringstream &OS) : OS(OS) {}
+
+  void beginObject() { punct("{"); }
+  void endObject() { close("}"); }
+  void beginArray() { punct("["); }
+  void endArray() { close("]"); }
+
+  void key(const char *K) {
+    comma();
+    indent();
+    OS << '"' << K << "\": ";
+    PendingValue = true;
+  }
+
+  void value(const std::string &S) { raw('"' + jsonEscape(S) + '"'); }
+  void value(const char *S) { value(std::string(S)); }
+  void value(double V) { raw(jsonNumber(V)); }
+  void value(std::uint64_t V) { raw(std::to_string(V)); }
+  void value(unsigned V) { raw(std::to_string(V)); }
+  void value(int V) { raw(std::to_string(V)); }
+  void value(bool V) { raw(V ? "true" : "false"); }
+
+private:
+  void comma() {
+    if (NeedComma)
+      OS << ",\n";
+    NeedComma = false;
+  }
+  void indent() {
+    if (PendingValue)
+      return;
+    for (int I = 0; I < Depth; ++I)
+      OS << "  ";
+  }
+  void punct(const char *Open) {
+    comma();
+    indent();
+    PendingValue = false;
+    OS << Open << "\n";
+    ++Depth;
+    NeedComma = false;
+  }
+  void close(const char *Close) {
+    if (NeedComma)
+      OS << "\n";
+    --Depth;
+    NeedComma = false;
+    PendingValue = false;
+    indent();
+    OS << Close;
+    NeedComma = true;
+  }
+  void raw(const std::string &Text) {
+    comma();
+    indent();
+    PendingValue = false;
+    OS << Text;
+    NeedComma = true;
+  }
+
+  std::ostringstream &OS;
+  int Depth = 0;
+  bool NeedComma = false;
+  bool PendingValue = false;
+};
+
+} // namespace
+
+std::string RunReport::toJson() const {
+  std::ostringstream OS;
+  JsonWriter W(OS);
+  W.beginObject();
+  W.key("schema");
+  W.value(RunReportSchema);
+  W.key("tool");
+  W.value(Tool);
+  W.key("workload");
+  W.value(Workload);
+  W.key("mode");
+  W.value(Mode);
+  W.key("objective");
+  W.value(Objective);
+  W.key("hierarchy");
+  W.value(Hierarchy);
+  W.key("threads");
+  W.value(Threads);
+  W.key("wall_seconds");
+  W.value(WallSeconds);
+  W.key("exit_code");
+  W.value(ExitCode);
+
+  W.key("result");
+  W.beginObject();
+  W.key("found");
+  W.value(Found);
+  W.key("energy_pj");
+  W.value(EnergyPj);
+  W.key("energy_per_mac_pj");
+  W.value(EnergyPerMacPj);
+  W.key("cycles");
+  W.value(Cycles);
+  W.key("mac_ipc");
+  W.value(MacIpc);
+  W.key("edp_pj_cycles");
+  W.value(EdpPjCycles);
+  W.endObject();
+
+  W.key("sweep");
+  if (!HasSweep) {
+    W.value(false); // No sweep ran (usage error / validation failure).
+  } else {
+    W.beginObject();
+    W.key("task_noun");
+    W.value(SweepTaskNoun);
+    W.key("tasks");
+    W.value(Sweep.total());
+    W.key("solved");
+    W.value(Sweep.Solved);
+    W.key("retried");
+    W.value(Sweep.Retried);
+    W.key("degraded");
+    W.value(Sweep.Degraded);
+    W.key("infeasible");
+    W.value(Sweep.Infeasible);
+    W.key("failed");
+    W.value(Sweep.Failed);
+    W.key("skipped");
+    W.value(Sweep.Skipped);
+    W.key("deadline_expired");
+    W.value(Sweep.DeadlineExpired);
+    W.key("clean");
+    W.value(Sweep.clean());
+    W.key("incidents");
+    W.beginArray();
+    for (const SweepIncident &I : Sweep.Incidents) {
+      W.beginObject();
+      W.key("index");
+      W.value(static_cast<std::uint64_t>(I.Index));
+      W.key("a");
+      W.value(static_cast<std::uint64_t>(I.A));
+      W.key("b");
+      W.value(static_cast<std::uint64_t>(I.B));
+      W.key("outcome");
+      W.value(taskOutcomeName(I.Outcome));
+      W.key("attempts");
+      W.value(I.Attempts);
+      W.key("detail");
+      W.value(I.Detail);
+      W.endObject();
+    }
+    W.endArray();
+    W.endObject();
+  }
+
+  W.key("metrics");
+  W.beginObject();
+  W.key("counters");
+  W.beginObject();
+  for (const telemetry::CounterValue &C : Telemetry.Counters) {
+    W.key(C.Name.c_str());
+    W.value(C.Value);
+  }
+  W.endObject();
+  W.key("stats");
+  W.beginObject();
+  for (const telemetry::StatValue &S : Telemetry.Stats) {
+    W.key(S.Name.c_str());
+    W.beginObject();
+    W.key("count");
+    W.value(S.Count);
+    W.key("sum");
+    W.value(S.Sum);
+    W.key("min");
+    W.value(S.Min);
+    W.key("max");
+    W.value(S.Max);
+    W.key("mean");
+    W.value(S.mean());
+    W.endObject();
+  }
+  W.endObject();
+  W.endObject();
+
+  W.key("trace");
+  W.beginObject();
+  W.key("dropped_spans");
+  W.value(Telemetry.DroppedSpans);
+  W.key("spans");
+  W.beginArray();
+  for (const telemetry::Span &S : Telemetry.Spans) {
+    W.beginObject();
+    W.key("name");
+    W.value(S.Name);
+    W.key("epoch");
+    W.value(S.Epoch);
+    W.key("index");
+    // NoIndex marks a span outside any sweep task.
+    if (S.Index == telemetry::NoIndex)
+      W.value(-1);
+    else
+      W.value(static_cast<std::uint64_t>(S.Index));
+    W.key("depth");
+    W.value(S.Depth);
+    W.key("start_ns");
+    W.value(S.StartNs);
+    W.key("duration_ns");
+    W.value(S.DurationNs);
+    W.key("detail");
+    W.value(S.Detail);
+    W.endObject();
+  }
+  W.endArray();
+  W.endObject();
+
+  W.endObject();
+  OS << "\n";
+  return OS.str();
+}
+
+void thistle::printProfile(std::ostream &OS,
+                           const telemetry::Snapshot &Snap) {
+  OS << "\n==== profile ====\n";
+  if (Snap.Counters.empty() && Snap.Stats.empty() && Snap.Spans.empty()) {
+    OS << "(no telemetry collected"
+       << (telemetry::compiledIn() ? "" : "; compiled out") << ")\n";
+    return;
+  }
+
+  if (!Snap.Spans.empty()) {
+    // Aggregate spans by name, in first-appearance order of the
+    // deterministic merged span list.
+    struct Agg {
+      std::uint64_t Count = 0;
+      std::uint64_t TotalNs = 0;
+      std::uint64_t MaxNs = 0;
+    };
+    std::vector<std::pair<std::string, Agg>> Order;
+    std::map<std::string, std::size_t> Pos;
+    for (const telemetry::Span &S : Snap.Spans) {
+      auto [It, Inserted] = Pos.try_emplace(S.Name, Order.size());
+      if (Inserted)
+        Order.push_back({S.Name, Agg()});
+      Agg &A = Order[It->second].second;
+      ++A.Count;
+      A.TotalNs += S.DurationNs;
+      A.MaxNs = std::max(A.MaxNs, S.DurationNs);
+    }
+    TablePrinter Table({"span", "count", "total ms", "mean ms", "max ms"});
+    for (const auto &[Name, A] : Order)
+      Table.addRow({Name,
+                    TablePrinter::formatInt(
+                        static_cast<std::int64_t>(A.Count)),
+                    TablePrinter::formatDouble(A.TotalNs * 1e-6, 3),
+                    TablePrinter::formatDouble(
+                        A.TotalNs * 1e-6 / static_cast<double>(A.Count), 3),
+                    TablePrinter::formatDouble(A.MaxNs * 1e-6, 3)});
+    Table.print(OS);
+    if (Snap.DroppedSpans)
+      OS << "(" << Snap.DroppedSpans << " spans dropped at buffer cap)\n";
+  }
+
+  if (!Snap.Counters.empty()) {
+    TablePrinter Table({"counter", "value"});
+    for (const telemetry::CounterValue &C : Snap.Counters)
+      Table.addRow({C.Name, TablePrinter::formatInt(
+                                static_cast<std::int64_t>(C.Value))});
+    Table.print(OS);
+  }
+  if (!Snap.Stats.empty()) {
+    TablePrinter Table({"stat", "count", "mean", "min", "max"});
+    for (const telemetry::StatValue &S : Snap.Stats)
+      Table.addRow({S.Name,
+                    TablePrinter::formatInt(
+                        static_cast<std::int64_t>(S.Count)),
+                    TablePrinter::formatDouble(S.mean(), 4),
+                    TablePrinter::formatDouble(S.Min, 4),
+                    TablePrinter::formatDouble(S.Max, 4)});
+    Table.print(OS);
+  }
+}

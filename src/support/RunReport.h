@@ -1,0 +1,77 @@
+//===- support/RunReport.h - Schema-versioned JSON run report ---*- C++ -*-===//
+//
+// Part of the Thistle reproduction (CGO 2022).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The machine-readable record of one optimization run: what was asked
+/// (workload, mode, objective, hierarchy, threads), what came out
+/// (design metrics, exit code), the per-task SweepReport, and the
+/// telemetry snapshot (counters, statistics, trace spans). Serialized
+/// as schema-versioned JSON by `thistle-opt --trace-json <file>`;
+/// `tools/check_run_report.py` validates an emitted report against the
+/// schema pinned in docs/OBSERVABILITY.md.
+///
+/// The emitter is always compiled (it is cold path); only the
+/// collection hooks behind it compile out under THISTLE_TELEMETRY=OFF,
+/// in which case the metrics/trace sections are empty.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef THISTLE_SUPPORT_RUNREPORT_H
+#define THISTLE_SUPPORT_RUNREPORT_H
+
+#include "support/SweepReport.h"
+#include "support/Telemetry.h"
+
+#include <iosfwd>
+#include <string>
+
+namespace thistle {
+
+/// Current schema identifier, bumped on any incompatible layout change.
+inline constexpr const char *RunReportSchema = "thistle-run-report/1";
+
+/// One run of the optimizer, ready for JSON serialization.
+struct RunReport {
+  std::string Tool = "thistle-opt";
+  std::string Workload;   ///< Layer or pipeline name.
+  std::string Mode;       ///< "dataflow" | "codesign".
+  std::string Objective;  ///< "energy" | "delay" | "edp".
+  std::string Hierarchy;  ///< "classic3" | "spad4" | file path.
+  unsigned Threads = 0;   ///< 0 = one per hardware thread.
+  double WallSeconds = 0.0;
+  int ExitCode = 0;
+
+  /// Result block; meaningful when Found.
+  bool Found = false;
+  double EnergyPj = 0.0;
+  double EnergyPerMacPj = 0.0;
+  double Cycles = 0.0;
+  double MacIpc = 0.0;
+  double EdpPjCycles = 0.0;
+
+  /// Per-task sweep accounting (pair or combo sweep); HasSweep is false
+  /// for runs that never sweep (e.g. usage errors).
+  bool HasSweep = false;
+  SweepReport Sweep;
+  std::string SweepTaskNoun = "task";
+
+  /// Counters, statistics and spans collected during the run.
+  telemetry::Snapshot Telemetry;
+
+  /// Serializes the report as schema-versioned JSON (UTF-8, trailing
+  /// newline). Field order is fixed, so equal runs produce equal bytes
+  /// up to the timing fields.
+  std::string toJson() const;
+};
+
+/// Prints the `--profile` summary: spans aggregated by name (count,
+/// total/mean/max milliseconds) followed by counters and statistics.
+/// Prints an explicit note when the snapshot is empty.
+void printProfile(std::ostream &OS, const telemetry::Snapshot &Snap);
+
+} // namespace thistle
+
+#endif // THISTLE_SUPPORT_RUNREPORT_H

@@ -64,6 +64,14 @@ void SweepReport::merge(SweepReport &&Next) {
 
 std::string SweepReport::toString(const char *TaskNoun) const {
   std::ostringstream OS;
+  if (total() == 0) {
+    // An empty sweep (e.g. a hierarchy that yields zero tasks) must say
+    // so explicitly rather than print a blank summary.
+    OS << "0 " << TaskNoun << "s: nothing attempted";
+    if (DeadlineExpired)
+      OS << " [deadline expired]";
+    return OS.str();
+  }
   OS << total() << " " << TaskNoun << "s: " << Solved << " solved";
   if (Retried)
     OS << " (" << Retried << " after retries)";

@@ -3,6 +3,7 @@
 #include "thistle/Optimizer.h"
 
 #include "support/FaultInjection.h"
+#include "support/Telemetry.h"
 #include "support/ThreadPool.h"
 #include "thistle/PermutationSpace.h"
 
@@ -163,6 +164,7 @@ ThistleResult thistle::optimizeLayer(const Problem &Prob,
   // returns the optimum over the pairs that completed.
   auto solvePair = [&](SweepAccumulator &Acc, std::size_t TaskIdx) {
     const PairTask &Task = Pairs[TaskIdx];
+    telemetry::TraceScope PairSpan("thistle.pair", TaskIdx);
 
     if (HasDeadline && std::chrono::steady_clock::now() >= DeadlineAt) {
       Acc.Report.DeadlineExpired = true;
@@ -219,6 +221,8 @@ ThistleResult thistle::optimizeLayer(const Problem &Prob,
                           Solution.Failure.empty()
                               ? std::string(solveOutcomeName(Solution.Outcome))
                               : Solution.Failure);
+        if (telemetry::traceEnabled())
+          PairSpan.setDetail(taskOutcomeName(Outcome));
         return;
       }
       // Feasible but not converged: accept the best iterate (as the
@@ -228,14 +232,28 @@ ThistleResult thistle::optimizeLayer(const Problem &Prob,
                         TaskIdx, Task.QI, Task.SI, Attempts,
                         Solution.Converged ? std::string() : Solution.Failure);
 
+      if (telemetry::traceEnabled())
+        PairSpan.setDetail(
+            std::string(Solution.Converged ? "solved" : "degraded") +
+            " attempts=" + std::to_string(Attempts));
+      telemetry::count("thistle.pairs.solved");
+
       RealSolution Real = extractSolution(Prob, Build, Spec, Solution);
       RoundedDesign Design =
           roundSolution(Prob, Spec, Real, Options.Rounding);
       Acc.CandidatesEvaluated += Design.CandidatesTried;
+      if (telemetry::metricsEnabled())
+        telemetry::count("thistle.rounding.candidates",
+                         Design.CandidatesTried);
       if (!Design.Found)
         return;
 
       double Obj = objectiveValue(Design.Eval, Options.Objective);
+      // The rounding gap: how much the integer design lost (or, rarely,
+      // gained) relative to the relaxed GP optimum for this pair.
+      if (telemetry::metricsEnabled() && Real.Objective > 0.0)
+        telemetry::observe("thistle.rounding.rel_delta",
+                           (Obj - Real.Objective) / Real.Objective);
       if (winsOver(Obj, Task.QI, Task.SI, Acc)) {
         Acc.Found = true;
         Acc.Obj = Obj;
@@ -265,9 +283,17 @@ ThistleResult thistle::optimizeLayer(const Problem &Prob,
     }
   };
 
+  telemetry::beginEpoch();
+  telemetry::TraceScope SweepSpan("thistle.optimize_layer");
+  telemetry::count("thistle.sweeps");
   ThreadPool Pool(Options.Threads);
   SweepAccumulator Total = parallelReduce(
       Pool, Pairs.size(), SweepAccumulator{}, solvePair, mergeShards);
+  if (telemetry::traceEnabled())
+    SweepSpan.setDetail("pairs=" + std::to_string(Pairs.size()) +
+                        " solved=" + std::to_string(Total.Report.Solved) +
+                        " degraded=" +
+                        std::to_string(Total.Report.Degraded));
 
   Result.Stats.NewtonIterations = Total.NewtonIterations;
   Result.Stats.GpInfeasible = Total.GpInfeasible;

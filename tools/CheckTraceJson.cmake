@@ -1,0 +1,81 @@
+# End-to-end check of the observability flags:
+#  1. The default run prints no telemetry output (collection stays off).
+#  2. --metrics/--profile append the profile tables WITHOUT changing the
+#     optimization result lines.
+#  3. --trace-json writes a run report that validates against the
+#     thistle-run-report/1 schema (via check_run_report.py when a Python
+#     interpreter is available, structural greps otherwise).
+# Invoked by ctest as:
+#   cmake -DTOOL=<thistle-opt> -DWORK_DIR=<dir> -DCHECKER=<script>
+#         [-DPYTHON=<python3>] -P CheckTraceJson.cmake
+
+set(LAYER --layer 16,8,14,14,3,3 --threads 2)
+
+# 1. Default run: no profile, no run report note.
+execute_process(
+  COMMAND ${TOOL} ${LAYER}
+  OUTPUT_VARIABLE PLAIN_OUT
+  ERROR_VARIABLE ERR
+  RESULT_VARIABLE CODE)
+if(NOT CODE EQUAL 0)
+  message(FATAL_ERROR "plain run: expected exit 0, got '${CODE}'\n${ERR}")
+endif()
+foreach(MARKER "==== profile ====" "run report written")
+  if(PLAIN_OUT MATCHES "${MARKER}")
+    message(FATAL_ERROR
+      "plain run: telemetry output without flags: '${MARKER}'\n${PLAIN_OUT}")
+  endif()
+endforeach()
+
+# 2. Instrumented run: same result lines plus the profile tables and the
+#    JSON report.
+set(REPORT ${WORK_DIR}/trace-report.json)
+execute_process(
+  COMMAND ${TOOL} ${LAYER} --profile --trace-json ${REPORT}
+  OUTPUT_VARIABLE TRACED_OUT
+  ERROR_VARIABLE ERR
+  RESULT_VARIABLE CODE)
+if(NOT CODE EQUAL 0)
+  message(FATAL_ERROR "traced run: expected exit 0, got '${CODE}'\n${ERR}")
+endif()
+if(NOT TRACED_OUT MATCHES "==== profile ====")
+  message(FATAL_ERROR "traced run: missing profile tables\n${TRACED_OUT}")
+endif()
+if(NOT TRACED_OUT MATCHES "thistle.pair")
+  message(FATAL_ERROR "traced run: no pair spans in profile\n${TRACED_OUT}")
+endif()
+
+# The result lines (everything the plain run printed) must be untouched:
+# telemetry only appends. Compare the prefix byte for byte.
+string(LENGTH "${PLAIN_OUT}" PLAIN_LEN)
+string(SUBSTRING "${TRACED_OUT}" 0 ${PLAIN_LEN} TRACED_PREFIX)
+if(NOT TRACED_PREFIX STREQUAL "${PLAIN_OUT}")
+  message(FATAL_ERROR
+    "traced run: result lines differ from the plain run\n"
+    "---- plain ----\n${PLAIN_OUT}\n---- traced ----\n${TRACED_OUT}")
+endif()
+
+# 3. Validate the report.
+if(NOT EXISTS ${REPORT})
+  message(FATAL_ERROR "traced run: ${REPORT} was not written")
+endif()
+if(PYTHON)
+  execute_process(
+    COMMAND ${PYTHON} ${CHECKER} ${REPORT}
+    OUTPUT_VARIABLE OUT
+    ERROR_VARIABLE ERR
+    RESULT_VARIABLE CODE)
+  if(NOT CODE EQUAL 0)
+    message(FATAL_ERROR "schema check failed:\n${OUT}\n${ERR}")
+  endif()
+else()
+  file(READ ${REPORT} JSON)
+  foreach(FIELD
+      "\"schema\": \"thistle-run-report/1\"" "\"exit_code\": 0"
+      "\"result\"" "\"sweep\"" "\"metrics\"" "\"trace\""
+      "\"name\": \"thistle.pair\"")
+    if(NOT JSON MATCHES "${FIELD}")
+      message(FATAL_ERROR "report missing ${FIELD}\n${JSON}")
+    endif()
+  endforeach()
+endif()

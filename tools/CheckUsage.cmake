@@ -1,0 +1,52 @@
+# Asserts the thistle-opt --help text documents every user-facing
+# contract: all flag groups, the observability flags, and the four exit
+# codes (docs/THISTLE_OPT.md mirrors this text). Invoked by ctest as:
+#   cmake -DTOOL=<thistle-opt> -P CheckUsage.cmake
+
+execute_process(
+  COMMAND ${TOOL} --help
+  OUTPUT_VARIABLE OUT
+  ERROR_VARIABLE ERR
+  RESULT_VARIABLE CODE)
+if(NOT CODE EQUAL 0)
+  message(FATAL_ERROR "--help: expected exit code 0, got '${CODE}'\n${ERR}")
+endif()
+
+foreach(FLAG
+    --layer --resnet --yolo --pipeline
+    --mode --objective --candidates --threads --deadline-ms --hierarchy
+    --pes --regs --sram-words --area-budget
+    --export-timeloop --metrics --profile --trace-json)
+  if(NOT OUT MATCHES "${FLAG}")
+    message(FATAL_ERROR "--help: flag ${FLAG} undocumented\n${OUT}")
+  endif()
+endforeach()
+
+if(NOT OUT MATCHES "exit codes:")
+  message(FATAL_ERROR "--help: missing exit-code section\n${OUT}")
+endif()
+foreach(PAIR
+    "0  success" "1  partial/degraded" "2  invalid input"
+    "3  no feasible design")
+  if(NOT OUT MATCHES "${PAIR}")
+    message(FATAL_ERROR "--help: missing exit code entry '${PAIR}'\n${OUT}")
+  endif()
+endforeach()
+
+if(NOT OUT MATCHES "docs/OBSERVABILITY.md")
+  message(FATAL_ERROR "--help: missing observability doc pointer\n${OUT}")
+endif()
+
+# An unknown option must print the same usage text and exit 2.
+execute_process(
+  COMMAND ${TOOL} --no-such-flag
+  OUTPUT_VARIABLE OUT
+  ERROR_VARIABLE ERR
+  RESULT_VARIABLE CODE)
+if(NOT CODE EQUAL 2)
+  message(FATAL_ERROR
+    "unknown option: expected exit code 2, got '${CODE}'")
+endif()
+if(NOT ERR MATCHES "unknown option")
+  message(FATAL_ERROR "unknown option: missing diagnostic\n${ERR}")
+endif()

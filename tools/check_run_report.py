@@ -1,0 +1,213 @@
+#!/usr/bin/env python3
+"""Validate a thistle-opt --trace-json run report against the schema.
+
+The schema (thistle-run-report/1) is pinned in docs/OBSERVABILITY.md.
+Stdlib only; exits 0 when the report validates, 1 with a list of
+violations otherwise.
+
+Usage: check_run_report.py report.json
+"""
+
+import json
+import sys
+
+SCHEMA = "thistle-run-report/1"
+
+TOP_FIELDS = {
+    "schema": str,
+    "tool": str,
+    "workload": str,
+    "mode": str,
+    "objective": str,
+    "hierarchy": str,
+    "threads": int,
+    "wall_seconds": (int, float),
+    "exit_code": int,
+    "result": dict,
+    # "sweep" is dict or the literal false; checked separately.
+    "metrics": dict,
+    "trace": dict,
+}
+
+RESULT_FIELDS = {
+    "found": bool,
+    "energy_pj": (int, float, type(None)),
+    "energy_per_mac_pj": (int, float, type(None)),
+    "cycles": (int, float, type(None)),
+    "mac_ipc": (int, float, type(None)),
+    "edp_pj_cycles": (int, float, type(None)),
+}
+
+SWEEP_FIELDS = {
+    "task_noun": str,
+    "tasks": int,
+    "solved": int,
+    "retried": int,
+    "degraded": int,
+    "infeasible": int,
+    "failed": int,
+    "skipped": int,
+    "deadline_expired": bool,
+    "clean": bool,
+    "incidents": list,
+}
+
+INCIDENT_FIELDS = {
+    "index": int,
+    "a": int,
+    "b": int,
+    "outcome": str,
+    "attempts": int,
+    "detail": str,
+}
+
+SPAN_FIELDS = {
+    "name": str,
+    "epoch": int,
+    "index": int,
+    "depth": int,
+    "start_ns": int,
+    "duration_ns": int,
+    "detail": str,
+}
+
+OUTCOMES = {"solved", "degraded", "infeasible", "failed", "skipped"}
+
+
+def check_fields(obj, spec, where, errors):
+    for name, types in spec.items():
+        if name not in obj:
+            errors.append(f"{where}: missing field '{name}'")
+        elif not isinstance(obj[name], types):
+            errors.append(
+                f"{where}.{name}: expected {types}, got "
+                f"{type(obj[name]).__name__}"
+            )
+
+
+def validate(report):
+    errors = []
+    check_fields(report, TOP_FIELDS, "$", errors)
+    if report.get("schema") != SCHEMA:
+        errors.append(
+            f"$.schema: expected '{SCHEMA}', got {report.get('schema')!r}"
+        )
+    if report.get("exit_code") not in (0, 1, 2, 3):
+        errors.append(f"$.exit_code: not a documented code: "
+                      f"{report.get('exit_code')!r}")
+
+    result = report.get("result")
+    if isinstance(result, dict):
+        check_fields(result, RESULT_FIELDS, "$.result", errors)
+
+    sweep = report.get("sweep")
+    if sweep is False:
+        pass  # No sweep ran (validation failure before fan-out).
+    elif isinstance(sweep, dict):
+        check_fields(sweep, SWEEP_FIELDS, "$.sweep", errors)
+        if isinstance(sweep.get("incidents"), list):
+            for i, inc in enumerate(sweep["incidents"]):
+                where = f"$.sweep.incidents[{i}]"
+                if not isinstance(inc, dict):
+                    errors.append(f"{where}: not an object")
+                    continue
+                check_fields(inc, INCIDENT_FIELDS, where, errors)
+                if inc.get("outcome") not in OUTCOMES:
+                    errors.append(
+                        f"{where}.outcome: unknown outcome "
+                        f"{inc.get('outcome')!r}"
+                    )
+        counts = [sweep.get(k) for k in
+                  ("solved", "degraded", "infeasible", "failed", "skipped")]
+        if all(isinstance(c, int) for c in counts) and \
+                isinstance(sweep.get("tasks"), int):
+            if sum(counts) != sweep["tasks"]:
+                errors.append("$.sweep: outcome counts do not sum to tasks")
+    else:
+        errors.append("$.sweep: expected object or false")
+
+    metrics = report.get("metrics")
+    if isinstance(metrics, dict):
+        counters = metrics.get("counters")
+        if not isinstance(counters, dict):
+            errors.append("$.metrics.counters: expected object")
+        else:
+            for name, value in counters.items():
+                if not isinstance(value, int) or value < 0:
+                    errors.append(
+                        f"$.metrics.counters.{name}: not a non-negative int"
+                    )
+        stats = metrics.get("stats")
+        if not isinstance(stats, dict):
+            errors.append("$.metrics.stats: expected object")
+        else:
+            for name, stat in stats.items():
+                where = f"$.metrics.stats.{name}"
+                if not isinstance(stat, dict):
+                    errors.append(f"{where}: expected object")
+                    continue
+                for field in ("count", "sum", "min", "max", "mean"):
+                    if not isinstance(stat.get(field),
+                                      (int, float, type(None))):
+                        errors.append(f"{where}.{field}: not a number")
+
+    trace = report.get("trace")
+    if isinstance(trace, dict):
+        if not isinstance(trace.get("dropped_spans"), int):
+            errors.append("$.trace.dropped_spans: expected int")
+        spans = trace.get("spans")
+        if not isinstance(spans, list):
+            errors.append("$.trace.spans: expected array")
+        else:
+            last_key = None
+            for i, span in enumerate(spans):
+                where = f"$.trace.spans[{i}]"
+                if not isinstance(span, dict):
+                    errors.append(f"{where}: not an object")
+                    continue
+                check_fields(span, SPAN_FIELDS, where, errors)
+                if isinstance(span.get("index"), int) and \
+                        span["index"] < -1:
+                    errors.append(f"{where}.index: below -1")
+                # Spans are merged in (epoch, index) order; -1 (NoIndex)
+                # sorts last within its epoch.
+                if isinstance(span.get("epoch"), int) and \
+                        isinstance(span.get("index"), int):
+                    index = span["index"]
+                    key = (span["epoch"],
+                           float("inf") if index == -1 else index)
+                    if last_key is not None and key < last_key:
+                        errors.append(
+                            f"{where}: spans out of (epoch, index) order"
+                        )
+                    last_key = key
+    return errors
+
+
+def main(argv):
+    if len(argv) != 2:
+        print(__doc__.strip(), file=sys.stderr)
+        return 1
+    try:
+        with open(argv[1], encoding="utf-8") as handle:
+            report = json.load(handle)
+    except (OSError, json.JSONDecodeError) as exc:
+        print(f"error: {argv[1]}: {exc}", file=sys.stderr)
+        return 1
+    if not isinstance(report, dict):
+        print("error: top-level JSON value is not an object",
+              file=sys.stderr)
+        return 1
+    errors = validate(report)
+    if errors:
+        for error in errors:
+            print(f"error: {error}", file=sys.stderr)
+        print(f"{argv[1]}: {len(errors)} schema violation(s)",
+              file=sys.stderr)
+        return 1
+    print(f"{argv[1]}: valid {SCHEMA}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -19,7 +19,9 @@
 #include "multilevel/MultiGp.h"
 #include "nestmodel/Mapper.h"
 #include "support/FaultInjection.h"
+#include "support/RunReport.h"
 #include "support/TablePrinter.h"
+#include "support/Telemetry.h"
 #include "support/ThreadPool.h"
 #include "thistle/Optimizer.h"
 #include "workloads/Workloads.h"
@@ -80,6 +82,16 @@ void printUsage(const char *Prog) {
       "  --export-timeloop             emit Timeloop-style YAML specs\n"
       "  --help\n"
       "\n"
+      "observability (see docs/OBSERVABILITY.md; all off by default, and\n"
+      "the optimization result is bit-identical either way):\n"
+      "  --metrics                     collect named counters/statistics\n"
+      "                                and print them after the run\n"
+      "  --profile                     additionally record trace spans and\n"
+      "                                print a per-span timing summary\n"
+      "  --trace-json FILE             write the schema-versioned JSON run\n"
+      "                                report (thistle-run-report/1) with\n"
+      "                                the full span trace to FILE\n"
+      "\n"
       "exit codes:\n"
       "  0  success (clean sweep)\n"
       "  1  partial/degraded: a design was found but some GP pairs were\n"
@@ -112,6 +124,11 @@ bool parseInts(const char *Text, std::vector<std::int64_t> &Out) {
 /// Prints the failure-summary table of a degraded sweep and returns the
 /// tool's exit code contribution: 0 for a clean sweep, 1 otherwise.
 int sweepExitCode(const SweepReport &Report, const char *TaskNoun) {
+  if (Report.total() == 0) {
+    // An empty sweep must say so; a silent summary reads as success.
+    std::printf("\nsweep empty: %s\n", Report.toString(TaskNoun).c_str());
+    return Report.clean() ? 0 : 1;
+  }
   if (Report.clean())
     return 0;
   std::printf("\nsweep degraded: %u %s(s) solved (%u retried), %u degraded, "
@@ -140,7 +157,8 @@ namespace {
 /// L-level GP engine, then cross-check the winner with the stochastic
 /// mapper on the same hierarchy.
 int runHierarchy(const Problem &Prob, const Hierarchy &H,
-                 const ThistleOptions &Options, const TechParams &Tech) {
+                 const ThistleOptions &Options, const TechParams &Tech,
+                 RunReport &RR) {
   std::printf("hierarchy: %lld PEs, fan-out below level %u\n",
               static_cast<long long>(H.NumPEs), H.FanoutLevel);
   for (unsigned Lv = 0; Lv < H.numLevels(); ++Lv) {
@@ -167,13 +185,22 @@ int runHierarchy(const Problem &Prob, const Hierarchy &H,
     std::fprintf(stderr, "error: %s\n", R.InputStatus.toString().c_str());
     return 2;
   }
+  RR.HasSweep = true;
+  RR.SweepTaskNoun = "combo";
   std::printf("search: %u GP solves (%u infeasible)\n", R.CombosSolved,
               R.GpInfeasible);
   if (!R.Found) {
     sweepExitCode(R.Report, "combo");
+    RR.Sweep = std::move(R.Report);
     std::fprintf(stderr, "no feasible design found\n");
     return 3;
   }
+  RR.Found = true;
+  RR.EnergyPj = R.Eval.EnergyPj;
+  RR.EnergyPerMacPj = R.Eval.EnergyPerMacPj;
+  RR.Cycles = R.Eval.Cycles;
+  RR.MacIpc = R.Eval.MacIpc;
+  RR.EdpPjCycles = R.Eval.EdpPjCycles;
 
   std::printf("\nenergy: %.1f uJ (%.3f pJ/MAC)\n", R.Eval.EnergyPj * 1e-6,
               R.Eval.EnergyPerMacPj);
@@ -222,15 +249,19 @@ int runHierarchy(const Problem &Prob, const Hierarchy &H,
     std::printf("mapper validation: no legal mapping in %u trials\n",
                 MR.Trials);
   }
-  return sweepExitCode(R.Report, "combo");
+  int Exit = sweepExitCode(R.Report, "combo");
+  RR.Sweep = std::move(R.Report);
+  return Exit;
 }
 
 /// --pipeline mode: optimize every stage and print one summary row each.
 int runPipeline(const std::vector<ConvLayer> &Layers,
                 const ThistleOptions &Options, const ArchConfig &Arch,
-                const TechParams &Tech, double AreaBudget) {
+                const TechParams &Tech, double AreaBudget, RunReport &RR) {
   std::printf("%-11s %10s %9s %9s %6s %5s %9s\n", "layer", "pJ/MAC",
               "IPC", "cycles(K)", "P", "R", "S words");
+  RR.HasSweep = true;
+  RR.SweepTaskNoun = "pair";
   double TotalUj = 0.0;
   int Exit = 0;
   for (const ConvLayer &L : Layers) {
@@ -243,10 +274,12 @@ int runPipeline(const std::vector<ConvLayer> &Layers,
     }
     if (!R.Report.clean())
       Exit = 1;
+    RR.Sweep.merge(std::move(R.Report));
     if (!R.Found) {
       std::printf("%-11s %10s\n", L.Name.c_str(), "-");
       continue;
     }
+    RR.Found = true;
     TotalUj += R.Eval.EnergyPj * 1e-6;
     std::printf("%-11s %10.2f %9.1f %9.0f %6lld %5lld %9lld\n",
                 L.Name.c_str(), R.Eval.EnergyPerMacPj, R.Eval.MacIpc,
@@ -256,6 +289,9 @@ int runPipeline(const std::vector<ConvLayer> &Layers,
                 static_cast<long long>(R.Arch.SramWords));
   }
   std::printf("pipeline total energy: %.1f uJ\n", TotalUj);
+  // The pipeline result block aggregates: total energy, no per-design
+  // metrics (they differ per layer).
+  RR.EnergyPj = TotalUj * 1e6;
   if (Exit)
     std::printf("warning: some layers lost GP pairs to failures or the "
                 "deadline; rerun a degraded layer alone for the details\n");
@@ -280,6 +316,10 @@ int main(int Argc, char **Argv) {
   double AreaBudget = 0.0;
   bool ExportTimeloop = false;
   std::string HierarchySpec = "classic3";
+  std::string PipelineName;
+  std::string TraceJsonPath;
+  bool WantMetrics = false;
+  bool WantProfile = false;
 
   for (int I = 1; I < Argc; ++I) {
     std::string Arg = Argv[I];
@@ -333,6 +373,7 @@ int main(int Argc, char **Argv) {
         std::fprintf(stderr, "error: unknown pipeline '%s'\n", V.c_str());
         return 2;
       }
+      PipelineName = V;
     } else if (Arg == "--mode") {
       std::string V = needValue();
       if (V == "dataflow")
@@ -380,6 +421,12 @@ int main(int Argc, char **Argv) {
       AreaBudget = std::atof(needValue());
     } else if (Arg == "--export-timeloop") {
       ExportTimeloop = true;
+    } else if (Arg == "--trace-json") {
+      TraceJsonPath = needValue();
+    } else if (Arg == "--metrics") {
+      WantMetrics = true;
+    } else if (Arg == "--profile") {
+      WantProfile = true;
     } else {
       std::fprintf(stderr, "error: unknown option '%s'\n", Arg.c_str());
       printUsage(Argv[0]);
@@ -395,12 +442,58 @@ int main(int Argc, char **Argv) {
   }
   if (Options.Mode == DesignMode::CoDesign && AreaBudget == 0.0)
     AreaBudget = eyerissAreaUm2(Tech);
+
+  // Telemetry: --trace-json and --profile need the span trace, --metrics
+  // alone only the counters. All three leave the optimization result
+  // bit-identical (docs/OBSERVABILITY.md); with none given, collection
+  // stays off and every hook is a single relaxed load.
+  if (!TraceJsonPath.empty() || WantProfile)
+    telemetry::setLevel(telemetry::Level::Trace);
+  else if (WantMetrics)
+    telemetry::setLevel(telemetry::Level::Metrics);
+
+  const auto StartTime = std::chrono::steady_clock::now();
+  RunReport RR;
+  RR.Workload = !Pipeline.empty() ? "pipeline:" + PipelineName : Layer.Name;
+  RR.Mode =
+      Options.Mode == DesignMode::CoDesign ? "codesign" : "dataflow";
+  RR.Objective = Options.Objective == SearchObjective::Energy  ? "energy"
+                 : Options.Objective == SearchObjective::Delay ? "delay"
+                                                               : "edp";
+  RR.Hierarchy = HierarchySpec;
+  RR.Threads =
+      Options.Threads ? Options.Threads : ThreadPool::defaultWorkerCount();
+
+  // Stamps the run report and emits the requested telemetry output on
+  // every exit path past argument parsing.
+  auto finish = [&](int Exit) {
+    RR.ExitCode = Exit;
+    RR.WallSeconds = std::chrono::duration<double>(
+                         std::chrono::steady_clock::now() - StartTime)
+                         .count();
+    RR.Telemetry = telemetry::snapshot();
+    if (WantProfile || WantMetrics)
+      printProfile(std::cout, RR.Telemetry);
+    if (!TraceJsonPath.empty()) {
+      std::ofstream Out(TraceJsonPath);
+      if (!Out) {
+        std::fprintf(stderr, "error: cannot write run report '%s'\n",
+                     TraceJsonPath.c_str());
+        return Exit ? Exit : 2;
+      }
+      Out << RR.toJson();
+      std::printf("run report written to %s\n", TraceJsonPath.c_str());
+    }
+    return Exit;
+  };
+
   if (!Pipeline.empty()) {
     if (HierarchySpec != "classic3") {
       std::fprintf(stderr, "error: --hierarchy works on a single layer\n");
-      return 2;
+      return finish(2);
     }
-    return runPipeline(Pipeline, Options, Arch, Tech, AreaBudget);
+    return finish(
+        runPipeline(Pipeline, Options, Arch, Tech, AreaBudget, RR));
   }
 
   Problem Prob = makeConvProblem(Layer);
@@ -415,7 +508,7 @@ int main(int Argc, char **Argv) {
     if (Options.Mode == DesignMode::CoDesign) {
       std::fprintf(stderr, "error: --hierarchy fixes the machine; use "
                            "--mode dataflow\n");
-      return 2;
+      return finish(2);
     }
     Hierarchy H;
     if (HierarchySpec == "spad4") {
@@ -426,7 +519,7 @@ int main(int Argc, char **Argv) {
       if (!In) {
         std::fprintf(stderr, "error: cannot open hierarchy file '%s'\n",
                      HierarchySpec.c_str());
-        return 2;
+        return finish(2);
       }
       std::ostringstream Text;
       Text << In.rdbuf();
@@ -434,22 +527,31 @@ int main(int Argc, char **Argv) {
       if (!parseHierarchy(Text.str(), H, Error)) {
         std::fprintf(stderr, "error: %s: %s\n", HierarchySpec.c_str(),
                      Error.c_str());
-        return 2;
+        return finish(2);
       }
     }
-    return runHierarchy(Prob, H, Options, Tech);
+    return finish(runHierarchy(Prob, H, Options, Tech, RR));
   }
 
   ThistleResult R = optimizeLayer(Prob, Arch, Tech, Options, AreaBudget);
   if (!R.InputStatus.isOk()) {
     std::fprintf(stderr, "error: %s\n", R.InputStatus.toString().c_str());
-    return 2;
+    return finish(2);
   }
+  RR.HasSweep = true;
+  RR.SweepTaskNoun = "pair";
   if (!R.Found) {
     sweepExitCode(R.Report, "pair");
+    RR.Sweep = std::move(R.Report);
     std::fprintf(stderr, "no feasible design found\n");
-    return 3;
+    return finish(3);
   }
+  RR.Found = true;
+  RR.EnergyPj = R.Eval.EnergyPj;
+  RR.EnergyPerMacPj = R.Eval.EnergyPerMacPj;
+  RR.Cycles = R.Eval.Cycles;
+  RR.MacIpc = R.Eval.MacIpc;
+  RR.EdpPjCycles = R.Eval.EdpPjCycles;
 
   std::printf("\narchitecture: P=%lld PEs, R=%lld regs/PE, S=%lld SRAM "
               "words (area %.3f mm^2)\n",
@@ -481,5 +583,7 @@ int main(int Argc, char **Argv) {
     std::printf("\n# ---- Timeloop mapping spec ----\n%s",
                 exportTimeloopMapping(Prob, R.Map).c_str());
   }
-  return sweepExitCode(R.Report, "pair");
+  int Exit = sweepExitCode(R.Report, "pair");
+  RR.Sweep = std::move(R.Report);
+  return finish(Exit);
 }
