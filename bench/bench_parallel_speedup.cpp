@@ -44,7 +44,9 @@ Measurement measureSweep(const Problem &P, unsigned Threads) {
   ThistleResult Par = optimizeLayer(P, Arch, Tech, Opts);
   M.SecondsN = TN.seconds();
 
-  M.Units = Seq.Stats.PairsSolved;
+  // Planned pairs, not solved: throughput counts GP attempts fanned out,
+  // regardless of per-pair outcome.
+  M.Units = Seq.Stats.PairsPlanned;
   if (Seq.Eval.EnergyPj != Par.Eval.EnergyPj)
     std::printf("WARNING: sweep result differs across thread counts!\n");
   return M;

@@ -191,6 +191,8 @@ std::string RunReport::toJson() const {
     W.value(Sweep.Failed);
     W.key("skipped");
     W.value(Sweep.Skipped);
+    W.key("skipped_by_policy");
+    W.value(Sweep.SkippedByPolicy);
     W.key("deadline_expired");
     W.value(Sweep.DeadlineExpired);
     W.key("clean");
@@ -211,6 +213,66 @@ std::string RunReport::toJson() const {
       W.value(I.Attempts);
       W.key("detail");
       W.value(I.Detail);
+      W.endObject();
+    }
+    W.endArray();
+    W.endObject();
+  }
+
+  W.key("network");
+  if (!Network.Present) {
+    W.value(false); // Not a --network run.
+  } else {
+    W.beginObject();
+    W.key("layers_total");
+    W.value(Network.LayersTotal);
+    W.key("layers_found");
+    W.value(Network.LayersFound);
+    W.key("unique_shapes");
+    W.value(Network.UniqueShapes);
+    W.key("cache_enabled");
+    W.value(Network.CacheEnabled);
+    W.key("cache_hits");
+    W.value(Network.CacheHits);
+    W.key("cache_misses");
+    W.value(Network.CacheMisses);
+    W.key("cache_warm_starts");
+    W.value(Network.CacheWarmStarts);
+    W.key("arch_candidates");
+    W.value(Network.ArchCandidates);
+    W.key("summed_objective");
+    W.value(Network.SummedObjective);
+    W.key("totals");
+    W.beginObject();
+    W.key("energy_pj");
+    W.value(Network.TotalEnergyPj);
+    W.key("cycles");
+    W.value(Network.TotalCycles);
+    W.key("edp_pj_cycles");
+    W.value(Network.TotalEdpPjCycles);
+    W.key("energy_per_mac_pj");
+    W.value(Network.EnergyPerMacPj);
+    W.key("macs");
+    W.value(Network.Macs);
+    W.endObject();
+    W.key("layers");
+    W.beginArray();
+    for (const RunReportNetworkLayer &L : Network.Layers) {
+      W.beginObject();
+      W.key("name");
+      W.value(L.Name);
+      W.key("shape_index");
+      W.value(L.ShapeIndex);
+      W.key("multiplicity");
+      W.value(L.Multiplicity);
+      W.key("deduplicated");
+      W.value(L.Deduplicated);
+      W.key("found");
+      W.value(L.Found);
+      W.key("energy_pj");
+      W.value(L.EnergyPj);
+      W.key("cycles");
+      W.value(L.Cycles);
       W.endObject();
     }
     W.endArray();

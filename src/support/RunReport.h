@@ -25,13 +25,47 @@
 #include "support/SweepReport.h"
 #include "support/Telemetry.h"
 
+#include <cstdint>
 #include <iosfwd>
 #include <string>
+#include <vector>
 
 namespace thistle {
 
 /// Current schema identifier, bumped on any incompatible layout change.
 inline constexpr const char *RunReportSchema = "thistle-run-report/1";
+
+/// One per-layer row of the network section.
+struct RunReportNetworkLayer {
+  std::string Name;
+  std::uint64_t ShapeIndex = 0;
+  std::uint64_t Multiplicity = 1;
+  bool Deduplicated = false;
+  bool Found = false;
+  double EnergyPj = 0.0;
+  double Cycles = 0.0;
+};
+
+/// The `--network` run section: dedup/cache accounting, network totals
+/// and one row per input layer. Plain data so the support layer stays
+/// independent of the optimizer; thistle-opt copies the NetworkResult
+/// fields in.
+struct RunReportNetwork {
+  bool Present = false; ///< Serialized as `"network": false` when unset.
+  std::uint64_t LayersTotal = 0;
+  std::uint64_t LayersFound = 0;
+  std::uint64_t UniqueShapes = 0;
+  bool CacheEnabled = false;
+  std::uint64_t CacheHits = 0, CacheMisses = 0, CacheWarmStarts = 0;
+  unsigned ArchCandidates = 0;
+  double SummedObjective = 0.0;
+  double TotalEnergyPj = 0.0;
+  double TotalCycles = 0.0;
+  double TotalEdpPjCycles = 0.0;
+  double EnergyPerMacPj = 0.0;
+  std::uint64_t Macs = 0;
+  std::vector<RunReportNetworkLayer> Layers;
+};
 
 /// One run of the optimizer, ready for JSON serialization.
 struct RunReport {
@@ -57,6 +91,9 @@ struct RunReport {
   bool HasSweep = false;
   SweepReport Sweep;
   std::string SweepTaskNoun = "task";
+
+  /// The `--network` section; Present is false for single-layer runs.
+  RunReportNetwork Network;
 
   /// Counters, statistics and spans collected during the run.
   telemetry::Snapshot Telemetry;

@@ -49,6 +49,12 @@ void SweepReport::record(TaskOutcome Outcome, std::size_t Index,
         {Index, A, B, Outcome, Attempts, std::move(Detail)});
 }
 
+void SweepReport::recordPolicySkip(std::size_t Index, std::size_t A,
+                                   std::size_t B, std::string Detail) {
+  ++SkippedByPolicy;
+  record(TaskOutcome::Skipped, Index, A, B, 0, std::move(Detail));
+}
+
 void SweepReport::merge(SweepReport &&Next) {
   Solved += Next.Solved;
   Retried += Next.Retried;
@@ -56,6 +62,7 @@ void SweepReport::merge(SweepReport &&Next) {
   Infeasible += Next.Infeasible;
   Failed += Next.Failed;
   Skipped += Next.Skipped;
+  SkippedByPolicy += Next.SkippedByPolicy;
   DeadlineExpired = DeadlineExpired || Next.DeadlineExpired;
   Incidents.insert(Incidents.end(),
                    std::make_move_iterator(Next.Incidents.begin()),
@@ -81,8 +88,11 @@ std::string SweepReport::toString(const char *TaskNoun) const {
     OS << ", " << Infeasible << " infeasible";
   if (Failed)
     OS << ", " << Failed << " failed";
-  if (Skipped)
+  if (Skipped) {
     OS << ", " << Skipped << " skipped";
+    if (SkippedByPolicy)
+      OS << " (" << SkippedByPolicy << " by policy)";
+  }
   if (DeadlineExpired)
     OS << " [deadline expired]";
   for (const SweepIncident &I : Incidents) {

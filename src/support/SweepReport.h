@@ -59,6 +59,12 @@ struct SweepReport {
   unsigned Infeasible = 0;
   unsigned Failed = 0;
   unsigned Skipped = 0;
+  /// The subset of Skipped dropped by an explicit caller policy (e.g.
+  /// the MaxPermClassPairs pair cap) rather than an expired deadline.
+  /// A policy skip is a requested truncation, so it does not make the
+  /// sweep unclean; it is still recorded (count + incident) so outcome
+  /// counts sum to the full task universe.
+  unsigned SkippedByPolicy = 0;
   bool DeadlineExpired = false;
   /// Every non-Solved task (Degraded/Infeasible/Failed/Skipped), in
   /// ascending task order after the shard merge.
@@ -68,15 +74,23 @@ struct SweepReport {
   unsigned total() const {
     return Solved + Degraded + Infeasible + Failed + Skipped;
   }
-  /// True when every task solved cleanly and no deadline fired.
+  /// True when every task solved cleanly and no deadline fired. Policy
+  /// skips are the caller's own truncation request, so they do not make
+  /// a sweep unclean; only unplanned losses (degradations, failures,
+  /// deadline skips) do.
   bool clean() const {
-    return Degraded == 0 && Failed == 0 && Skipped == 0 &&
+    return Degraded == 0 && Failed == 0 && Skipped == SkippedByPolicy &&
            !DeadlineExpired;
   }
 
   /// Records one task outcome (and its incident when non-clean).
   void record(TaskOutcome Outcome, std::size_t Index, std::size_t A,
               std::size_t B, unsigned Attempts, std::string Detail);
+
+  /// Records a task dropped by a caller policy (pair cap): a Skipped
+  /// outcome that also counts into SkippedByPolicy.
+  void recordPolicySkip(std::size_t Index, std::size_t A, std::size_t B,
+                        std::string Detail);
 
   /// Appends \p Next (the report of the next shard in ascending task
   /// order) to this one.

@@ -1,0 +1,201 @@
+//===- thistle/GpCache.cpp - GP solution cache for network sweeps ---------===//
+
+#include "thistle/GpCache.h"
+
+#include "thistle/Optimizer.h"
+
+#include <cstdio>
+
+using namespace thistle;
+
+namespace {
+
+/// Canonical double rendering for key material: round-trippable and
+/// locale-independent.
+void appendNumber(std::string &Out, double V) {
+  char Buf[64];
+  std::snprintf(Buf, sizeof(Buf), "%.17g", V);
+  Out += Buf;
+  Out += ',';
+}
+
+void appendNumber(std::string &Out, std::int64_t V) {
+  Out += std::to_string(V);
+  Out += ',';
+}
+
+void appendIndices(std::string &Out, const std::vector<unsigned> &V) {
+  for (unsigned I : V) {
+    Out += std::to_string(I);
+    Out += '.';
+  }
+  Out += ',';
+}
+
+} // namespace
+
+GpCacheKeys thistle::gpCacheKeys(const Problem &Prob,
+                                 const ThistleOptions &Options,
+                                 const ArchConfig &Arch,
+                                 const TechParams &Tech,
+                                 double AreaBudgetUm2,
+                                 const std::vector<unsigned> &TiledIters,
+                                 const std::vector<unsigned> &PePerm,
+                                 const std::vector<unsigned> &DramPerm) {
+  // Structural part, shared by both keys: iterator names, tensor
+  // skeleton (which iterators project into which dimension), perms and
+  // the mode/objective/options that shape the generated program. The
+  // problem *name* is excluded on purpose: identically shaped layers of
+  // different networks must share entries.
+  std::string S;
+  S.reserve(256);
+  S += "it:";
+  for (const Iterator &It : Prob.iterators()) {
+    S += It.Name;
+    S += ',';
+  }
+  S += "|tn:";
+  for (const Tensor &T : Prob.tensors()) {
+    S += T.Name;
+    S += T.ReadWrite ? "+rw" : "";
+    for (const DimRef &D : T.Dims) {
+      S += '[';
+      for (const DimRef::Term &Term : D.Terms) {
+        S += std::to_string(Term.Iter);
+        S += ';';
+      }
+      S += ']';
+    }
+    S += ',';
+  }
+  S += "|opt:";
+  S += Options.Mode == DesignMode::CoDesign ? "codesign" : "dataflow";
+  S += ',';
+  S += Options.Objective == SearchObjective::Energy  ? "energy"
+       : Options.Objective == SearchObjective::Delay ? "delay"
+                                                     : "edp";
+  S += Options.SpatialUntiled ? ",su1," : ",su0,";
+  S += "tiled:";
+  appendIndices(S, TiledIters);
+  S += "q:";
+  appendIndices(S, PePerm);
+  S += "s:";
+  appendIndices(S, DramPerm);
+
+  // Numeric part, exact key only: extents, projection strides, the
+  // architecture/technology constants and every option that changes the
+  // solve or rounding trajectory.
+  std::string N = "|ext:";
+  for (const Iterator &It : Prob.iterators())
+    appendNumber(N, It.Extent);
+  N += "str:";
+  for (const Tensor &T : Prob.tensors())
+    for (const DimRef &D : T.Dims)
+      for (const DimRef::Term &Term : D.Terms)
+        appendNumber(N, Term.Stride);
+  N += "arch:";
+  appendNumber(N, Arch.NumPEs);
+  appendNumber(N, Arch.RegWordsPerPE);
+  appendNumber(N, Arch.SramWords);
+  appendNumber(N, Arch.DramBandwidth);
+  appendNumber(N, Arch.SramBandwidth);
+  N += "tech:";
+  appendNumber(N, Tech.AreaMacUm2);
+  appendNumber(N, Tech.AreaRegWordUm2);
+  appendNumber(N, Tech.AreaSramWordUm2);
+  appendNumber(N, Tech.EnergyMacPj);
+  appendNumber(N, Tech.SigmaRegPj);
+  appendNumber(N, Tech.SigmaSramPj);
+  appendNumber(N, Tech.EnergyDramPj);
+  N += "area:";
+  appendNumber(N, AreaBudgetUm2);
+  N += "round:";
+  appendNumber(N, static_cast<std::int64_t>(Options.Rounding.NumCandidates));
+  appendNumber(N, Options.Rounding.UtilizationThreshold);
+  appendNumber(N, static_cast<std::int64_t>(
+                      Options.Rounding.MaxMappingCandidates));
+  N += "solver:";
+  appendNumber(N, Options.Solver.Tolerance);
+  appendNumber(N, Options.Solver.TInitial);
+  appendNumber(N, Options.Solver.TMultiplier);
+  appendNumber(N, static_cast<std::int64_t>(Options.Solver.MaxNewtonIters));
+  appendNumber(N, static_cast<std::int64_t>(Options.Solver.MaxOuterIters));
+  appendNumber(N, Options.Solver.StartPerturbation);
+  appendNumber(N, Options.Solver.ObjectiveScale);
+  appendNumber(N, static_cast<std::int64_t>(Options.Solver.MaxSolveAttempts));
+
+  GpCacheKeys Keys;
+  Keys.Warm = S;
+  Keys.Exact = std::move(S) + N;
+  return Keys;
+}
+
+bool GpSolutionCache::lookupExact(const std::string &Key,
+                                  GpCacheEntry &Out) {
+  {
+    std::lock_guard<std::mutex> Lock(Mutex);
+    auto It = Exact.find(Key);
+    if (It != Exact.end()) {
+      Out = It->second;
+      Hits.fetch_add(1, std::memory_order_relaxed);
+      return true;
+    }
+  }
+  Misses.fetch_add(1, std::memory_order_relaxed);
+  return false;
+}
+
+void GpSolutionCache::insert(const std::string &Key,
+                             const std::string &WarmKey,
+                             GpCacheEntry Entry) {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  if (!Entry.Optimum.empty()) {
+    WarmSlot &Slot = Warm[WarmKey];
+    // Deterministic pending winner: smallest exact key, not first
+    // arrival — parallel fill order must not leak into later phases.
+    if (!Slot.HasPending || Key < Slot.PendingSource) {
+      Slot.HasPending = true;
+      Slot.PendingSource = Key;
+      Slot.Pending = Entry.Optimum;
+    }
+  }
+  Exact.emplace(Key, std::move(Entry));
+}
+
+bool GpSolutionCache::lookupWarm(const std::string &WarmKey,
+                                 std::vector<double> &Out) const {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  auto It = Warm.find(WarmKey);
+  if (It == Warm.end() || !It->second.HasFrozen)
+    return false;
+  Out = It->second.Frozen;
+  return true;
+}
+
+void GpSolutionCache::noteWarmStart() {
+  WarmStarts.fetch_add(1, std::memory_order_relaxed);
+}
+
+void GpSolutionCache::beginGeneration() {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  for (auto &[Key, Slot] : Warm) {
+    if (!Slot.HasPending)
+      continue;
+    Slot.HasFrozen = true;
+    Slot.Frozen = std::move(Slot.Pending);
+    Slot.HasPending = false;
+    Slot.PendingSource.clear();
+    Slot.Pending.clear();
+  }
+}
+
+std::size_t GpSolutionCache::size() const {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  return Exact.size();
+}
+
+void GpSolutionCache::clear() {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  Exact.clear();
+  Warm.clear();
+}

@@ -1,0 +1,138 @@
+//===- thistle/GpCache.h - GP solution cache for network sweeps -*- C++ -*-===//
+//
+// Part of the Thistle reproduction (CGO 2022).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A thread-safe cache of perm-class pair-task outcomes, shared across
+/// the layer sweeps of a network-level run (repeated ResNet-style blocks
+/// make many solves redundant). Two tiers:
+///
+///  - *Exact* entries are keyed on the full canonicalized task identity
+///    (layer shape, architecture, technology, perm-pair, mode/objective/
+///    options). A hit replays the recorded outcome — report record,
+///    stats deltas, rounded design — without building or solving the GP,
+///    so a cached sweep is bit-identical to a cold one.
+///  - *Warm* entries are keyed on the structural identity only (iterator
+///    names, tensor skeleton, perms, mode/objective) and store the
+///    x-space optimum of a previously solved, structurally identical GP.
+///    They are consulted exclusively as a last-resort recovery rung when
+///    the cold solve chain yields no feasible iterate, seeding the
+///    barrier method via GpSolverOptions::InitialPoint. Because the warm
+///    rung only runs where the cold path already failed, a sweep with no
+///    failures stays bit-identical with the cache on or off.
+///
+/// Determinism under parallel fill: warm lookups only see entries frozen
+/// at a generation boundary (beginGeneration(), called by the network
+/// driver between phases), never entries raced in by sibling tasks of
+/// the current phase; where several exact entries share a warm key, the
+/// one with the lexicographically smallest exact key wins, independent
+/// of insertion order.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef THISTLE_THISTLE_GPCACHE_H
+#define THISTLE_THISTLE_GPCACHE_H
+
+#include "support/SweepReport.h"
+#include "thistle/Rounding.h"
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace thistle {
+
+struct ThistleOptions;
+
+/// The replayable outcome of one pair task. Everything the task wrote
+/// into its shard accumulator is recorded, so a hit reproduces the
+/// miss path bit-for-bit without touching the solver.
+struct GpCacheEntry {
+  TaskOutcome Outcome = TaskOutcome::Failed;
+  unsigned Attempts = 0;
+  std::string Detail;          ///< Incident detail (empty when Solved).
+  unsigned NewtonIterations = 0;
+  bool GpInfeasible = false;   ///< The task bumped Stats.GpInfeasible.
+  /// Rounded design (Design.Found=false when rounding found nothing or
+  /// the solve yielded no feasible iterate).
+  RoundedDesign Design;
+  double Obj = 0.0;            ///< objectiveValue(Design.Eval, ...).
+  double ModelObjective = 0.0; ///< Relaxed GP objective (pre-rounding).
+  /// x-space GP optimum (empty when no feasible iterate); the seed
+  /// served to warm lookups.
+  std::vector<double> Optimum;
+};
+
+/// The canonical cache keys of one pair task.
+struct GpCacheKeys {
+  std::string Exact; ///< Full task identity.
+  std::string Warm;  ///< Structural identity (extents/arch/tech erased).
+};
+
+/// Builds the canonical keys for one (problem, options, arch, pair)
+/// task. Layer names are deliberately excluded so identically shaped
+/// layers of different networks share entries.
+GpCacheKeys gpCacheKeys(const Problem &Prob, const ThistleOptions &Options,
+                        const ArchConfig &Arch, const TechParams &Tech,
+                        double AreaBudgetUm2,
+                        const std::vector<unsigned> &TiledIters,
+                        const std::vector<unsigned> &PePerm,
+                        const std::vector<unsigned> &DramPerm);
+
+/// Thread-safe two-tier GP solution cache. One instance may be shared
+/// across sequential optimizeNetwork calls to carry results between
+/// runs; concurrent sweeps sharing one instance are serialized on an
+/// internal mutex.
+class GpSolutionCache {
+public:
+  /// Exact lookup; counts a hit or a miss. On a hit copies the entry.
+  bool lookupExact(const std::string &Key, GpCacheEntry &Out);
+
+  /// Inserts the finished task under both keys. The warm tier only
+  /// keeps entries with a non-empty Optimum; within the current
+  /// generation the candidate with the smallest exact key wins.
+  void insert(const std::string &Key, const std::string &WarmKey,
+              GpCacheEntry Entry);
+
+  /// Warm lookup: the frozen (pre-generation) optimum for \p WarmKey.
+  /// Does not count into hits()/misses().
+  bool lookupWarm(const std::string &WarmKey,
+                  std::vector<double> &Out) const;
+
+  /// Counts one warm-start attempt (called by the task that uses one).
+  void noteWarmStart();
+
+  /// Freezes the warm entries inserted since the last call: they become
+  /// visible to lookupWarm. Called at phase boundaries so warm lookups
+  /// never observe a racing sibling task of the same phase.
+  void beginGeneration();
+
+  std::uint64_t hits() const { return Hits.load(); }
+  std::uint64_t misses() const { return Misses.load(); }
+  std::uint64_t warmStarts() const { return WarmStarts.load(); }
+  std::size_t size() const;
+  void clear();
+
+private:
+  struct WarmSlot {
+    bool HasFrozen = false;
+    std::vector<double> Frozen;
+    bool HasPending = false;
+    std::string PendingSource; ///< Exact key of the pending candidate.
+    std::vector<double> Pending;
+  };
+
+  mutable std::mutex Mutex;
+  std::unordered_map<std::string, GpCacheEntry> Exact;
+  std::unordered_map<std::string, WarmSlot> Warm;
+  std::atomic<std::uint64_t> Hits{0}, Misses{0}, WarmStarts{0};
+};
+
+} // namespace thistle
+
+#endif // THISTLE_THISTLE_GPCACHE_H

@@ -2,85 +2,14 @@
 
 #include "thistle/Optimizer.h"
 
-#include "support/FaultInjection.h"
 #include "support/Telemetry.h"
 #include "support/ThreadPool.h"
-#include "thistle/PermutationSpace.h"
+#include "thistle/PairSweep.h"
 
-#include <algorithm>
-#include <cassert>
-#include <exception>
-#include <tuple>
+#include <string>
 #include <utility>
 
 using namespace thistle;
-
-namespace {
-
-/// Tiled iterators: extent > 1 and not named in the untiled list.
-std::vector<unsigned> tiledIterators(const Problem &Prob,
-                                     const ThistleOptions &Options) {
-  std::vector<unsigned> Out;
-  for (unsigned I = 0; I < Prob.numIterators(); ++I) {
-    const Iterator &It = Prob.iterators()[I];
-    if (It.Extent <= 1)
-      continue;
-    bool Untiled =
-        std::find(Options.UntiledIterNames.begin(),
-                  Options.UntiledIterNames.end(),
-                  It.Name) != Options.UntiledIterNames.end();
-    if (!Untiled)
-      Out.push_back(I);
-  }
-  return Out;
-}
-
-/// One (PE-perm, DRAM-perm) class pair scheduled for a GP solve.
-struct PairTask {
-  std::size_t QI, SI;
-};
-
-/// Per-shard sweep state: the best design seen by one worker plus its stat
-/// deltas. Shards never share state on the hot path; the accumulators are
-/// merged in shard order once the sweep drains.
-struct SweepAccumulator {
-  bool Found = false;
-  double Obj = 0.0;
-  std::size_t QI = 0, SI = 0;
-  RoundedDesign Design;
-  double ModelObjective = 0.0;
-  unsigned NewtonIterations = 0;
-  unsigned GpInfeasible = 0;
-  std::size_t CandidatesEvaluated = 0;
-  SweepReport Report;
-};
-
-/// Resolves the two deadline options into one absolute instant.
-/// Returns false when no deadline is configured.
-bool resolveDeadline(std::chrono::milliseconds Relative,
-                     std::chrono::steady_clock::time_point Absolute,
-                     std::chrono::steady_clock::time_point &Out) {
-  if (Absolute != std::chrono::steady_clock::time_point{}) {
-    Out = Absolute;
-    return true;
-  }
-  if (Relative.count() > 0) {
-    Out = std::chrono::steady_clock::now() + Relative;
-    return true;
-  }
-  return false;
-}
-
-/// The deterministic winner order: lexicographic on (objective, QI, SI).
-/// This reproduces the sequential sweep exactly, where a later pair only
-/// displaced the incumbent on a strictly smaller objective.
-bool winsOver(double Obj, std::size_t QI, std::size_t SI,
-              const SweepAccumulator &Acc) {
-  return !Acc.Found ||
-         std::tie(Obj, QI, SI) < std::tie(Acc.Obj, Acc.QI, Acc.SI);
-}
-
-} // namespace
 
 ThistleResult thistle::optimizeLayer(const Problem &Prob,
                                      const ArchConfig &Arch,
@@ -88,7 +17,6 @@ ThistleResult thistle::optimizeLayer(const Problem &Prob,
                                      const ThistleOptions &Options,
                                      double AreaBudgetUm2) {
   ThistleResult Result;
-  std::vector<unsigned> Tiled = tiledIterators(Prob, Options);
 
   // Validate the user-reachable inputs once, before any GP is built.
   // The per-pair permutations come from our own enumeration, so an
@@ -97,7 +25,7 @@ ThistleResult thistle::optimizeLayer(const Problem &Prob,
     GpBuildSpec Probe;
     Probe.Mode = Options.Mode;
     Probe.Objective = Options.Objective;
-    Probe.TiledIters = Tiled;
+    Probe.TiledIters = tiledIterators(Prob, Options);
     Probe.Arch = Arch;
     Probe.Tech = Tech;
     Probe.AreaBudgetUm2 = AreaBudgetUm2;
@@ -107,206 +35,31 @@ ThistleResult thistle::optimizeLayer(const Problem &Prob,
       return Result;
   }
 
-  // The class enumeration is a function of the problem and the tiled
-  // iterator set only, so the two temporal levels share it.
-  std::vector<PermClass> Classes = enumeratePermClasses(Prob, Tiled);
-  Result.Stats.PermClassesPerLevel = Classes.size();
-  for (const PermClass &C : Classes)
-    Result.Stats.RawPermsPerLevel += C.MemberCount;
+  LayerSweepPlan Plan = planLayerSweep(Prob, Options);
 
-  std::vector<ProblemSymmetry> Symmetries;
-  if (Options.UseSymmetryPruning)
-    Symmetries = findProblemSymmetries(Prob);
-
-  // Plan the sweep serially: symmetry pruning and the pair cap depend on
-  // the enumeration order, so the task list must be fixed before fan-out
-  // for the parallel sweep to solve exactly the sequential pair set.
-  std::vector<PairTask> Pairs;
-  for (std::size_t QI = 0; QI < Classes.size(); ++QI) {
-    for (std::size_t SI = 0; SI < Classes.size(); ++SI) {
-      ++Result.Stats.PairsTotal;
-
-      // Symmetry pruning: skip a pair if a problem symmetry maps it to a
-      // lexicographically smaller pair (its mirror image was/will be
-      // solved instead).
-      bool Skip = false;
-      for (const ProblemSymmetry &Sym : Symmetries) {
-        PermSignature MappedQ =
-            Classes[QI].Signature.mapped(Sym.IterMap, Sym.TensorMap);
-        PermSignature MappedS =
-            Classes[SI].Signature.mapped(Sym.IterMap, Sym.TensorMap);
-        if (std::tie(MappedQ, MappedS) <
-            std::tie(Classes[QI].Signature, Classes[SI].Signature)) {
-          Skip = true;
-          break;
-        }
-      }
-      if (Skip) {
-        ++Result.Stats.PairsSkippedBySymmetry;
-        continue;
-      }
-      if (Options.MaxPermClassPairs &&
-          Pairs.size() >= Options.MaxPermClassPairs)
-        continue;
-      Pairs.push_back({QI, SI});
-    }
-  }
-  Result.Stats.PairsSolved = static_cast<unsigned>(Pairs.size());
-
-  std::chrono::steady_clock::time_point DeadlineAt;
-  const bool HasDeadline =
-      resolveDeadline(Options.Deadline, Options.DeadlineAt, DeadlineAt);
-
-  // Each task runs the full build -> solve -> halo-retry -> extract ->
-  // round chain independently; everything it reads is const-shared. A
-  // task that fails (numerics, injected fault, exception) or is skipped
-  // (deadline) records an incident and drops out; the sweep still
-  // returns the optimum over the pairs that completed.
-  auto solvePair = [&](SweepAccumulator &Acc, std::size_t TaskIdx) {
-    const PairTask &Task = Pairs[TaskIdx];
-    telemetry::TraceScope PairSpan("thistle.pair", TaskIdx);
-
-    if (HasDeadline && std::chrono::steady_clock::now() >= DeadlineAt) {
-      Acc.Report.DeadlineExpired = true;
-      Acc.Report.record(TaskOutcome::Skipped, TaskIdx, Task.QI, Task.SI, 0,
-                        "deadline expired before the pair was attempted");
-      return;
-    }
-    if (fault::shouldFail("thistle.pair",
-                          static_cast<std::int64_t>(TaskIdx))) {
-      Acc.Report.record(TaskOutcome::Failed, TaskIdx, Task.QI, Task.SI, 0,
-                        "injected fault at site thistle.pair");
-      return;
-    }
-
-    try {
-      GpBuildSpec Spec;
-      Spec.Mode = Options.Mode;
-      Spec.Objective = Options.Objective;
-      Spec.PePerm = Classes[Task.QI].Representative;
-      Spec.DramPerm = Classes[Task.SI].Representative;
-      Spec.TiledIters = Tiled;
-      Spec.SpatialUntiled = Options.SpatialUntiled;
-      Spec.Arch = Arch;
-      Spec.Tech = Tech;
-      Spec.AreaBudgetUm2 = AreaBudgetUm2;
-
-      GpSolveReport Solve;
-      GpBuild Build = buildGp(Prob, Spec);
-      GpSolution Solution =
-          solveGpWithRetry(Build.Gp, Options.Solver, &Solve);
-      Acc.NewtonIterations += Solution.NewtonIterations;
-      unsigned Attempts = Solve.attempts();
-      if (!Solution.Feasible) {
-        // The drop-negative halo bound can reject tiny register files
-        // that are actually feasible; retry with the product bound,
-        // which is exact in the small-tile regime.
-        Spec.Halo = HaloBound::ProductOfTerms;
-        Build = buildGp(Prob, Spec);
-        GpSolveReport Fallback;
-        Solution = solveGpWithRetry(Build.Gp, Options.Solver, &Fallback);
-        Acc.NewtonIterations += Solution.NewtonIterations;
-        Attempts += Fallback.attempts();
-      }
-      if (!Solution.Feasible ||
-          Solution.Outcome == SolveOutcome::NonFinite) {
-        // Keep the historical stat for ANY pair that yields no feasible
-        // iterate, whatever the cause, so Stats stay comparable.
-        ++Acc.GpInfeasible;
-        TaskOutcome Outcome =
-            Solution.Outcome == SolveOutcome::Infeasible
-                ? TaskOutcome::Infeasible
-                : TaskOutcome::Failed;
-        Acc.Report.record(Outcome, TaskIdx, Task.QI, Task.SI, Attempts,
-                          Solution.Failure.empty()
-                              ? std::string(solveOutcomeName(Solution.Outcome))
-                              : Solution.Failure);
-        if (telemetry::traceEnabled())
-          PairSpan.setDetail(taskOutcomeName(Outcome));
-        return;
-      }
-      // Feasible but not converged: accept the best iterate (as the
-      // sweep always has), flagged Degraded in the report.
-      Acc.Report.record(Solution.Converged ? TaskOutcome::Solved
-                                           : TaskOutcome::Degraded,
-                        TaskIdx, Task.QI, Task.SI, Attempts,
-                        Solution.Converged ? std::string() : Solution.Failure);
-
-      if (telemetry::traceEnabled())
-        PairSpan.setDetail(
-            std::string(Solution.Converged ? "solved" : "degraded") +
-            " attempts=" + std::to_string(Attempts));
-      telemetry::count("thistle.pairs.solved");
-
-      RealSolution Real = extractSolution(Prob, Build, Spec, Solution);
-      RoundedDesign Design =
-          roundSolution(Prob, Spec, Real, Options.Rounding);
-      Acc.CandidatesEvaluated += Design.CandidatesTried;
-      if (telemetry::metricsEnabled())
-        telemetry::count("thistle.rounding.candidates",
-                         Design.CandidatesTried);
-      if (!Design.Found)
-        return;
-
-      double Obj = objectiveValue(Design.Eval, Options.Objective);
-      // The rounding gap: how much the integer design lost (or, rarely,
-      // gained) relative to the relaxed GP optimum for this pair.
-      if (telemetry::metricsEnabled() && Real.Objective > 0.0)
-        telemetry::observe("thistle.rounding.rel_delta",
-                           (Obj - Real.Objective) / Real.Objective);
-      if (winsOver(Obj, Task.QI, Task.SI, Acc)) {
-        Acc.Found = true;
-        Acc.Obj = Obj;
-        Acc.QI = Task.QI;
-        Acc.SI = Task.SI;
-        Acc.Design = std::move(Design);
-        Acc.ModelObjective = Real.Objective;
-      }
-    } catch (const std::exception &E) {
-      Acc.Report.record(TaskOutcome::Failed, TaskIdx, Task.QI, Task.SI, 0,
-                        std::string("exception: ") + E.what());
-    }
-  };
-
-  auto mergeShards = [](SweepAccumulator &A, SweepAccumulator &&B) {
-    A.NewtonIterations += B.NewtonIterations;
-    A.GpInfeasible += B.GpInfeasible;
-    A.CandidatesEvaluated += B.CandidatesEvaluated;
-    A.Report.merge(std::move(B.Report));
-    if (B.Found && winsOver(B.Obj, B.QI, B.SI, A)) {
-      A.Found = true;
-      A.Obj = B.Obj;
-      A.QI = B.QI;
-      A.SI = B.SI;
-      A.Design = std::move(B.Design);
-      A.ModelObjective = B.ModelObjective;
-    }
-  };
+  PairSweepContext Ctx{Prob,  Plan, Options, Arch,
+                       Tech,  AreaBudgetUm2};
+  Ctx.HasDeadline = resolveSweepDeadline(Options.Deadline,
+                                         Options.DeadlineAt, Ctx.DeadlineAt);
 
   telemetry::beginEpoch();
   telemetry::TraceScope SweepSpan("thistle.optimize_layer");
   telemetry::count("thistle.sweeps");
   ThreadPool Pool(Options.Threads);
   SweepAccumulator Total = parallelReduce(
-      Pool, Pairs.size(), SweepAccumulator{}, solvePair, mergeShards);
+      Pool, Plan.Pairs.size(), SweepAccumulator{},
+      [&Ctx](SweepAccumulator &Acc, std::size_t TaskIdx) {
+        runPairTask(Ctx, TaskIdx, Acc);
+      },
+      [](SweepAccumulator &A, SweepAccumulator &&B) {
+        mergePairAccumulators(A, std::move(B));
+      });
   if (telemetry::traceEnabled())
-    SweepSpan.setDetail("pairs=" + std::to_string(Pairs.size()) +
+    SweepSpan.setDetail("pairs=" + std::to_string(Plan.Pairs.size()) +
                         " solved=" + std::to_string(Total.Report.Solved) +
                         " degraded=" +
                         std::to_string(Total.Report.Degraded));
 
-  Result.Stats.NewtonIterations = Total.NewtonIterations;
-  Result.Stats.GpInfeasible = Total.GpInfeasible;
-  Result.Stats.CandidatesEvaluated = Total.CandidatesEvaluated;
-  Result.Report = std::move(Total.Report);
-  if (Total.Found) {
-    Result.Found = true;
-    Result.Arch = Total.Design.Arch;
-    Result.Map = std::move(Total.Design.Map);
-    Result.Eval = Total.Design.Eval;
-    Result.ModelObjective = Total.ModelObjective;
-    Result.BestPePerm = Classes[Total.QI].Representative;
-    Result.BestDramPerm = Classes[Total.SI].Representative;
-  }
+  finishLayerResult(Plan, std::move(Total), Result);
   return Result;
 }

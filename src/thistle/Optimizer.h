@@ -71,6 +71,14 @@ struct ThistleStats {
   unsigned RawPermsPerLevel = 0;
   unsigned PairsTotal = 0;
   unsigned PairsSkippedBySymmetry = 0;
+  /// Tasks in the fixed sweep plan (after symmetry pruning and the pair
+  /// cap): what the sweep *attempts*. This is the quantity the ablation
+  /// benchmarks normalize by.
+  unsigned PairsPlanned = 0;
+  /// Pairs that actually produced an iterate: Report.Solved +
+  /// Report.Degraded. Historically this was assigned the planned count
+  /// before the sweep ran, over-reporting whenever pairs failed, were
+  /// infeasible or were skipped by a deadline.
   unsigned PairsSolved = 0;
   unsigned GpInfeasible = 0;
   unsigned NewtonIterations = 0;

@@ -65,6 +65,49 @@ std::vector<ConvLayer> thistle::allPaperLayers() {
   return All;
 }
 
+namespace {
+
+/// Expands per-stage repeat counts into a flat instance list; repeated
+/// instances get a ".k" suffix so the per-layer tables stay readable,
+/// while the shape (all numeric fields) is untouched.
+std::vector<ConvLayer> repeatLayers(const std::vector<ConvLayer> &Stages,
+                                    const std::vector<unsigned> &Counts) {
+  std::vector<ConvLayer> Out;
+  for (std::size_t I = 0; I < Stages.size(); ++I) {
+    const unsigned Reps = I < Counts.size() ? Counts[I] : 1;
+    for (unsigned Rep = 0; Rep < Reps; ++Rep) {
+      Out.push_back(Stages[I]);
+      if (Reps > 1)
+        Out.back().Name += "." + std::to_string(Rep + 1);
+    }
+  }
+  return Out;
+}
+
+} // namespace
+
+std::vector<ConvLayer> thistle::resnet18NetworkLayers() {
+  // conv1, then per stage: the 3x3 body convs of both basic blocks plus
+  // the stride-2 block's downsample path (Table II lists each shape
+  // once; the counts restore the network's 21 conv instances).
+  return repeatLayers(resnet18Layers(),
+                      {1, 4, 1, 1, 1, 3, 1, 1, 3, 1, 1, 3});
+}
+
+std::vector<ConvLayer> thistle::yolo9000NetworkLayers() {
+  // darknet-19's stacked 3x3/1x1 stages: the deeper 3x3 shapes and
+  // their 1x1 bottlenecks recur, giving 19 conv instances.
+  return repeatLayers(yolo9000Layers(),
+                      {1, 1, 2, 1, 2, 1, 3, 2, 3, 2, 1});
+}
+
+std::vector<ConvLayer> thistle::allNetworkLayers() {
+  std::vector<ConvLayer> All = resnet18NetworkLayers();
+  std::vector<ConvLayer> Yolo = yolo9000NetworkLayers();
+  All.insert(All.end(), Yolo.begin(), Yolo.end());
+  return All;
+}
+
 ArchConfig thistle::eyerissArch() {
   ArchConfig Arch;
   Arch.NumPEs = 168;

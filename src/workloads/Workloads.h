@@ -33,6 +33,21 @@ std::vector<ConvLayer> yolo9000Layers();
 /// single-architecture experiments consider all stages of both.
 std::vector<ConvLayer> allPaperLayers();
 
+/// The full 21-conv ResNet-18 pipeline for the network driver: Table
+/// II's 12 distinct shapes expanded with their block-repeat
+/// multiplicities (the 3x3 body convs recur across the two basic blocks
+/// of each stage). Repeated instances are suffixed ".k" but share the
+/// shape, so optimizeNetwork solves each distinct shape once.
+std::vector<ConvLayer> resnet18NetworkLayers();
+
+/// The full 19-conv Yolo-9000 backbone (darknet-19) for the network
+/// driver: Table II's 11 distinct shapes with the stacked 3x3/1x1
+/// stages repeated as in the network.
+std::vector<ConvLayer> yolo9000NetworkLayers();
+
+/// Both expanded pipelines concatenated (ResNet-18 first).
+std::vector<ConvLayer> allNetworkLayers();
+
 /// The Eyeriss architectural parameters used as the paper's baseline.
 ArchConfig eyerissArch();
 

@@ -1,0 +1,255 @@
+//===- tests/NetworkTest.cpp - Network driver and GP cache tests ----------===//
+//
+// The contracts of thistle::optimizeNetwork and GpSolutionCache: shape
+// deduplication, bit-identical results with the cache on or off and at
+// any thread count, cross-run cache hits, the CoDesign network-arch
+// selection, the zero-layer guard, and the stats/report consistency
+// invariant.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/Builders.h"
+#include "nestmodel/Evaluator.h"
+#include "thistle/Network.h"
+#include "workloads/Workloads.h"
+
+#include <gtest/gtest.h>
+
+using namespace thistle;
+
+namespace {
+
+ConvLayer conv(std::string Name, std::int64_t K, std::int64_t C,
+               std::int64_t HW, std::int64_t RS, std::int64_t Stride = 1) {
+  ConvLayer L;
+  L.Name = std::move(Name);
+  L.K = K;
+  L.C = C;
+  L.Hin = HW;
+  L.Win = HW;
+  L.R = RS;
+  L.S = RS;
+  L.StrideX = L.StrideY = Stride;
+  return L;
+}
+
+/// A 4-instance, 2-shape toy network: "a"/"a2" share a shape, as do
+/// "b"/"b2" (the names differ on purpose — dedup keys on shape only).
+std::vector<ConvLayer> toyNetwork() {
+  return {conv("a", 16, 16, 14, 3), conv("b", 32, 16, 14, 1),
+          conv("a2", 16, 16, 14, 3), conv("b2", 32, 16, 14, 1)};
+}
+
+NetworkOptions fastNetworkOptions() {
+  NetworkOptions NO;
+  NO.Layer.Solver.Tolerance = 1e-5;
+  NO.Layer.MaxPermClassPairs = 8; // Keep the integration tests quick.
+  return NO;
+}
+
+/// Everything a deterministic run must reproduce bit-for-bit (the
+/// timing-free slice of a NetworkResult).
+void expectIdentical(const NetworkResult &A, const NetworkResult &B) {
+  ASSERT_EQ(A.Layers.size(), B.Layers.size());
+  EXPECT_EQ(A.Found, B.Found);
+  EXPECT_EQ(A.LayersFound, B.LayersFound);
+  EXPECT_EQ(A.Totals.EnergyPj, B.Totals.EnergyPj);
+  EXPECT_EQ(A.Totals.Cycles, B.Totals.Cycles);
+  EXPECT_EQ(A.Totals.EdpPjCycles, B.Totals.EdpPjCycles);
+  EXPECT_EQ(A.Totals.SummedObjective, B.Totals.SummedObjective);
+  EXPECT_EQ(A.Arch.NumPEs, B.Arch.NumPEs);
+  EXPECT_EQ(A.Arch.RegWordsPerPE, B.Arch.RegWordsPerPE);
+  EXPECT_EQ(A.Arch.SramWords, B.Arch.SramWords);
+  EXPECT_EQ(A.Report.Solved, B.Report.Solved);
+  EXPECT_EQ(A.Report.Degraded, B.Report.Degraded);
+  EXPECT_EQ(A.Report.Infeasible, B.Report.Infeasible);
+  EXPECT_EQ(A.Report.Failed, B.Report.Failed);
+  EXPECT_EQ(A.Report.Skipped, B.Report.Skipped);
+  EXPECT_EQ(A.Stats.PairsSolved, B.Stats.PairsSolved);
+  for (std::size_t I = 0; I < A.Layers.size(); ++I) {
+    SCOPED_TRACE("layer " + A.Layers[I].Name);
+    EXPECT_EQ(A.Layers[I].Result.Found, B.Layers[I].Result.Found);
+    EXPECT_EQ(A.Layers[I].Result.Eval.EnergyPj,
+              B.Layers[I].Result.Eval.EnergyPj);
+    EXPECT_EQ(A.Layers[I].Result.Eval.Cycles,
+              B.Layers[I].Result.Eval.Cycles);
+    EXPECT_EQ(A.Layers[I].Result.ModelObjective,
+              B.Layers[I].Result.ModelObjective);
+    EXPECT_EQ(A.Layers[I].Result.Map.Factors,
+              B.Layers[I].Result.Map.Factors);
+    EXPECT_EQ(A.Layers[I].Result.BestPePerm, B.Layers[I].Result.BestPePerm);
+    EXPECT_EQ(A.Layers[I].Result.BestDramPerm,
+              B.Layers[I].Result.BestDramPerm);
+  }
+}
+
+} // namespace
+
+TEST(Network, DeduplicatesRepeatedShapes) {
+  NetworkResult R = optimizeNetwork(toyNetwork(), eyerissArch(),
+                                    TechParams::cgo45nm(),
+                                    fastNetworkOptions());
+  ASSERT_TRUE(R.InputStatus.isOk());
+  ASSERT_TRUE(R.Found);
+  EXPECT_EQ(R.Stats.LayersTotal, 4u);
+  EXPECT_EQ(R.Stats.UniqueShapes, 2u);
+  ASSERT_EQ(R.Layers.size(), 4u);
+  EXPECT_FALSE(R.Layers[0].Deduplicated);
+  EXPECT_FALSE(R.Layers[1].Deduplicated);
+  EXPECT_TRUE(R.Layers[2].Deduplicated);
+  EXPECT_TRUE(R.Layers[3].Deduplicated);
+  EXPECT_EQ(R.Layers[2].ShapeIndex, R.Layers[0].ShapeIndex);
+  EXPECT_EQ(R.Layers[0].Multiplicity, 2u);
+
+  // The dedup copy shares the winner bit-for-bit but reports nothing
+  // (the shape's sweep is accounted once).
+  EXPECT_EQ(R.Layers[2].Result.Eval.EnergyPj,
+            R.Layers[0].Result.Eval.EnergyPj);
+  EXPECT_EQ(R.Layers[2].Result.Map.Factors, R.Layers[0].Result.Map.Factors);
+  EXPECT_EQ(R.Layers[2].Result.Report.total(), 0u);
+  EXPECT_EQ(R.Layers[2].Result.Stats.PairsPlanned, 0u);
+  EXPECT_GT(R.Layers[0].Result.Report.total(), 0u);
+
+  // Totals count every input layer, so the duplicated shapes weigh
+  // double.
+  double Expected = 0.0;
+  for (const NetworkLayerResult &L : R.Layers)
+    Expected += L.Result.Eval.EnergyPj;
+  EXPECT_DOUBLE_EQ(R.Totals.EnergyPj, Expected);
+  EXPECT_EQ(R.Totals.EdpPjCycles, R.Totals.EnergyPj * R.Totals.Cycles);
+
+  // The accounting invariant, network-wide.
+  EXPECT_EQ(R.Stats.PairsSolved, R.Report.Solved + R.Report.Degraded);
+}
+
+TEST(Network, CacheOnOffAndAcrossRunsBitIdentical) {
+  NetworkOptions Cold = fastNetworkOptions();
+  NetworkResult NoCache = optimizeNetwork(
+      toyNetwork(), eyerissArch(), TechParams::cgo45nm(), Cold);
+  ASSERT_TRUE(NoCache.Found);
+
+  GpSolutionCache Cache;
+  NetworkOptions Cached = fastNetworkOptions();
+  Cached.Cache = &Cache;
+  NetworkResult First = optimizeNetwork(
+      toyNetwork(), eyerissArch(), TechParams::cgo45nm(), Cached);
+  ASSERT_TRUE(First.Found);
+  expectIdentical(NoCache, First);
+  // One optimizeNetwork call dedups its own repeats, so the first run
+  // only fills the cache.
+  EXPECT_EQ(First.Stats.CacheHits, 0u);
+  EXPECT_GT(First.Stats.CacheMisses, 0u);
+
+  // A second run over the same network replays every pair from the
+  // cache — same results, no solves.
+  NetworkResult Second = optimizeNetwork(
+      toyNetwork(), eyerissArch(), TechParams::cgo45nm(), Cached);
+  ASSERT_TRUE(Second.Found);
+  expectIdentical(NoCache, Second);
+  EXPECT_GT(Second.Stats.CacheHits, 0u);
+  EXPECT_EQ(Second.Stats.CacheMisses, 0u);
+  EXPECT_EQ(Cache.hits(), Second.Stats.CacheHits);
+
+  // Stats replay identically too: Newton iterations and candidate
+  // counts come from the recorded entries.
+  EXPECT_EQ(Second.Report.Retried, First.Report.Retried);
+  for (std::size_t I = 0; I < First.Layers.size(); ++I) {
+    EXPECT_EQ(Second.Layers[I].Result.Stats.NewtonIterations,
+              First.Layers[I].Result.Stats.NewtonIterations);
+    EXPECT_EQ(Second.Layers[I].Result.Stats.CandidatesEvaluated,
+              First.Layers[I].Result.Stats.CandidatesEvaluated);
+  }
+}
+
+TEST(Network, ThreadCountDoesNotChangeResults) {
+  NetworkOptions One = fastNetworkOptions();
+  One.Layer.Threads = 1;
+  NetworkResult R1 = optimizeNetwork(toyNetwork(), eyerissArch(),
+                                     TechParams::cgo45nm(), One);
+  ASSERT_TRUE(R1.Found);
+  NetworkOptions Eight = fastNetworkOptions();
+  Eight.Layer.Threads = 8;
+  NetworkResult R8 = optimizeNetwork(toyNetwork(), eyerissArch(),
+                                     TechParams::cgo45nm(), Eight);
+  ASSERT_TRUE(R8.Found);
+  expectIdentical(R1, R8);
+
+  // And with a shared cache at 8 threads: the frozen-generation warm
+  // tier keeps parallel fills deterministic.
+  GpSolutionCache Cache;
+  Eight.Cache = &Cache;
+  NetworkResult RC = optimizeNetwork(toyNetwork(), eyerissArch(),
+                                     TechParams::cgo45nm(), Eight);
+  ASSERT_TRUE(RC.Found);
+  expectIdentical(R1, RC);
+}
+
+TEST(Network, EmptyNetworkSaysNothingAttempted) {
+  NetworkResult R =
+      optimizeNetwork({}, eyerissArch(), TechParams::cgo45nm(),
+                      fastNetworkOptions());
+  EXPECT_FALSE(R.Found);
+  ASSERT_FALSE(R.InputStatus.isOk());
+  EXPECT_EQ(R.InputStatus.code(), StatusCode::InvalidArgument);
+  EXPECT_NE(R.InputStatus.toString().find("0 tasks: nothing attempted"),
+            std::string::npos);
+  // The empty report's own summary names the zero-work case explicitly.
+  EXPECT_EQ(R.Report.total(), 0u);
+  EXPECT_NE(R.Report.toString("pair").find("0 pairs: nothing attempted"),
+            std::string::npos);
+}
+
+TEST(Network, BadInputsFailValidationWithLayerContext) {
+  ArchConfig Bad = eyerissArch();
+  Bad.NumPEs = 0;
+  NetworkResult R = optimizeNetwork(toyNetwork(), Bad,
+                                    TechParams::cgo45nm(),
+                                    fastNetworkOptions());
+  EXPECT_FALSE(R.Found);
+  ASSERT_FALSE(R.InputStatus.isOk());
+  EXPECT_EQ(R.InputStatus.code(), StatusCode::InvalidArgument);
+  // Validation runs per unique shape and names the offending layer.
+  EXPECT_NE(R.InputStatus.toString().find("network layer 'a'"),
+            std::string::npos);
+  // Nothing ran: the report is empty rather than full of failures.
+  EXPECT_EQ(R.Report.total(), 0u);
+}
+
+TEST(Network, CoDesignSelectsOneNetworkArch) {
+  NetworkOptions NO = fastNetworkOptions();
+  NO.Layer.Mode = DesignMode::CoDesign;
+  TechParams Tech = TechParams::cgo45nm();
+  NetworkResult R = optimizeNetwork(toyNetwork(), eyerissArch(), Tech, NO,
+                                    eyerissAreaUm2(Tech));
+  ASSERT_TRUE(R.InputStatus.isOk());
+  ASSERT_TRUE(R.Found);
+  ASSERT_GE(R.Stats.ArchCandidates, 1u);
+  ASSERT_EQ(R.Candidates.size(), R.Stats.ArchCandidates);
+
+  // Every layer's winner runs on the one selected architecture.
+  for (const NetworkLayerResult &L : R.Layers) {
+    EXPECT_EQ(L.Result.Arch.NumPEs, R.Arch.NumPEs);
+    EXPECT_EQ(L.Result.Arch.RegWordsPerPE, R.Arch.RegWordsPerPE);
+    EXPECT_EQ(L.Result.Arch.SramWords, R.Arch.SramWords);
+  }
+  // The selected candidate is complete and minimal among complete ones.
+  double BestObjective = 0.0;
+  bool SawSelected = false;
+  for (const NetworkArchCandidate &C : R.Candidates) {
+    if (C.Arch.NumPEs == R.Arch.NumPEs &&
+        C.Arch.RegWordsPerPE == R.Arch.RegWordsPerPE &&
+        C.Arch.SramWords == R.Arch.SramWords) {
+      SawSelected = true;
+      BestObjective = C.SummedObjective;
+      EXPECT_TRUE(C.AllLayersFound);
+    }
+  }
+  ASSERT_TRUE(SawSelected);
+  for (const NetworkArchCandidate &C : R.Candidates) {
+    if (C.AllLayersFound) {
+      EXPECT_LE(BestObjective, C.SummedObjective);
+    }
+  }
+  // The area budget binds the selected architecture too.
+  EXPECT_LE(R.Arch.areaUm2(Tech), eyerissAreaUm2(Tech) * 1.0001);
+}

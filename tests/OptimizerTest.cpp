@@ -239,7 +239,10 @@ TEST(Optimizer, FarFutureDeadlineMatchesUnboundedRun) {
   EXPECT_EQ(R.ModelObjective, Ref.ModelObjective);
   EXPECT_EQ(R.Map.Factors, Ref.Map.Factors);
   EXPECT_FALSE(R.Report.DeadlineExpired);
-  EXPECT_EQ(R.Report.Skipped, 0u);
+  // fastOptions caps the pair list, so the only skips are the cap's own
+  // policy skips — identical to the unbounded-deadline reference.
+  EXPECT_EQ(R.Report.Skipped, R.Report.SkippedByPolicy);
+  EXPECT_EQ(R.Report.Skipped, Ref.Report.Skipped);
 }
 
 #if THISTLE_FAULT_INJECTION_ENABLED
@@ -303,9 +306,68 @@ TEST(Optimizer, CleanRunReportIsClean) {
   ASSERT_TRUE(R.Found);
   EXPECT_TRUE(R.Report.clean());
   EXPECT_EQ(R.Report.Failed, 0u);
-  EXPECT_EQ(R.Report.Skipped, 0u);
-  EXPECT_EQ(R.Report.Solved + R.Report.Degraded + R.Report.Infeasible,
-            R.Report.total());
+  // The pair cap's policy skips are recorded (so counts cover the whole
+  // pruned pair universe) without making the sweep unclean.
+  EXPECT_EQ(R.Report.Skipped, R.Report.SkippedByPolicy);
+  EXPECT_EQ(R.Report.total(),
+            R.Stats.PairsTotal - R.Stats.PairsSkippedBySymmetry);
+  EXPECT_EQ(R.Stats.PairsSolved, R.Report.Solved + R.Report.Degraded);
+}
+
+// The accounting invariant the PairsSolved fix pins down: whatever a
+// sweep loses — injected faults, an expired deadline, the pair cap —
+// the stats must agree with the report, and the report must cover the
+// full post-pruning pair universe. Historically PairsSolved was
+// assigned the planned count before the sweep ran, so any lost pair
+// broke the first equality.
+TEST(Optimizer, StatsAgreeWithReportUnderFaults) {
+  OptFaultGuard G;
+  Problem P = makeConvProblem(smallConv());
+
+  struct Case {
+    const char *Label;
+    bool Fault;
+    bool ExpiredDeadline;
+    unsigned Cap;
+  } Cases[] = {
+      {"injected fault", true, false, 12},
+      {"expired deadline", false, true, 12},
+      {"live pair cap", false, false, 3},
+      {"fault under cap", true, false, 5},
+  };
+  for (const Case &C : Cases) {
+    for (unsigned Threads : {1u, 8u}) {
+      SCOPED_TRACE(std::string(C.Label) + ", " +
+                   std::to_string(Threads) + " threads");
+      ThistleOptions O = fastOptions();
+      O.MaxPermClassPairs = C.Cap;
+      O.Threads = Threads;
+      if (C.ExpiredDeadline)
+        O.DeadlineAt =
+            std::chrono::steady_clock::now() - std::chrono::hours(1);
+      if (C.Fault)
+        fault::arm("thistle.pair", /*Key=*/1, /*MaxHits=*/1);
+      ThistleResult R =
+          optimizeLayer(P, eyerissArch(), TechParams::cgo45nm(), O);
+      fault::disarmAll();
+      EXPECT_EQ(R.Stats.PairsSolved, R.Report.Solved + R.Report.Degraded);
+      EXPECT_EQ(R.Report.total(),
+                R.Stats.PairsTotal - R.Stats.PairsSkippedBySymmetry);
+      EXPECT_LE(R.Stats.PairsSolved, R.Stats.PairsPlanned);
+      EXPECT_EQ(R.Stats.PairsPlanned + R.Report.SkippedByPolicy,
+                R.Stats.PairsTotal - R.Stats.PairsSkippedBySymmetry);
+      if (C.Fault) {
+        EXPECT_EQ(R.Report.Failed, 1u);
+        EXPECT_LT(R.Stats.PairsSolved, R.Stats.PairsPlanned);
+      }
+      if (C.ExpiredDeadline) {
+        EXPECT_TRUE(R.Report.DeadlineExpired);
+        EXPECT_EQ(R.Stats.PairsSolved, 0u);
+      }
+      if (C.Cap < 12)
+        EXPECT_GT(R.Report.SkippedByPolicy, 0u);
+    }
+  }
 }
 
 #endif // THISTLE_FAULT_INJECTION_ENABLED

@@ -226,6 +226,31 @@ TEST(SweepReport, MergePreservesShardOrder) {
   EXPECT_EQ(A.Incidents[1].Index, 5u);
 }
 
+TEST(SweepReport, PolicySkipsStayClean) {
+  SweepReport R;
+  R.record(TaskOutcome::Solved, 0, 0, 0, 1, "");
+  R.recordPolicySkip(1, 0, 1, "dropped by the pair cap");
+  // A policy skip is a caller-requested truncation: counted, listed as
+  // an incident, but not a loss.
+  EXPECT_TRUE(R.clean());
+  EXPECT_EQ(R.Skipped, 1u);
+  EXPECT_EQ(R.SkippedByPolicy, 1u);
+  EXPECT_EQ(R.total(), 2u);
+  ASSERT_EQ(R.Incidents.size(), 1u);
+  EXPECT_EQ(R.Incidents[0].Outcome, TaskOutcome::Skipped);
+  std::string S = R.toString("pair");
+  EXPECT_NE(S.find("1 skipped (1 by policy)"), std::string::npos);
+
+  // A deadline skip on top is a real loss and flips cleanliness.
+  R.record(TaskOutcome::Skipped, 2, 1, 0, 0, "deadline expired");
+  EXPECT_FALSE(R.clean());
+}
+
+TEST(SweepReport, ZeroTasksSayNothingAttempted) {
+  SweepReport R;
+  EXPECT_EQ(R.toString("pair"), "0 pairs: nothing attempted");
+}
+
 TEST(SweepReport, ToStringNamesIncidents) {
   SweepReport R;
   R.record(TaskOutcome::Solved, 0, 0, 0, 1, "");

@@ -1,0 +1,91 @@
+# End-to-end checks of the --network driver. Invoked by ctest as:
+#   cmake -DTOOL=<thistle-opt> -DWORK_DIR=<dir> -DCHECK=smoke|cache
+#         [-DCHECKER=<check_run_report.py> -DPYTHON=<python3>]
+#         -P CheckNetwork.cmake
+#
+#  smoke: a dataflow-mode resnet18 run resolves every layer, dedupes
+#         repeated shapes, and writes a run report whose network section
+#         validates against the thistle-run-report/1 schema.
+#  cache: the GP solution cache is an accelerator, never a correctness
+#         knob — THISTLE_CACHE=off must reproduce the cached run's
+#         output byte for byte (modulo the cache-stats line itself).
+
+set(NETWORK --network resnet18 --threads 2)
+
+if(CHECK STREQUAL "smoke")
+  set(REPORT ${WORK_DIR}/network-report.json)
+  execute_process(
+    COMMAND ${TOOL} ${NETWORK} --trace-json ${REPORT}
+    OUTPUT_VARIABLE OUT
+    ERROR_VARIABLE ERR
+    RESULT_VARIABLE CODE)
+  if(NOT CODE EQUAL 0)
+    message(FATAL_ERROR
+      "network run: expected exit 0, got '${CODE}'\n${OUT}\n${ERR}")
+  endif()
+  # ResNet-18 has 21 conv instances collapsing to 12 unique shapes; the
+  # dedup counts are part of the user-facing contract.
+  if(NOT OUT MATCHES "network: 21 layers, 12 unique shapes")
+    message(FATAL_ERROR "network run: wrong dedup summary\n${OUT}")
+  endif()
+  if(NOT OUT MATCHES "network totals:")
+    message(FATAL_ERROR "network run: missing totals line\n${OUT}")
+  endif()
+  if(NOT OUT MATCHES "cache:")
+    message(FATAL_ERROR "network run: missing cache-stats line\n${OUT}")
+  endif()
+  if(NOT EXISTS ${REPORT})
+    message(FATAL_ERROR "network run: ${REPORT} was not written")
+  endif()
+  if(PYTHON)
+    execute_process(
+      COMMAND ${PYTHON} ${CHECKER} ${REPORT}
+      OUTPUT_VARIABLE OUT
+      ERROR_VARIABLE ERR
+      RESULT_VARIABLE CODE)
+    if(NOT CODE EQUAL 0)
+      message(FATAL_ERROR "schema check failed:\n${OUT}\n${ERR}")
+    endif()
+  else()
+    file(READ ${REPORT} JSON)
+    foreach(FIELD
+        "\"schema\": \"thistle-run-report/1\"" "\"exit_code\": 0"
+        "\"network\"" "\"layers_total\": 21" "\"unique_shapes\": 12"
+        "\"cache_enabled\": true")
+      if(NOT JSON MATCHES "${FIELD}")
+        message(FATAL_ERROR "report missing ${FIELD}\n${JSON}")
+      endif()
+    endforeach()
+  endif()
+
+elseif(CHECK STREQUAL "cache")
+  execute_process(
+    COMMAND ${TOOL} ${NETWORK}
+    OUTPUT_VARIABLE CACHED_OUT
+    ERROR_VARIABLE ERR
+    RESULT_VARIABLE CODE)
+  if(NOT CODE EQUAL 0)
+    message(FATAL_ERROR "cached run: expected exit 0, got '${CODE}'\n${ERR}")
+  endif()
+  execute_process(
+    COMMAND ${CMAKE_COMMAND} -E env THISTLE_CACHE=off ${TOOL} ${NETWORK}
+    OUTPUT_VARIABLE PLAIN_OUT
+    ERROR_VARIABLE ERR
+    RESULT_VARIABLE CODE)
+  if(NOT CODE EQUAL 0)
+    message(FATAL_ERROR
+      "cache-off run: expected exit 0, got '${CODE}'\n${ERR}")
+  endif()
+  # The cache-stats line only prints when the cache is on; everything
+  # else must match byte for byte.
+  string(REGEX REPLACE "cache:[^\n]*\n" "" CACHED_OUT "${CACHED_OUT}")
+  string(REGEX REPLACE "cache:[^\n]*\n" "" PLAIN_OUT "${PLAIN_OUT}")
+  if(NOT CACHED_OUT STREQUAL PLAIN_OUT)
+    message(FATAL_ERROR
+      "cache changed the results\n"
+      "---- cached ----\n${CACHED_OUT}\n---- off ----\n${PLAIN_OUT}")
+  endif()
+
+else()
+  message(FATAL_ERROR "unknown CHECK '${CHECK}'")
+endif()

@@ -13,7 +13,7 @@ if(NOT CODE EQUAL 0)
 endif()
 
 foreach(FLAG
-    --layer --resnet --yolo --pipeline
+    --layer --resnet --yolo --pipeline --network
     --mode --objective --candidates --threads --deadline-ms --hierarchy
     --pes --regs --sram-words --area-budget
     --export-timeloop --metrics --profile --trace-json)

@@ -24,7 +24,8 @@ TOP_FIELDS = {
     "wall_seconds": (int, float),
     "exit_code": int,
     "result": dict,
-    # "sweep" is dict or the literal false; checked separately.
+    # "sweep" and "network" are dict or the literal false; checked
+    # separately.
     "metrics": dict,
     "trace": dict,
 }
@@ -47,9 +48,42 @@ SWEEP_FIELDS = {
     "infeasible": int,
     "failed": int,
     "skipped": int,
+    "skipped_by_policy": int,
     "deadline_expired": bool,
     "clean": bool,
     "incidents": list,
+}
+
+NETWORK_FIELDS = {
+    "layers_total": int,
+    "layers_found": int,
+    "unique_shapes": int,
+    "cache_enabled": bool,
+    "cache_hits": int,
+    "cache_misses": int,
+    "cache_warm_starts": int,
+    "arch_candidates": int,
+    "summed_objective": (int, float, type(None)),
+    "totals": dict,
+    "layers": list,
+}
+
+NETWORK_TOTALS_FIELDS = {
+    "energy_pj": (int, float, type(None)),
+    "cycles": (int, float, type(None)),
+    "edp_pj_cycles": (int, float, type(None)),
+    "energy_per_mac_pj": (int, float, type(None)),
+    "macs": int,
+}
+
+NETWORK_LAYER_FIELDS = {
+    "name": str,
+    "shape_index": int,
+    "multiplicity": int,
+    "deduplicated": bool,
+    "found": bool,
+    "energy_pj": (int, float, type(None)),
+    "cycles": (int, float, type(None)),
 }
 
 INCIDENT_FIELDS = {
@@ -123,8 +157,45 @@ def validate(report):
                 isinstance(sweep.get("tasks"), int):
             if sum(counts) != sweep["tasks"]:
                 errors.append("$.sweep: outcome counts do not sum to tasks")
+        if isinstance(sweep.get("skipped_by_policy"), int) and \
+                isinstance(sweep.get("skipped"), int):
+            if sweep["skipped_by_policy"] > sweep["skipped"]:
+                errors.append(
+                    "$.sweep.skipped_by_policy: exceeds skipped")
     else:
         errors.append("$.sweep: expected object or false")
+
+    network = report.get("network")
+    if network is False:
+        pass  # Not a --network run.
+    elif isinstance(network, dict):
+        check_fields(network, NETWORK_FIELDS, "$.network", errors)
+        if isinstance(network.get("layers_found"), int) and \
+                isinstance(network.get("layers_total"), int) and \
+                network["layers_found"] > network["layers_total"]:
+            errors.append("$.network.layers_found: exceeds layers_total")
+        if isinstance(network.get("unique_shapes"), int) and \
+                isinstance(network.get("layers_total"), int) and \
+                network["unique_shapes"] > network["layers_total"]:
+            errors.append("$.network.unique_shapes: exceeds layers_total")
+        totals = network.get("totals")
+        if isinstance(totals, dict):
+            check_fields(totals, NETWORK_TOTALS_FIELDS,
+                         "$.network.totals", errors)
+        layers = network.get("layers")
+        if isinstance(layers, list):
+            if isinstance(network.get("layers_total"), int) and \
+                    len(layers) != network["layers_total"]:
+                errors.append(
+                    "$.network.layers: row count != layers_total")
+            for i, layer in enumerate(layers):
+                where = f"$.network.layers[{i}]"
+                if not isinstance(layer, dict):
+                    errors.append(f"{where}: not an object")
+                    continue
+                check_fields(layer, NETWORK_LAYER_FIELDS, where, errors)
+    else:
+        errors.append("$.network: expected object or false")
 
     metrics = report.get("metrics")
     if isinstance(metrics, dict):

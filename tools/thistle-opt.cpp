@@ -23,6 +23,7 @@
 #include "support/TablePrinter.h"
 #include "support/Telemetry.h"
 #include "support/ThreadPool.h"
+#include "thistle/Network.h"
 #include "thistle/Optimizer.h"
 #include "workloads/Workloads.h"
 
@@ -51,6 +52,13 @@ void printUsage(const char *Prog) {
       "  --yolo N             Yolo-9000 conv stage N (1-11, Table II)\n"
       "  --pipeline resnet|yolo|all   optimize every stage, print a "
       "summary\n"
+      "  --network resnet18|yolo9000|all\n"
+      "                       optimize the full conv pipeline with the\n"
+      "                       network driver: repeated shapes are solved\n"
+      "                       once, GP solutions are cached across runs\n"
+      "                       (disable with THISTLE_CACHE=off), and in\n"
+      "                       codesign mode one architecture is selected\n"
+      "                       for the whole network (docs/THISTLE_OPT.md)\n"
       "\n"
       "optimization:\n"
       "  --mode dataflow|codesign      (default: dataflow)\n"
@@ -95,9 +103,10 @@ void printUsage(const char *Prog) {
       "exit codes:\n"
       "  0  success (clean sweep)\n"
       "  1  partial/degraded: a design was found but some GP pairs were\n"
-      "     lost (solver failure, deadline); see the failure summary\n"
+      "     lost (solver failure, deadline), or a --network run found\n"
+      "     designs for only some layers\n"
       "  2  invalid input (bad flags, malformed hierarchy file, bad spec)\n"
-      "  3  no feasible design found\n",
+      "  3  no feasible design found (--network: for any layer)\n",
       Prog);
 }
 
@@ -298,6 +307,110 @@ int runPipeline(const std::vector<ConvLayer> &Layers,
   return Exit;
 }
 
+/// --network mode: run the network driver (shape dedup, shared GP
+/// solution cache, optional network-level arch selection) and print a
+/// per-layer table plus the network totals.
+int runNetwork(const std::vector<ConvLayer> &Layers,
+               const ThistleOptions &Options, const ArchConfig &Arch,
+               const TechParams &Tech, double AreaBudget, bool UseCache,
+               RunReport &RR) {
+  GpSolutionCache Cache;
+  NetworkOptions NO;
+  NO.Layer = Options;
+  NO.Cache = UseCache ? &Cache : nullptr;
+  NetworkResult R = optimizeNetwork(Layers, Arch, Tech, NO, AreaBudget);
+  if (!R.InputStatus.isOk()) {
+    std::fprintf(stderr, "error: %s\n", R.InputStatus.toString().c_str());
+    return 2;
+  }
+  RR.HasSweep = true;
+  RR.SweepTaskNoun = "pair";
+  RR.Sweep = SweepReport(R.Report);
+  RR.Found = R.Found;
+  RR.Network.Present = true;
+  RR.Network.LayersTotal = R.Stats.LayersTotal;
+  RR.Network.LayersFound = R.LayersFound;
+  RR.Network.UniqueShapes = R.Stats.UniqueShapes;
+  RR.Network.CacheEnabled = UseCache;
+  RR.Network.CacheHits = R.Stats.CacheHits;
+  RR.Network.CacheMisses = R.Stats.CacheMisses;
+  RR.Network.CacheWarmStarts = R.Stats.CacheWarmStarts;
+  RR.Network.ArchCandidates = R.Stats.ArchCandidates;
+  RR.Network.SummedObjective = R.Totals.SummedObjective;
+  RR.Network.TotalEnergyPj = R.Totals.EnergyPj;
+  RR.Network.TotalCycles = R.Totals.Cycles;
+  RR.Network.TotalEdpPjCycles = R.Totals.EdpPjCycles;
+  RR.Network.EnergyPerMacPj = R.Totals.EnergyPerMacPj;
+  RR.Network.Macs = static_cast<std::uint64_t>(R.Totals.Macs);
+  // The network totals double as the run's result block: the pipeline
+  // energy/delay on the selected architecture.
+  RR.EnergyPj = R.Totals.EnergyPj;
+  RR.EnergyPerMacPj = R.Totals.EnergyPerMacPj;
+  RR.Cycles = R.Totals.Cycles;
+  RR.EdpPjCycles = R.Totals.EdpPjCycles;
+
+  std::printf("%-13s %10s %9s %9s %6s\n", "layer", "pJ/MAC", "IPC",
+              "cycles(K)", "dedup");
+  for (const NetworkLayerResult &L : R.Layers) {
+    RunReportNetworkLayer Row;
+    Row.Name = L.Name;
+    Row.ShapeIndex = L.ShapeIndex;
+    Row.Multiplicity = L.Multiplicity;
+    Row.Deduplicated = L.Deduplicated;
+    Row.Found = L.Result.Found;
+    if (L.Result.Found) {
+      Row.EnergyPj = L.Result.Eval.EnergyPj;
+      Row.Cycles = L.Result.Eval.Cycles;
+      std::printf("%-13s %10.2f %9.1f %9.0f %6s\n", L.Name.c_str(),
+                  L.Result.Eval.EnergyPerMacPj, L.Result.Eval.MacIpc,
+                  L.Result.Eval.Cycles * 1e-3,
+                  L.Deduplicated ? "=" : "");
+    } else {
+      std::printf("%-13s %10s %9s %9s %6s\n", L.Name.c_str(), "-", "-",
+                  "-", L.Deduplicated ? "=" : "");
+    }
+    RR.Network.Layers.push_back(std::move(Row));
+  }
+  std::printf("network: %zu layers, %zu unique shapes",
+              R.Stats.LayersTotal, R.Stats.UniqueShapes);
+  if (R.Stats.ArchCandidates)
+    std::printf(", %u arch candidate(s)", R.Stats.ArchCandidates);
+  std::printf("\n");
+  std::printf("architecture: P=%lld PEs, R=%lld regs/PE, S=%lld SRAM "
+              "words (area %.3f mm^2)\n",
+              static_cast<long long>(R.Arch.NumPEs),
+              static_cast<long long>(R.Arch.RegWordsPerPE),
+              static_cast<long long>(R.Arch.SramWords),
+              R.Arch.areaUm2(Tech) * 1e-6);
+  std::string Partial;
+  if (!R.Found)
+    Partial = " (partial: " + std::to_string(R.LayersFound) + "/" +
+              std::to_string(R.Stats.LayersTotal) + " layers)";
+  std::printf("network totals: %.1f uJ (%.3f pJ/MAC), %.0f Kcycles, "
+              "EDP %.4g pJ*cycles%s\n",
+              R.Totals.EnergyPj * 1e-6, R.Totals.EnergyPerMacPj,
+              R.Totals.Cycles * 1e-3, R.Totals.EdpPjCycles,
+              Partial.c_str());
+  if (UseCache)
+    std::printf("cache: %llu hits, %llu misses, %llu warm starts "
+                "(THISTLE_CACHE=off disables)\n",
+                static_cast<unsigned long long>(R.Stats.CacheHits),
+                static_cast<unsigned long long>(R.Stats.CacheMisses),
+                static_cast<unsigned long long>(R.Stats.CacheWarmStarts));
+
+  if (R.LayersFound == 0) {
+    std::fprintf(stderr, "no feasible design found for any layer\n");
+    return 3;
+  }
+  int Exit = sweepExitCode(R.Report, "pair");
+  if (!R.Found) {
+    std::printf("warning: %zu of %zu layers found no design\n",
+                R.Stats.LayersTotal - R.LayersFound, R.Stats.LayersTotal);
+    Exit = 1;
+  }
+  return Exit;
+}
+
 } // namespace
 
 int main(int Argc, char **Argv) {
@@ -310,6 +423,8 @@ int main(int Argc, char **Argv) {
   ConvLayer Layer;
   bool HaveLayer = false;
   std::vector<ConvLayer> Pipeline;
+  std::vector<ConvLayer> Network;
+  std::string NetworkName;
   ThistleOptions Options;
   ArchConfig Arch = eyerissArch();
   TechParams Tech = TechParams::cgo45nm();
@@ -374,6 +489,19 @@ int main(int Argc, char **Argv) {
         return 2;
       }
       PipelineName = V;
+    } else if (Arg == "--network") {
+      std::string V = needValue();
+      if (V == "resnet18")
+        Network = resnet18NetworkLayers();
+      else if (V == "yolo9000")
+        Network = yolo9000NetworkLayers();
+      else if (V == "all")
+        Network = allNetworkLayers();
+      else {
+        std::fprintf(stderr, "error: unknown network '%s'\n", V.c_str());
+        return 2;
+      }
+      NetworkName = V;
     } else if (Arg == "--mode") {
       std::string V = needValue();
       if (V == "dataflow")
@@ -434,10 +562,16 @@ int main(int Argc, char **Argv) {
     }
   }
 
-  if (!HaveLayer && Pipeline.empty()) {
+  if (!HaveLayer && Pipeline.empty() && Network.empty()) {
     std::fprintf(stderr, "error: no workload given (--layer / --resnet / "
-                         "--yolo / --pipeline)\n");
+                         "--yolo / --pipeline / --network)\n");
     printUsage(Argv[0]);
+    return 2;
+  }
+  if (!Network.empty() && (HaveLayer || !Pipeline.empty())) {
+    std::fprintf(stderr,
+                 "error: --network excludes --layer/--resnet/--yolo/"
+                 "--pipeline\n");
     return 2;
   }
   if (Options.Mode == DesignMode::CoDesign && AreaBudget == 0.0)
@@ -454,7 +588,9 @@ int main(int Argc, char **Argv) {
 
   const auto StartTime = std::chrono::steady_clock::now();
   RunReport RR;
-  RR.Workload = !Pipeline.empty() ? "pipeline:" + PipelineName : Layer.Name;
+  RR.Workload = !Network.empty()    ? "network:" + NetworkName
+                : !Pipeline.empty() ? "pipeline:" + PipelineName
+                                    : Layer.Name;
   RR.Mode =
       Options.Mode == DesignMode::CoDesign ? "codesign" : "dataflow";
   RR.Objective = Options.Objective == SearchObjective::Energy  ? "energy"
@@ -486,6 +622,22 @@ int main(int Argc, char **Argv) {
     }
     return Exit;
   };
+
+  if (!Network.empty()) {
+    if (HierarchySpec != "classic3") {
+      std::fprintf(stderr, "error: --hierarchy works on a single layer\n");
+      return finish(2);
+    }
+    // The GP solution cache is on by default; THISTLE_CACHE=off (or 0)
+    // disables it. The optimization result is bit-identical either way
+    // (the cache replays recorded outcomes; warm starts only run where
+    // a cold solve already failed).
+    bool UseCache = true;
+    if (const char *Env = std::getenv("THISTLE_CACHE"))
+      UseCache = std::string(Env) != "off" && std::string(Env) != "0";
+    return finish(runNetwork(Network, Options, Arch, Tech, AreaBudget,
+                             UseCache, RR));
+  }
 
   if (!Pipeline.empty()) {
     if (HierarchySpec != "classic3") {
