@@ -22,13 +22,16 @@
 
 #include "ir/Builders.h"
 #include "nestmodel/Mapper.h"
+#include "support/ThreadPool.h"
 #include "thistle/Optimizer.h"
 #include "workloads/Workloads.h"
 
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
+#include <limits>
 
 namespace thistle::bench {
 
@@ -79,6 +82,38 @@ public:
 private:
   std::chrono::steady_clock::time_point Start;
 };
+
+/// True when \p Requested worker threads exceed the host's hardware
+/// concurrency: the timing would measure scheduler contention, not
+/// engine scaling. Speedup benches record this in their JSON
+/// ("oversubscribed": true) so a bogus slowdown on a small host is never
+/// mistaken for a regression.
+inline bool oversubscribed(unsigned Requested) {
+  return Requested > ThreadPool::defaultWorkerCount();
+}
+
+/// Clamps a requested worker count to the host's hardware concurrency
+/// (floor 1). Scaling measurements use the clamped count and report the
+/// request separately.
+inline unsigned clampThreads(unsigned Requested) {
+  return std::max(1u,
+                  std::min(Requested, ThreadPool::defaultWorkerCount()));
+}
+
+/// Min-of-N repetition timing: runs \p Body \p Reps times (at least
+/// once) and returns the fastest wall-clock seconds. The minimum is the
+/// robust estimator for "how fast can this go" — a one-shot timing folds
+/// scheduler noise and cold caches into the number.
+template <typename BodyFn>
+inline double minSecondsOfN(unsigned Reps, BodyFn &&Body) {
+  double Best = std::numeric_limits<double>::infinity();
+  for (unsigned R = 0; R < std::max(1u, Reps); ++R) {
+    WallTimer T;
+    Body();
+    Best = std::min(Best, T.seconds());
+  }
+  return Best;
+}
 
 /// Prints the standard bench header.
 inline void printHeader(const char *Artifact, const char *Description) {

@@ -1,6 +1,16 @@
 //===- linalg/Matrix.cpp - Dense linear algebra kernel --------------------===//
+//
+// The Matrix entry points run on the SIMD kernel layer (Kernels.h).
+// Reductions (apply, choleskySolve) use the kernels' fixed blocked
+// association order; element-wise sweeps (applyTransposed, multiply, the
+// Gauss-Jordan row updates) are bit-identical to the naive scalar loops
+// by construction.
+//
+//===----------------------------------------------------------------------===//
 
 #include "linalg/Matrix.h"
+
+#include "linalg/Kernels.h"
 
 #include <cmath>
 
@@ -16,12 +26,8 @@ Matrix Matrix::identity(std::size_t N) {
 Vector Matrix::apply(const Vector &V) const {
   assert(V.size() == NumCols && "dimension mismatch in apply");
   Vector Out(NumRows, 0.0);
-  for (std::size_t R = 0; R < NumRows; ++R) {
-    double Sum = 0.0;
-    for (std::size_t C = 0; C < NumCols; ++C)
-      Sum += at(R, C) * V[C];
-    Out[R] = Sum;
-  }
+  for (std::size_t R = 0; R < NumRows; ++R)
+    Out[R] = kernels::dot(row(R), V.data(), NumCols);
   return Out;
 }
 
@@ -29,8 +35,7 @@ Vector Matrix::applyTransposed(const Vector &V) const {
   assert(V.size() == NumRows && "dimension mismatch in applyTransposed");
   Vector Out(NumCols, 0.0);
   for (std::size_t R = 0; R < NumRows; ++R)
-    for (std::size_t C = 0; C < NumCols; ++C)
-      Out[C] += at(R, C) * V[R];
+    kernels::axpy(Out.data(), V[R], row(R), NumCols);
   return Out;
 }
 
@@ -42,8 +47,7 @@ Matrix Matrix::multiply(const Matrix &Other) const {
       double V = at(R, K);
       if (V == 0.0)
         continue;
-      for (std::size_t C = 0; C < Other.cols(); ++C)
-        Out.at(R, C) += V * Other.at(K, C);
+      kernels::axpy(Out.row(R), V, Other.row(K), Other.cols());
     }
   return Out;
 }
@@ -60,42 +64,12 @@ bool thistle::choleskySolve(Matrix A, const Vector &B, Vector &X) {
   assert(A.rows() == A.cols() && "Cholesky needs a square matrix");
   assert(B.size() == A.rows() && "right-hand side dimension mismatch");
   const std::size_t N = A.rows();
-
-  // In-place lower-triangular Cholesky factorization A = L L^T.
-  for (std::size_t J = 0; J < N; ++J) {
-    double Diag = A.at(J, J);
-    for (std::size_t K = 0; K < J; ++K)
-      Diag -= A.at(J, K) * A.at(J, K);
-    if (!(Diag > 0.0) || !std::isfinite(Diag))
-      return false;
-    double L = std::sqrt(Diag);
-    A.at(J, J) = L;
-    for (std::size_t I = J + 1; I < N; ++I) {
-      double Sum = A.at(I, J);
-      for (std::size_t K = 0; K < J; ++K)
-        Sum -= A.at(I, K) * A.at(J, K);
-      A.at(I, J) = Sum / L;
-    }
-  }
-
-  // Forward substitution L * Y = B.
-  Vector Y(N);
-  for (std::size_t I = 0; I < N; ++I) {
-    double Sum = B[I];
-    for (std::size_t K = 0; K < I; ++K)
-      Sum -= A.at(I, K) * Y[K];
-    Y[I] = Sum / A.at(I, I);
-  }
-
-  // Back substitution L^T * X = Y.
+  if (!kernels::choleskyFactor(A.data(), N))
+    return false;
   X.assign(N, 0.0);
-  for (std::size_t II = N; II > 0; --II) {
-    std::size_t I = II - 1;
-    double Sum = Y[I];
-    for (std::size_t K = I + 1; K < N; ++K)
-      Sum -= A.at(K, I) * X[K];
-    X[I] = Sum / A.at(I, I);
-  }
+  Vector Scratch(N * N);
+  kernels::choleskySubstitute(A.data(), N, B.data(), X.data(),
+                              Scratch.data());
   return true;
 }
 
@@ -129,15 +103,15 @@ void gaussJordan(Matrix &A, Vector *B, std::vector<std::size_t> &PivotCols,
       A.at(Row, C) /= Pivot;
     if (B)
       (*B)[Row] /= Pivot;
-    // Eliminate the column from every other row.
+    // Eliminate the column from every other row (element-wise axpy: the
+    // kernel result is bit-identical to the scalar update).
     for (std::size_t R = 0; R < Rows; ++R) {
       if (R == Row)
         continue;
       double Factor = A.at(R, Col);
       if (Factor == 0.0)
         continue;
-      for (std::size_t C = 0; C < Cols; ++C)
-        A.at(R, C) -= Factor * A.at(Row, C);
+      kernels::axpy(A.row(R), -Factor, A.row(Row), Cols);
       if (B)
         (*B)[R] -= Factor * (*B)[Row];
     }
@@ -196,10 +170,7 @@ bool thistle::solveParticular(const Matrix &A, const Vector &B, Vector &X,
 
 double thistle::dot(const Vector &A, const Vector &B) {
   assert(A.size() == B.size() && "dot dimension mismatch");
-  double Sum = 0.0;
-  for (std::size_t I = 0; I < A.size(); ++I)
-    Sum += A[I] * B[I];
-  return Sum;
+  return kernels::dot(A.data(), B.data(), A.size());
 }
 
 double thistle::norm2(const Vector &V) { return std::sqrt(dot(V, V)); }
@@ -207,7 +178,6 @@ double thistle::norm2(const Vector &V) { return std::sqrt(dot(V, V)); }
 Vector thistle::axpy(const Vector &A, double Scale, const Vector &B) {
   assert(A.size() == B.size() && "axpy dimension mismatch");
   Vector Out(A.size());
-  for (std::size_t I = 0; I < A.size(); ++I)
-    Out[I] = A[I] + Scale * B[I];
+  kernels::axpby(Out.data(), A.data(), Scale, B.data(), A.size());
   return Out;
 }

@@ -10,8 +10,11 @@
 /// null-space computation (via Gauss-Jordan elimination) used to eliminate
 /// the monomial equality constraints of a GP in log space.
 ///
-/// The problems solved here are tiny (tens of variables), so simplicity and
-/// numerical robustness are preferred over asymptotic performance.
+/// The problems solved here are small (tens of variables) but sit on the
+/// hot path of every co-design query, so the implementations run on the
+/// portable SIMD kernel layer (linalg/Kernels.h) with its fixed
+/// blocking/association order: results are bit-identical across every
+/// `THISTLE_SIMD` setting (see docs/PERF.md).
 ///
 //===----------------------------------------------------------------------===//
 
@@ -44,6 +47,28 @@ public:
   double at(std::size_t R, std::size_t C) const {
     assert(R < NumRows && C < NumCols && "matrix index out of range");
     return Data[R * NumCols + C];
+  }
+
+  /// Raw row-major storage (for the kernel layer, linalg/Kernels.h).
+  double *data() { return Data.data(); }
+  const double *data() const { return Data.data(); }
+
+  /// Pointer to the start of row \p R.
+  double *row(std::size_t R) {
+    assert(R < NumRows && "matrix row out of range");
+    return Data.data() + R * NumCols;
+  }
+  const double *row(std::size_t R) const {
+    assert(R < NumRows && "matrix row out of range");
+    return Data.data() + R * NumCols;
+  }
+
+  /// Re-shapes to \p Rows x \p Cols and zero-fills, reusing the existing
+  /// allocation when large enough (hot-loop scratch reuse).
+  void reset(std::size_t Rows, std::size_t Cols) {
+    NumRows = Rows;
+    NumCols = Cols;
+    Data.assign(Rows * Cols, 0.0);
   }
 
   /// Returns an identity matrix of size \p N.

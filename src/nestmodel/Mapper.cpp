@@ -300,6 +300,18 @@ MultiMapperResult thistle::searchMultiMappings(const Problem &Prob,
   const unsigned RoundSize = std::max(1u, Options.TrialsPerRound);
   std::vector<SlotOutcome> Slots;
 
+  // Adaptive grain: trials are microseconds each, so per-worker sharding
+  // of a 64-trial round can spend more time on dispatch barriers than on
+  // work (negative scaling under oversubscription). Each round is timed
+  // and the next round's grain chosen so every shard carries at least
+  // TargetShardSeconds of trials; rounds below one shard's worth run
+  // inline on the calling thread. Grain only changes how slots are
+  // packed into pool tasks — slot seeds, evaluation, and the slot-order
+  // reduction are untouched, so the search result is bit-identical for
+  // every grain and thread count.
+  constexpr double TargetShardSeconds = 200e-6;
+  std::size_t Grain = 1;
+
   telemetry::beginEpoch();
   telemetry::TraceScope SearchSpan("mapper.search");
   unsigned Rounds = 0;
@@ -321,9 +333,25 @@ MultiMapperResult thistle::searchMultiMappings(const Problem &Prob,
     // so the round is the mapper's deterministic trace granularity.
     telemetry::TraceScope RoundSpan("mapper.round", Round);
     ++Rounds;
-    parallelFor(Pool, Batch, [&](std::size_t Slot, unsigned) {
-      runSlot(Slots[Slot], Round, static_cast<unsigned>(Slot));
-    });
+    const auto RoundStart = std::chrono::steady_clock::now();
+    parallelFor(
+        Pool, Batch,
+        [&](std::size_t Slot, unsigned) {
+          runSlot(Slots[Slot], Round, static_cast<unsigned>(Slot));
+        },
+        Grain);
+    const double RoundSeconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      RoundStart)
+            .count();
+    if (RoundSeconds > 0.0) {
+      const double PerTrial = RoundSeconds / Batch;
+      const double Want = TargetShardSeconds / PerTrial;
+      Grain = Want >= 1.0
+                  ? std::min<std::size_t>(static_cast<std::size_t>(Want),
+                                          std::size_t(1) << 20)
+                  : 1;
+    }
     SlotsIssued += Batch;
 
     // Round-boundary reduction: all victory-condition and annealing

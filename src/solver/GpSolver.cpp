@@ -1,7 +1,19 @@
 //===- solver/GpSolver.cpp - Interior-point GP solver ---------------------===//
+//
+// The barrier-Newton inner loops (log-sum-exp value/gradient/Hessian
+// assembly, the regularized Newton solve, the backtracking line search)
+// run on the SIMD kernel layer (linalg/Kernels.h): LSE exponent rows are
+// stored as one contiguous matrix, per-iteration buffers live in a
+// SolverScratch that is reused across the whole solve, and the Newton
+// regularization ladder factors four lambda rungs per lane-batched
+// Cholesky call. Results are bit-identical across every THISTLE_SIMD
+// setting (see docs/PERF.md).
+//
+//===----------------------------------------------------------------------===//
 
 #include "solver/GpSolver.h"
 
+#include "linalg/Kernels.h"
 #include "linalg/Matrix.h"
 #include "support/FaultInjection.h"
 #include "support/Telemetry.h"
@@ -27,55 +39,50 @@ bool allFinite(const Vector &V) {
 /// A log-sum-exp function over the reduced variables z:
 ///   F(z) = log sum_k exp(A_k . z + B_k).
 /// Precompiled from a posynomial after the y = y0 + Z z substitution.
+/// The exponent rows A_k are one contiguous K x Reduced matrix so the
+/// kernels stream them without pointer chasing.
 struct LseFunction {
-  std::vector<Vector> Rows; ///< A_k, each of reduced dimension.
-  Vector Offsets;           ///< B_k.
+  Matrix Rows;    ///< K x Reduced exponent rows A_k.
+  Vector Offsets; ///< B_k.
 
-  std::size_t numTerms() const { return Rows.size(); }
+  std::size_t numTerms() const { return Rows.rows(); }
 
-  /// Value only.
-  double value(const Vector &Z) const {
+  /// Value only. \p E is exponent scratch, resized to the term count.
+  double value(const Vector &Z, Vector &E) const {
+    const std::size_t K = Rows.rows(), N = Rows.cols();
+    assert(Z.size() == N && "LSE evaluated at the wrong dimension");
+    E.resize(K);
     double Max = -std::numeric_limits<double>::infinity();
-    for (std::size_t K = 0; K < Rows.size(); ++K)
-      Max = std::max(Max, dot(Rows[K], Z) + Offsets[K]);
-    double Sum = 0.0;
-    for (std::size_t K = 0; K < Rows.size(); ++K)
-      Sum += std::exp(dot(Rows[K], Z) + Offsets[K] - Max);
+    for (std::size_t T = 0; T < K; ++T) {
+      E[T] = kernels::dot(Rows.row(T), Z.data(), N) + Offsets[T];
+      Max = std::max(Max, E[T]);
+    }
+    double Sum = kernels::expAccum(E.data(), K, Max);
     return Max + std::log(Sum);
   }
 
   /// Value, gradient, and (optionally) Hessian. The Hessian of a
   /// log-sum-exp is sum_k w_k a_k a_k^T - g g^T with softmax weights w.
-  double valueGradHess(const Vector &Z, Vector &Grad, Matrix *Hess) const {
-    const std::size_t N = Z.size();
-    std::vector<double> Exponents(Rows.size());
+  /// \p E is exponent scratch; \p Grad / \p Hess are overwritten.
+  double valueGradHess(const Vector &Z, Vector &Grad, Matrix *Hess,
+                       Vector &E) const {
+    const std::size_t K = Rows.rows(), N = Rows.cols();
+    assert(Z.size() == N && "LSE evaluated at the wrong dimension");
+    E.resize(K);
     double Max = -std::numeric_limits<double>::infinity();
-    for (std::size_t K = 0; K < Rows.size(); ++K) {
-      Exponents[K] = dot(Rows[K], Z) + Offsets[K];
-      Max = std::max(Max, Exponents[K]);
+    for (std::size_t T = 0; T < K; ++T) {
+      E[T] = kernels::dot(Rows.row(T), Z.data(), N) + Offsets[T];
+      Max = std::max(Max, E[T]);
     }
-    double Sum = 0.0;
-    for (double &E : Exponents) {
-      E = std::exp(E - Max);
-      Sum += E;
-    }
+    double Sum = kernels::expAccum(E.data(), K, Max);
     Grad.assign(N, 0.0);
-    for (std::size_t K = 0; K < Rows.size(); ++K) {
-      double W = Exponents[K] / Sum;
-      for (std::size_t I = 0; I < N; ++I)
-        Grad[I] += W * Rows[K][I];
-    }
+    for (std::size_t T = 0; T < K; ++T)
+      kernels::axpy(Grad.data(), E[T] / Sum, Rows.row(T), N);
     if (Hess) {
-      *Hess = Matrix(N, N);
-      for (std::size_t K = 0; K < Rows.size(); ++K) {
-        double W = Exponents[K] / Sum;
-        for (std::size_t I = 0; I < N; ++I)
-          for (std::size_t J = 0; J < N; ++J)
-            Hess->at(I, J) += W * Rows[K][I] * Rows[K][J];
-      }
-      for (std::size_t I = 0; I < N; ++I)
-        for (std::size_t J = 0; J < N; ++J)
-          Hess->at(I, J) -= Grad[I] * Grad[J];
+      Hess->reset(N, N);
+      for (std::size_t T = 0; T < K; ++T)
+        kernels::gramAccum(Hess->data(), Rows.row(T), E[T] / Sum, N);
+      kernels::rank1Sub(Hess->data(), Grad.data(), N);
     }
     return Max + std::log(Sum);
   }
@@ -86,23 +93,44 @@ LseFunction compileLse(const Posynomial &Posy, const VarTable &Vars,
                        const Vector &Y0, const Matrix &Z) {
   assert(Posy.isPosynomial() && "log transform requires a posynomial");
   const std::size_t Reduced = Z.cols();
+  const auto &Monomials = Posy.monomials();
   LseFunction Lse;
-  for (const Monomial &M : Posy.monomials()) {
+  Lse.Rows = Matrix(Monomials.size(), Reduced);
+  Lse.Offsets.assign(Monomials.size(), 0.0);
+  Vector A(Vars.size(), 0.0);
+  for (std::size_t K = 0; K < Monomials.size(); ++K) {
+    const Monomial &M = Monomials[K];
     // Full-space exponent vector a over y.
-    Vector A(Vars.size(), 0.0);
+    std::fill(A.begin(), A.end(), 0.0);
     for (const Monomial::Term &T : M.terms())
       A[T.Var] = T.Exp;
     // Reduced row a' = Z^T a and offset b' = ln c + a . y0.
-    Vector Row(Reduced, 0.0);
+    double *Row = Lse.Rows.row(K);
     for (std::size_t I = 0; I < Vars.size(); ++I)
       if (A[I] != 0.0)
-        for (std::size_t J = 0; J < Reduced; ++J)
-          Row[J] += A[I] * Z.at(I, J);
-    Lse.Rows.push_back(std::move(Row));
-    Lse.Offsets.push_back(std::log(M.coefficient()) + dot(A, Y0));
+        kernels::axpy(Row, A[I], Z.row(I), Reduced);
+    Lse.Offsets[K] = std::log(M.coefficient()) + dot(A, Y0);
   }
   return Lse;
 }
+
+/// Per-solve scratch: every buffer the barrier-Newton loops need, sized
+/// once and reused so the hot path performs no per-iteration heap
+/// allocation. A4/B4/X4/S4 are the lane-interleaved SoA buffers of the
+/// batched Cholesky (kernels::choleskySolveBatch4).
+struct SolverScratch {
+  Vector E;              ///< LSE exponent buffer.
+  Vector Gz;             ///< Objective/constraint gradient.
+  Matrix Hz;             ///< Objective/constraint Hessian.
+  Vector Gw;             ///< Phase-one gradient with the slack lane.
+  Vector Zs;             ///< Phase-one slice of W (drops the slack).
+  Vector Grad;           ///< Barrier gradient.
+  Matrix Hess;           ///< Barrier Hessian.
+  Vector NegGrad;        ///< Newton right-hand side.
+  Vector Step;           ///< Newton direction.
+  Vector Trial;          ///< Line-search trial point.
+  Vector A4, B4, X4, S4; ///< Batched-Cholesky lane-interleaved buffers.
+};
 
 /// Barrier-method state shared by the two phases.
 struct BarrierContext {
@@ -129,91 +157,103 @@ public:
   }
 
   /// Constraint value G_i(W) (including the -s offset in phase one).
-  double constraintValue(std::size_t I, const Vector &W) const {
-    if (!PhaseOne)
-      return Ctx.Constraints[I].value(W);
-    Vector Z(W.begin(), W.end() - 1);
-    return Ctx.Constraints[I].value(Z) - W.back();
+  double constraintValue(std::size_t I, const Vector &W,
+                         SolverScratch &S) const {
+    double G = Ctx.Constraints[I].value(sliceW(W, S), S.E);
+    return PhaseOne ? G - W.back() : G;
   }
 
   /// True if every constraint is strictly negative at W.
-  bool strictlyFeasible(const Vector &W) const {
-    for (std::size_t I = 0; I < Ctx.Constraints.size(); ++I)
-      if (constraintValue(I, W) >= 0.0)
+  bool strictlyFeasible(const Vector &W, SolverScratch &S) const {
+    const Vector &Z = sliceW(W, S);
+    for (const LseFunction &C : Ctx.Constraints) {
+      double G = C.value(Z, S.E);
+      if (PhaseOne)
+        G -= W.back();
+      if (G >= 0.0)
         return false;
+    }
     return true;
   }
 
   /// Phase objective value (no barrier).
-  double objectiveValue(const Vector &W) const {
+  double objectiveValue(const Vector &W, SolverScratch &S) const {
     if (PhaseOne)
       return W.back();
-    return Ctx.Objective.value(W);
+    return Ctx.Objective.value(W, S.E);
   }
 
   /// Full barrier objective T*f + Phi; +inf outside the domain.
-  double barrierValue(double T, const Vector &W) const {
+  double barrierValue(double T, const Vector &W, SolverScratch &S) const {
     double Phi = 0.0;
-    for (std::size_t I = 0; I < Ctx.Constraints.size(); ++I) {
-      double G = constraintValue(I, W);
+    const Vector &Z = sliceW(W, S);
+    for (const LseFunction &C : Ctx.Constraints) {
+      double G = C.value(Z, S.E);
+      if (PhaseOne)
+        G -= W.back();
       if (G >= 0.0)
         return std::numeric_limits<double>::infinity();
       Phi -= std::log(-G);
     }
-    return T * objectiveValue(W) + Phi;
+    return T * objectiveValue(W, S) + Phi;
   }
 
   /// Gradient and Hessian of the barrier objective at strictly feasible W.
+  /// \p Grad / \p Hess are overwritten; the remaining scratch buffers of
+  /// \p S (E, Gz, Hz, Gw, Zs) are clobbered.
   void barrierDerivatives(double T, const Vector &W, Vector &Grad,
-                          Matrix &Hess) const {
+                          Matrix &Hess, SolverScratch &S) const {
     const std::size_t N = W.size();
     Grad.assign(N, 0.0);
-    Hess = Matrix(N, N);
+    Hess.reset(N, N);
 
     // Objective part.
     if (PhaseOne) {
       Grad[N - 1] += T;
     } else {
-      Vector G0;
-      Matrix H0;
-      Ctx.Objective.valueGradHess(W, G0, &H0);
-      for (std::size_t I = 0; I < N; ++I) {
-        Grad[I] += T * G0[I];
-        for (std::size_t J = 0; J < N; ++J)
-          Hess.at(I, J) += T * H0.at(I, J);
-      }
+      Ctx.Objective.valueGradHess(W, S.Gz, &S.Hz, S.E);
+      kernels::axpy(Grad.data(), T, S.Gz.data(), N);
+      kernels::axpy(Hess.data(), T, S.Hz.data(), N * N);
     }
 
     // Barrier part: -sum log(-G_i).
-    Vector Z = PhaseOne ? Vector(W.begin(), W.end() - 1) : W;
+    const Vector &Z = sliceW(W, S);
+    const std::size_t Nz = Z.size();
     for (const LseFunction &C : Ctx.Constraints) {
-      Vector Gz;
-      Matrix Hz;
-      double Gv = C.valueGradHess(Z, Gz, &Hz);
-      // Extend gradient/Hessian with the slack coordinate in phase one.
-      Vector Gw(N, 0.0);
-      for (std::size_t I = 0; I < Gz.size(); ++I)
-        Gw[I] = Gz[I];
+      double Gv = C.valueGradHess(Z, S.Gz, &S.Hz, S.E);
+      // Extend the gradient with the slack coordinate in phase one.
+      const double *Gw = S.Gz.data();
       if (PhaseOne) {
         Gv -= W.back();
-        Gw[N - 1] = -1.0;
+        S.Gw.resize(N);
+        std::copy(S.Gz.begin(), S.Gz.end(), S.Gw.begin());
+        S.Gw[N - 1] = -1.0;
+        Gw = S.Gw.data();
       }
       assert(Gv < 0.0 && "barrier derivative requested outside the domain");
-      double Inv = -1.0 / Gv;        // 1 / (-G) > 0.
+      double Inv = -1.0 / Gv; // 1 / (-G) > 0.
       double InvSq = Inv * Inv;
-      for (std::size_t I = 0; I < N; ++I) {
-        Grad[I] += Inv * Gw[I];
-        for (std::size_t J = 0; J < N; ++J)
-          Hess.at(I, J) += InvSq * Gw[I] * Gw[J];
-      }
+      kernels::axpy(Grad.data(), Inv, Gw, N);
+      kernels::gramAccum(Hess.data(), Gw, InvSq, N);
       // Constraint curvature: (1/-G) * Hess(G); slack has no curvature.
-      for (std::size_t I = 0; I < Hz.rows(); ++I)
-        for (std::size_t J = 0; J < Hz.cols(); ++J)
-          Hess.at(I, J) += Inv * Hz.at(I, J);
+      if (Nz == N)
+        kernels::axpy(Hess.data(), Inv, S.Hz.data(), N * N);
+      else
+        for (std::size_t I = 0; I < Nz; ++I)
+          kernels::axpy(Hess.row(I), Inv, S.Hz.row(I), Nz);
     }
   }
 
 private:
+  /// The constraint-space point: W itself in phase two, W minus the
+  /// trailing slack in phase one (copied into the S.Zs scratch).
+  const Vector &sliceW(const Vector &W, SolverScratch &S) const {
+    if (!PhaseOne)
+      return W;
+    S.Zs.assign(W.begin(), W.end() - 1);
+    return S.Zs;
+  }
+
   const BarrierContext &Ctx;
   bool PhaseOne;
 };
@@ -221,40 +261,73 @@ private:
 /// Damped-Newton minimization of the barrier objective at fixed T.
 /// Returns false on numerical breakdown. \p EarlyExit, when non-null,
 /// stops as soon as it returns true (used by phase one once s < 0).
+///
+/// The regularization ladder (12 rungs lambda = 1e-10 * 100^r) runs four
+/// rungs per lane-batched Cholesky call: the Hessian is broadcast into
+/// the four SIMD lanes with a different diagonal shift each, and the
+/// lowest-lambda lane that factors wins — exactly the rung the
+/// sequential ladder would have picked, at a quarter of the kernel
+/// invocations (and with the typical all-rungs-fail-until-late Hessian
+/// resolved in one or two calls instead of up to twelve).
 bool centerNewton(const CenteringProblem &Prob, double T, Vector &W,
                   unsigned MaxIters, unsigned &IterCounter,
-                  bool (*EarlyExit)(const Vector &)) {
+                  bool (*EarlyExit)(const Vector &), SolverScratch &S) {
   for (unsigned Iter = 0; Iter < MaxIters; ++Iter) {
     if (EarlyExit && EarlyExit(W))
       return true;
-    Vector Grad;
-    Matrix Hess;
-    Prob.barrierDerivatives(T, W, Grad, Hess);
+    Prob.barrierDerivatives(T, W, S.Grad, S.Hess, S);
     ++IterCounter;
     if (fault::shouldFail("solver.nan-grad"))
-      Grad[0] = std::numeric_limits<double>::quiet_NaN();
-    if (!allFinite(Grad))
+      S.Grad[0] = std::numeric_limits<double>::quiet_NaN();
+    if (!allFinite(S.Grad))
       return false;
 
-    // Regularized Newton direction.
-    Vector Step;
-    double Lambda = 1e-10;
+    const std::size_t N = W.size();
+    S.NegGrad.resize(N);
+    for (std::size_t I = 0; I < N; ++I)
+      S.NegGrad[I] = -S.Grad[I];
+
+    // Regularized Newton direction via the batched ladder.
+    S.A4.resize(N * N * 4);
+    S.B4.resize(N * 4);
+    S.X4.resize(N * 4);
+    S.S4.resize(N * N * 4);
+    S.Step.resize(N);
     bool Solved = false;
-    for (int Attempt = 0; Attempt < 12 && !Solved; ++Attempt) {
-      Matrix Reg = Hess;
-      for (std::size_t I = 0; I < Reg.rows(); ++I)
-        Reg.at(I, I) += Lambda;
-      Vector NegGrad(Grad.size());
-      for (std::size_t I = 0; I < Grad.size(); ++I)
-        NegGrad[I] = -Grad[I];
-      Solved = choleskySolve(Reg, NegGrad, Step);
-      Lambda *= 100.0;
+    double BatchLambda = 1e-10;
+    for (int Batch = 0; Batch < 3 && !Solved; ++Batch) {
+      const double *H = S.Hess.data();
+      for (std::size_t I = 0; I < N * N; ++I) {
+        double V = H[I];
+        double *Slot = &S.A4[I * 4];
+        Slot[0] = Slot[1] = Slot[2] = Slot[3] = V;
+      }
+      for (std::size_t I = 0; I < N; ++I) {
+        double *Diag = &S.A4[(I * N + I) * 4];
+        double Lambda = BatchLambda;
+        for (int R = 0; R < 4; ++R) {
+          Diag[R] += Lambda;
+          Lambda *= 100.0;
+        }
+        double *Rhs = &S.B4[I * 4];
+        Rhs[0] = Rhs[1] = Rhs[2] = Rhs[3] = S.NegGrad[I];
+      }
+      kernels::CholeskyBatch4Ok Ok = kernels::choleskySolveBatch4(
+          S.A4.data(), S.B4.data(), S.X4.data(), N, S.S4.data());
+      for (int R = 0; R < 4 && !Solved; ++R) {
+        if (!Ok.Ok[R])
+          continue;
+        for (std::size_t I = 0; I < N; ++I)
+          S.Step[I] = S.X4[I * 4 + R];
+        Solved = true;
+      }
+      BatchLambda *= 1e8; // 100^4: the next four rungs.
     }
     if (!Solved)
       return false;
 
     // Newton decrement as a stopping test.
-    double Decrement = -dot(Grad, Step);
+    double Decrement = -kernels::dot(S.Grad.data(), S.Step.data(), N);
     if (!std::isfinite(Decrement))
       return false;
     if (Decrement < 0.0)
@@ -263,14 +336,15 @@ bool centerNewton(const CenteringProblem &Prob, double T, Vector &W,
       return true;
 
     // Backtracking line search with domain (feasibility) check.
-    double Base = Prob.barrierValue(T, W);
+    double Base = Prob.barrierValue(T, W, S);
     double Alpha = 1.0;
     bool Accepted = false;
+    S.Trial.resize(N);
     for (int LsIter = 0; LsIter < 60; ++LsIter) {
-      Vector Trial = axpy(W, Alpha, Step);
-      double Val = Prob.barrierValue(T, Trial);
+      kernels::axpby(S.Trial.data(), W.data(), Alpha, S.Step.data(), N);
+      double Val = Prob.barrierValue(T, S.Trial, S);
       if (Val <= Base - 1e-4 * Alpha * Decrement) {
-        W = std::move(Trial);
+        W.swap(S.Trial);
         Accepted = true;
         break;
       }
@@ -378,13 +452,14 @@ GpSolution solveGpImpl(const GpProblem &Problem,
   };
 
   // ---- Phase I: find a strictly feasible point if needed.
+  SolverScratch Scratch;
   CenteringProblem PhaseTwo(Ctx, /*PhaseOne=*/false);
-  if (!Ctx.Constraints.empty() && !PhaseTwo.strictlyFeasible(ZVec)) {
+  if (!Ctx.Constraints.empty() && !PhaseTwo.strictlyFeasible(ZVec, Scratch)) {
     telemetry::count("solver.phase1.runs");
     CenteringProblem PhaseOne(Ctx, /*PhaseOne=*/true);
     double MaxG = -std::numeric_limits<double>::infinity();
     for (const LseFunction &C : Ctx.Constraints)
-      MaxG = std::max(MaxG, C.value(ZVec));
+      MaxG = std::max(MaxG, C.value(ZVec, Scratch.E));
     Vector W = ZVec;
     W.push_back(MaxG + 1.0); // Strictly feasible for G_i - s < 0.
 
@@ -392,7 +467,8 @@ GpSolution solveGpImpl(const GpProblem &Problem,
     double T = Options.TInitial;
     for (unsigned Outer = 0; Outer < Options.MaxOuterIters; ++Outer) {
       if (!centerNewton(PhaseOne, T, W, Options.MaxNewtonIters,
-                        Solution.NewtonIterations, +FoundInterior)) {
+                        Solution.NewtonIterations, +FoundInterior,
+                        Scratch)) {
         Solution.Failure = "numerical breakdown in phase I";
         Solution.Outcome = SolveOutcome::NumericalBreakdown;
         return Solution;
@@ -408,7 +484,8 @@ GpSolution solveGpImpl(const GpProblem &Problem,
     }
     ZVec.assign(W.begin(), W.end() - 1);
     // The phase-I point satisfies G_i < s < 0, hence strictly feasible.
-    assert(PhaseTwo.strictlyFeasible(ZVec) && "phase I postcondition");
+    assert(PhaseTwo.strictlyFeasible(ZVec, Scratch) &&
+           "phase I postcondition");
   }
   Solution.Feasible = true;
 
@@ -420,7 +497,7 @@ GpSolution solveGpImpl(const GpProblem &Problem,
   for (unsigned Outer = 0; Outer < Options.MaxOuterIters; ++Outer) {
     ++OuterIters;
     if (!centerNewton(PhaseTwo, T, ZVec, Options.MaxNewtonIters,
-                      Solution.NewtonIterations, nullptr)) {
+                      Solution.NewtonIterations, nullptr, Scratch)) {
       Solution.Failure = "numerical breakdown in phase II";
       Solution.Outcome = SolveOutcome::NumericalBreakdown;
       Solution.Values = recoverX(ZVec);

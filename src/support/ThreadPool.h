@@ -73,20 +73,39 @@ shardRange(std::size_t N, unsigned NumShards, unsigned Shard) {
   return {N * Shard / NumShards, N * (Shard + 1) / NumShards};
 }
 
+/// Number of shards [0, N) is split into: one per worker, but never more
+/// than N and never so many that a shard would hold fewer than \p Grain
+/// items. Grain <= 1 disables the floor (pure per-worker sharding).
+inline unsigned numShardsFor(std::size_t N, unsigned Workers,
+                             std::size_t Grain) {
+  if (N == 0)
+    return 0;
+  std::size_t Shards = std::min<std::size_t>(Workers, N);
+  if (Grain > 1)
+    Shards = std::min(Shards, std::max<std::size_t>(N / Grain, 1));
+  return static_cast<unsigned>(std::max<std::size_t>(Shards, 1));
+}
+
 } // namespace detail
 
 /// Runs `Body(Index, Shard)` for every Index in [0, N), partitioned into
-/// min(Pool.numWorkers(), N) contiguous shards, and blocks until all shards
-/// finish. Shard identity depends only on (N, worker count), so per-shard
-/// scratch indexed by the Shard argument is race-free. If shards throw, the
-/// exception of the lowest-numbered failing shard is rethrown once every
-/// shard has finished, so failure is as deterministic as success.
+/// contiguous shards (one per worker, capped so each shard holds at least
+/// \p Grain items), and blocks until all shards finish. A grain above 1
+/// batches small work items so per-task dispatch overhead is amortized —
+/// essential when items are microseconds each. Shard identity depends
+/// only on (N, worker count, grain), so per-shard scratch indexed by the
+/// Shard argument is race-free; callers that need results independent of
+/// the shard count must keep their combine logic associative exactly as
+/// for worker-count independence. If shards throw, the exception of the
+/// lowest-numbered failing shard is rethrown once every shard has
+/// finished, so failure is as deterministic as success.
 template <typename BodyFn>
-void parallelFor(ThreadPool &Pool, std::size_t N, BodyFn &&Body) {
+void parallelFor(ThreadPool &Pool, std::size_t N, BodyFn &&Body,
+                 std::size_t Grain = 1) {
   if (N == 0)
     return;
-  const unsigned NumShards = static_cast<unsigned>(
-      std::min<std::size_t>(Pool.numWorkers(), N));
+  const unsigned NumShards =
+      detail::numShardsFor(N, Pool.numWorkers(), Grain);
   if (NumShards <= 1) {
     for (std::size_t I = 0; I < N; ++I)
       Body(I, 0u);
@@ -127,19 +146,23 @@ void parallelFor(ThreadPool &Pool, std::size_t N, BodyFn &&Body) {
 /// Folds [0, N) into per-shard copies of \p Init via `Fold(Local, Index)`
 /// and merges them in ascending shard order with `Join(Acc, std::move(
 /// Local))` on the calling thread. Shard boundaries vary with the worker
-/// count, so \p Join must be associative for the result to be independent
-/// of it; sums, minima, and tie-broken arg-minima all qualify.
+/// count (and with \p Grain, see parallelFor), so \p Join must be
+/// associative for the result to be independent of them; sums, minima,
+/// and tie-broken arg-minima all qualify.
 template <typename AccT, typename FoldFn, typename JoinFn>
 AccT parallelReduce(ThreadPool &Pool, std::size_t N, AccT Init,
-                    FoldFn &&Fold, JoinFn &&Join) {
+                    FoldFn &&Fold, JoinFn &&Join, std::size_t Grain = 1) {
   if (N == 0)
     return Init;
-  const unsigned NumShards = static_cast<unsigned>(
-      std::min<std::size_t>(Pool.numWorkers(), N));
+  const unsigned NumShards =
+      detail::numShardsFor(N, Pool.numWorkers(), Grain);
   std::vector<AccT> Locals(NumShards, Init);
-  parallelFor(Pool, N, [&Locals, &Fold](std::size_t I, unsigned Shard) {
-    Fold(Locals[Shard], I);
-  });
+  parallelFor(
+      Pool, N,
+      [&Locals, &Fold](std::size_t I, unsigned Shard) {
+        Fold(Locals[Shard], I);
+      },
+      Grain);
   AccT Result = std::move(Locals[0]);
   for (unsigned Shard = 1; Shard < NumShards; ++Shard)
     Join(Result, std::move(Locals[Shard]));
