@@ -184,6 +184,7 @@ bool resolveDeadline(std::chrono::milliseconds Relative,
 MultiResult thistle::optimizeHierarchy(const Problem &Prob,
                                        const Hierarchy &H,
                                        const MultiOptions &Options) {
+  const CostEvaluator &Evaluator = resolveCostEvaluator(Options.Evaluator);
   {
     MultiResult Invalid;
     std::string HierErr = H.validate();
@@ -529,7 +530,7 @@ MultiResult thistle::optimizeHierarchy(const Problem &Prob,
           ++Tried;
           if (Map.numPEsUsed() > Hc.NumPEs)
             continue;
-          MultiEvalResult Eval = evaluateMultiMapping(Prob, Hc, Map);
+          MultiEvalResult Eval = Evaluator.evaluate(Prob, Hc, Map);
           if (!Eval.Legal)
             continue;
           double Obj = objectiveValue(Eval, Options.Objective);

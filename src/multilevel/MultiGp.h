@@ -19,6 +19,7 @@
 #define THISTLE_MULTILEVEL_MULTIGP_H
 
 #include "multilevel/MultiNestAnalysis.h"
+#include "nestmodel/CostEvaluator.h"
 #include "nestmodel/Objective.h"
 #include "solver/GpSolver.h"
 #include "support/Status.h"
@@ -65,6 +66,10 @@ struct MultiOptions {
   std::chrono::milliseconds Deadline{0};
   /// Absolute deadline (steady clock); overrides Deadline when set.
   std::chrono::steady_clock::time_point DeadlineAt{};
+  /// Cost-model backend scoring the rounded integer candidates; null
+  /// selects the nest model (bit-identical to the pre-interface
+  /// behavior). Must be thread-safe: combos evaluate concurrently.
+  const CostEvaluator *Evaluator = nullptr;
 };
 
 /// Best multilevel design found.

@@ -6,6 +6,7 @@
 #include <cassert>
 #include <optional>
 #include <sstream>
+#include <utility>
 
 using namespace thistle;
 
@@ -133,8 +134,14 @@ MultiProfile thistle::analyzeMultiNest(const Problem &Prob,
 MultiEvalResult thistle::evaluateMultiMapping(const Problem &Prob,
                                               const Hierarchy &H,
                                               const MultiMapping &Map) {
+  return priceMultiProfile(Prob, H, analyzeMultiNest(Prob, H, Map));
+}
+
+MultiEvalResult thistle::priceMultiProfile(const Problem &Prob,
+                                           const Hierarchy &H,
+                                           MultiProfile Profile) {
   MultiEvalResult Result;
-  Result.Profile = analyzeMultiNest(Prob, H, Map);
+  Result.Profile = std::move(Profile);
   const MultiProfile &P = Result.Profile;
 
   Result.Legal = true;

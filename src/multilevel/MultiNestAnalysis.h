@@ -91,6 +91,15 @@ struct MultiEvalResult {
 MultiEvalResult evaluateMultiMapping(const Problem &Prob, const Hierarchy &H,
                                      const MultiMapping &Map);
 
+/// Prices an access-count profile: legality against the level capacities
+/// and PE count, the Eq. 3 energy decomposition and the Eq. 5/section V-B
+/// delay decomposition. This is the backend-neutral half of
+/// evaluateMultiMapping — every CostEvaluator backend produces a
+/// MultiProfile its own way and shares this pricing, so two backends that
+/// agree on counts agree on energy/delay bit for bit.
+MultiEvalResult priceMultiProfile(const Problem &Prob, const Hierarchy &H,
+                                  MultiProfile Profile);
+
 } // namespace thistle
 
 #endif // THISTLE_MULTILEVEL_MULTINESTANALYSIS_H

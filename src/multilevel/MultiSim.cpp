@@ -5,6 +5,7 @@
 #include "sim/TileWalk.h"
 
 #include <cassert>
+#include <utility>
 
 using namespace thistle;
 using namespace thistle::simdetail;
@@ -117,4 +118,20 @@ MultiSimResult thistle::simulateMultiNest(const Problem &Prob,
     }
   }
   return Result;
+}
+
+MultiProfile thistle::simulateMultiNestProfile(const Problem &Prob,
+                                               const Hierarchy &H,
+                                               const MultiMapping &Map) {
+  MultiSimResult Sim = simulateMultiNest(Prob, H, Map);
+  MultiProfile Profile;
+  Profile.Words = std::move(Sim.Words);
+  Profile.Occupancy.assign(H.numLevels(), 0);
+  for (unsigned Lv = 0; Lv < H.numLevels(); ++Lv) {
+    std::vector<std::int64_t> Extents = Map.tileExtents(H, Lv);
+    for (const Tensor &T : Prob.tensors())
+      Profile.Occupancy[Lv] += T.footprintWords(Extents);
+  }
+  Profile.PEsUsed = Map.numPEsUsed();
+  return Profile;
 }

@@ -18,6 +18,7 @@
 #define THISTLE_MULTILEVEL_MULTISIM_H
 
 #include "multilevel/MultiMapping.h"
+#include "multilevel/MultiNestAnalysis.h"
 
 #include <cstdint>
 #include <vector>
@@ -38,6 +39,14 @@ struct MultiSimResult {
 /// Simulates \p Map on \p H; cost proportional to the total tile steps.
 MultiSimResult simulateMultiNest(const Problem &Prob, const Hierarchy &H,
                                  const MultiMapping &Map);
+
+/// Ground truth in the analytical MultiProfile shape: per-boundary words
+/// from the executable walk, occupancy and PEs from the mapping geometry.
+/// CostEvaluator backends are diffed against this field by field (the
+/// exact-count fields must match every backend exactly; see
+/// docs/EVALUATOR.md). Same cost caveat as simulateMultiNest.
+MultiProfile simulateMultiNestProfile(const Problem &Prob, const Hierarchy &H,
+                                      const MultiMapping &Map);
 
 } // namespace thistle
 

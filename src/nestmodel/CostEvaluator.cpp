@@ -1,0 +1,158 @@
+//===- nestmodel/CostEvaluator.cpp - Pluggable evaluator backends ---------===//
+//
+// Interface plumbing only: the nest backend delegates to the existing
+// analyzeMultiNest walk and the shared priceMultiProfile pricing, so the
+// default path computes exactly what evaluateMultiMapping always did.
+// The registry is a function-local static map (no static-initialization
+// order hazards in the static-library build) seeded with the two in-tree
+// backends on first use.
+//
+//===----------------------------------------------------------------------===//
+
+#include "nestmodel/CostEvaluator.h"
+
+#include "nestmodel/MaestroModel.h"
+#include "support/Telemetry.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <utility>
+
+using namespace thistle;
+
+CostEvaluator::~CostEvaluator() = default;
+
+MultiEvalResult CostEvaluator::evaluate(const Problem &Prob,
+                                        const Hierarchy &H,
+                                        const MultiMapping &Map) const {
+  if (telemetry::metricsEnabled())
+    telemetry::count("thistle.evaluator.evals");
+  return priceMultiProfile(Prob, H, profile(Prob, H, Map));
+}
+
+MultiProfile NestCostEvaluator::profile(const Problem &Prob,
+                                        const Hierarchy &H,
+                                        const MultiMapping &Map) const {
+  return analyzeMultiNest(Prob, H, Map);
+}
+
+const CostEvaluator &thistle::nestCostEvaluator() {
+  static const NestCostEvaluator Nest;
+  return Nest;
+}
+
+namespace {
+
+struct Registry {
+  std::mutex Mutex;
+  std::map<std::string, const CostEvaluator *> Backends;
+};
+
+Registry &registry() {
+  // Registry holds a mutex and cannot be moved out of a factory lambda;
+  // seed it in place under the thread-safe static initialization of a
+  // companion flag.
+  static Registry R;
+  static const bool Seeded = [] {
+    R.Backends["nest"] = &nestCostEvaluator();
+    R.Backends["maestro"] = &maestroCostEvaluator();
+    return true;
+  }();
+  (void)Seeded;
+  return R;
+}
+
+} // namespace
+
+const CostEvaluator *thistle::costEvaluator(const std::string &Name) {
+  Registry &R = registry();
+  std::lock_guard<std::mutex> Lock(R.Mutex);
+  auto It = R.Backends.find(Name);
+  return It == R.Backends.end() ? nullptr : It->second;
+}
+
+void thistle::registerCostEvaluator(const std::string &Name,
+                                    const CostEvaluator *Backend) {
+  Registry &R = registry();
+  std::lock_guard<std::mutex> Lock(R.Mutex);
+  R.Backends[Name] = Backend;
+}
+
+std::vector<std::string> thistle::costEvaluatorNames() {
+  Registry &R = registry();
+  std::lock_guard<std::mutex> Lock(R.Mutex);
+  std::vector<std::string> Names;
+  for (const auto &[Name, Backend] : R.Backends)
+    Names.push_back(Name);
+  return Names; // std::map iterates sorted.
+}
+
+namespace {
+
+/// Folds one counter pair into \p Div.
+void foldCounter(ProfileDivergence &Div, std::string Counter,
+                 std::int64_t Primary, std::int64_t Reference) {
+  ++Div.CountersCompared;
+  if (Primary == Reference)
+    return;
+  ++Div.CounterMismatches;
+  double Abs = std::abs(static_cast<double>(Primary) -
+                        static_cast<double>(Reference));
+  double Rel = Abs / std::max(1.0, std::abs(static_cast<double>(Reference)));
+  Div.MaxAbsDelta = std::max(Div.MaxAbsDelta, Abs);
+  Div.MaxRelDelta = std::max(Div.MaxRelDelta, Rel);
+  if (Div.Samples.size() < ProfileDivergence::MaxSamples)
+    Div.Samples.push_back({std::move(Counter), Primary, Reference});
+}
+
+} // namespace
+
+ProfileDivergence thistle::compareProfiles(const Problem &Prob,
+                                           const Hierarchy &H,
+                                           const MultiProfile &Primary,
+                                           const MultiProfile &Reference) {
+  ProfileDivergence Div;
+  for (unsigned B = 0; B < H.numBoundaries(); ++B)
+    for (std::size_t TI = 0; TI < Prob.tensors().size(); ++TI)
+      foldCounter(Div,
+                  "words[b" + std::to_string(B) + "][" +
+                      Prob.tensors()[TI].Name + "]",
+                  Primary.Words[B][TI], Reference.Words[B][TI]);
+  for (unsigned Lv = 0; Lv < H.numLevels(); ++Lv)
+    foldCounter(Div, "occupancy[" + H.Levels[Lv].Name + "]",
+                Primary.Occupancy[Lv], Reference.Occupancy[Lv]);
+  foldCounter(Div, "pes_used", Primary.PEsUsed, Reference.PEsUsed);
+  return Div;
+}
+
+MultiProfile CrossCheckEvaluator::profile(const Problem &Prob,
+                                          const Hierarchy &H,
+                                          const MultiMapping &Map) const {
+  MultiProfile Out = Primary.profile(Prob, H, Map);
+  ProfileDivergence Div =
+      compareProfiles(Prob, H, Out, Reference.profile(Prob, H, Map));
+  if (Div.diverged() && telemetry::metricsEnabled())
+    telemetry::count("thistle.evaluator.divergences");
+  {
+    std::lock_guard<std::mutex> Lock(Mutex);
+    ++Stats.Evals;
+    if (Div.diverged())
+      ++Stats.DivergentEvals;
+    Stats.CountersCompared += Div.CountersCompared;
+    Stats.CounterMismatches += Div.CounterMismatches;
+    Stats.MaxAbsDelta = std::max(Stats.MaxAbsDelta, Div.MaxAbsDelta);
+    Stats.MaxRelDelta = std::max(Stats.MaxRelDelta, Div.MaxRelDelta);
+    for (DivergenceSample &S : Div.Samples) {
+      if (Stats.Samples.size() >= ProfileDivergence::MaxSamples)
+        break;
+      Stats.Samples.push_back(std::move(S));
+    }
+  }
+  return Out;
+}
+
+CrossCheckStats CrossCheckEvaluator::stats() const {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  return Stats;
+}

@@ -13,6 +13,7 @@
 #include "nestmodel/Evaluator.h"
 
 #include "multilevel/MultiNestAnalysis.h"
+#include "nestmodel/CostEvaluator.h"
 
 #include <sstream>
 
@@ -63,5 +64,15 @@ EvalResult thistle::evaluateMapping(const Problem &Prob, const Mapping &Map,
   Hierarchy H = Hierarchy::classic3Level(Arch, Energy.tech());
   MultiEvalResult ME =
       evaluateMultiMapping(Prob, H, MultiMapping::fromMapping(Prob, Map));
+  return evalResultFromMulti(Prob, Arch, ME);
+}
+
+EvalResult thistle::evaluateMapping(const Problem &Prob, const Mapping &Map,
+                                    const ArchConfig &Arch,
+                                    const EnergyModel &Energy,
+                                    const CostEvaluator &Evaluator) {
+  Hierarchy H = Hierarchy::classic3Level(Arch, Energy.tech());
+  MultiEvalResult ME =
+      Evaluator.evaluate(Prob, H, MultiMapping::fromMapping(Prob, Map));
   return evalResultFromMulti(Prob, Arch, ME);
 }

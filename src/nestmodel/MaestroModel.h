@@ -1,0 +1,53 @@
+//===- nestmodel/MaestroModel.h - Data-centric cost backend -----*- C++ -*-===//
+//
+// Part of the Thistle reproduction (CGO 2022).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A MAESTRO-style data-centric evaluator backend: instead of walking the
+/// loop nest inner-to-outer and multiplying trip counts as Algorithm 1
+/// does (the "nest" backend), it derives each tensor's traffic across
+/// each boundary from the tensor's reuse opportunities in the tiling:
+///
+///  - *stationary reuse*: level iterators inner to the tensor's streaming
+///    iterator are irrelevant to it, so the resident tile is reused
+///    across their whole trip product — the level's total trip count is
+///    divided by that reuse instead of summing over the surviving loops;
+///  - *streaming (halo) reuse*: along the streaming iterator, consecutive
+///    tiles overlap; only the non-overlapping new words are delivered
+///    (the delivered volume of a sequence is trips * box minus the
+///    re-used overlaps);
+///  - *multicast reuse*: at the spatial fan-out boundary, PEs whose
+///    coordinates differ only in iterators the tensor does not use
+///    receive the same data once — the full grid traffic is divided by
+///    that multicast factor (paper Eq. 2).
+///
+/// The two formulations are algebraically equal on every exact-count
+/// field, so "maestro" must match "nest" integer for integer; any
+/// disagreement surfaced by CrossCheckEvaluator is a model bug in one of
+/// them. docs/EVALUATOR.md derives the equivalence.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef THISTLE_NESTMODEL_MAESTROMODEL_H
+#define THISTLE_NESTMODEL_MAESTROMODEL_H
+
+#include "nestmodel/CostEvaluator.h"
+
+namespace thistle {
+
+/// The data-centric backend ("maestro" in the registry).
+class MaestroCostEvaluator : public CostEvaluator {
+public:
+  const char *name() const override { return "maestro"; }
+  MultiProfile profile(const Problem &Prob, const Hierarchy &H,
+                       const MultiMapping &Map) const override;
+};
+
+/// The process-wide maestro backend instance.
+const CostEvaluator &maestroCostEvaluator();
+
+} // namespace thistle
+
+#endif // THISTLE_NESTMODEL_MAESTROMODEL_H

@@ -224,6 +224,7 @@ MultiMapperResult thistle::searchMultiMappings(const Problem &Prob,
   }
   const unsigned L = H.numLevels();
   const unsigned F = H.FanoutLevel;
+  const CostEvaluator &Eval = resolveCostEvaluator(Options.Evaluator);
 
   MultiMapperResult Result;
   double BestObj = 0.0;
@@ -276,7 +277,7 @@ MultiMapperResult thistle::searchMultiMappings(const Problem &Prob,
     if (Mutated && !Candidate.validate(Prob, H).empty())
       return;
 
-    Out.Eval = evaluateMultiMapping(Prob, H, Candidate);
+    Out.Eval = Eval.evaluate(Prob, H, Candidate);
     Out.Obj = Out.Eval.Legal ? objectiveValue(Out.Eval, Options.Objective)
                              : 0.0;
     Out.AcceptDraw = R.nextDouble();

@@ -18,6 +18,7 @@
 #define THISTLE_NESTMODEL_MAPPER_H
 
 #include "multilevel/MultiNestAnalysis.h"
+#include "nestmodel/CostEvaluator.h"
 #include "nestmodel/Evaluator.h"
 #include "nestmodel/Objective.h"
 #include "support/Status.h"
@@ -69,6 +70,10 @@ struct MapperOptions {
   std::chrono::milliseconds Deadline{0};
   /// Absolute deadline (steady clock); overrides Deadline when set.
   std::chrono::steady_clock::time_point DeadlineAt{};
+  /// Cost-model backend for candidate scoring; null selects the nest
+  /// model (bit-identical to the pre-interface behavior). Must be
+  /// thread-safe: slots evaluate concurrently.
+  const CostEvaluator *Evaluator = nullptr;
 };
 
 /// Why a mapper search returned when it did.

@@ -45,3 +45,10 @@ SimResult thistle::simulateTiledNest(const Problem &Prob, const Mapping &Map) {
   }
   return Result;
 }
+
+MultiProfile thistle::simulatedProfile(const Problem &Prob,
+                                       const Mapping &Map) {
+  assert(Map.validate(Prob).empty() && "mapping must validate");
+  return simulateMultiNestProfile(Prob, Hierarchy::classic3Shape(),
+                                  MultiMapping::fromMapping(Prob, Map));
+}

@@ -40,6 +40,7 @@
 
 #include "ir/Mapping.h"
 #include "ir/Problem.h"
+#include "multilevel/MultiNestAnalysis.h"
 
 #include <cstdint>
 #include <vector>
@@ -70,6 +71,14 @@ struct SimResult {
 /// validate against the problem. Cost is proportional to the total number
 /// of tile steps; use small extents.
 SimResult simulateTiledNest(const Problem &Prob, const Mapping &Map);
+
+/// Ground-truth counts of \p Map on the classic 3-level machine shape, in
+/// the analytical MultiProfile layout (boundary 0 = SRAM<->registers,
+/// boundary 1 = DRAM<->SRAM). This is the reference every CostEvaluator
+/// backend is cross-checked against on the exact-count fields
+/// (docs/EVALUATOR.md); same small-extent cost caveat as
+/// simulateTiledNest.
+MultiProfile simulatedProfile(const Problem &Prob, const Mapping &Map);
 
 } // namespace thistle
 

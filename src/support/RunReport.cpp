@@ -81,6 +81,7 @@ public:
   void value(const char *S) { value(std::string(S)); }
   void value(double V) { raw(jsonNumber(V)); }
   void value(std::uint64_t V) { raw(std::to_string(V)); }
+  void value(std::int64_t V) { raw(std::to_string(V)); }
   void value(unsigned V) { raw(std::to_string(V)); }
   void value(int V) { raw(std::to_string(V)); }
   void value(bool V) { raw(V ? "true" : "false"); }
@@ -168,6 +169,39 @@ std::string RunReport::toJson() const {
   W.value(MacIpc);
   W.key("edp_pj_cycles");
   W.value(EdpPjCycles);
+  W.endObject();
+
+  W.key("evaluator");
+  W.beginObject();
+  W.key("backend");
+  W.value(Evaluator.Backend);
+  W.key("cross_check");
+  W.value(Evaluator.CrossCheck);
+  W.key("evals");
+  W.value(Evaluator.Evals);
+  W.key("divergent_evals");
+  W.value(Evaluator.DivergentEvals);
+  W.key("counters_compared");
+  W.value(Evaluator.CountersCompared);
+  W.key("counter_mismatches");
+  W.value(Evaluator.CounterMismatches);
+  W.key("max_abs_delta");
+  W.value(Evaluator.MaxAbsDelta);
+  W.key("max_rel_delta");
+  W.value(Evaluator.MaxRelDelta);
+  W.key("samples");
+  W.beginArray();
+  for (const RunReportEvaluatorSample &S : Evaluator.Samples) {
+    W.beginObject();
+    W.key("counter");
+    W.value(S.Counter);
+    W.key("primary");
+    W.value(S.Primary);
+    W.key("reference");
+    W.value(S.Reference);
+    W.endObject();
+  }
+  W.endArray();
   W.endObject();
 
   W.key("sweep");

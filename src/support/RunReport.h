@@ -67,6 +67,29 @@ struct RunReportNetwork {
   std::vector<RunReportNetworkLayer> Layers;
 };
 
+/// The `--evaluator` section: which cost-model backend scored the run
+/// and, for cross-checked runs, the accumulated divergence statistics.
+/// Plain data so the support layer stays independent of nestmodel;
+/// thistle-opt copies CrossCheckStats in.
+struct RunReportEvaluatorSample {
+  std::string Counter; ///< E.g. "words[b1][Out]".
+  std::int64_t Primary = 0;
+  std::int64_t Reference = 0;
+};
+
+struct RunReportEvaluator {
+  std::string Backend = "nest"; ///< "nest" | "maestro" | "both" | custom.
+  bool CrossCheck = false;      ///< True for --evaluator both.
+  /// Cross-check aggregates; all zero when !CrossCheck.
+  std::uint64_t Evals = 0;
+  std::uint64_t DivergentEvals = 0;
+  std::uint64_t CountersCompared = 0;
+  std::uint64_t CounterMismatches = 0;
+  double MaxAbsDelta = 0.0;
+  double MaxRelDelta = 0.0;
+  std::vector<RunReportEvaluatorSample> Samples;
+};
+
 /// One run of the optimizer, ready for JSON serialization.
 struct RunReport {
   std::string Tool = "thistle-opt";
@@ -91,6 +114,10 @@ struct RunReport {
   bool HasSweep = false;
   SweepReport Sweep;
   std::string SweepTaskNoun = "task";
+
+  /// Which cost-model backend scored the run (and its cross-check
+  /// statistics under --evaluator both).
+  RunReportEvaluator Evaluator;
 
   /// The `--network` section; Present is false for single-layer runs.
   RunReportNetwork Network;

@@ -119,6 +119,7 @@ RoundedDesign thistle::roundSolution(const Problem &Prob,
                                      const RoundingOptions &Options) {
   RoundedDesign Best;
   EnergyModel Energy(Spec.Tech);
+  const CostEvaluator &Evaluator = resolveCostEvaluator(Options.Evaluator);
 
   // Per-iterator candidate chains (single fixed choice for untiled ones).
   const unsigned NumIters = Prob.numIterators();
@@ -190,7 +191,7 @@ RoundedDesign thistle::roundSolution(const Problem &Prob,
                   static_cast<double>(Arch.NumPEs))
         continue;
       ++Tried;
-      EvalResult Eval = evaluateMapping(Prob, Map, Arch, Energy);
+      EvalResult Eval = evaluateMapping(Prob, Map, Arch, Energy, Evaluator);
       if (!Eval.Legal)
         continue;
       double Obj = objectiveValue(Eval, Spec.Objective);

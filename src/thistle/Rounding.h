@@ -21,6 +21,7 @@
 #ifndef THISTLE_THISTLE_ROUNDING_H
 #define THISTLE_THISTLE_ROUNDING_H
 
+#include "nestmodel/CostEvaluator.h"
 #include "nestmodel/Evaluator.h"
 #include "thistle/GpBuilder.h"
 
@@ -40,6 +41,10 @@ struct RoundingOptions {
   /// candidates nearest the real solution first, so a modest cap loses
   /// almost nothing.
   std::size_t MaxMappingCandidates = 4000;
+  /// Cost-model backend scoring the integer candidates (and hence the
+  /// pair-sweep and network winners built on them); null selects the
+  /// nest model, bit-identically to the pre-interface behavior.
+  const CostEvaluator *Evaluator = nullptr;
 };
 
 /// Best integer design found around one real solution.

@@ -1,0 +1,117 @@
+# End-to-end check of the --evaluator backend selection:
+#  1. --evaluator nest is byte-identical to the default run (the
+#     interface refactor cannot perturb the shipped results).
+#  2. --evaluator maestro prints the same bytes: the data-centric model
+#     computes exactly the nest counts, so the winner and every printed
+#     double agree.
+#  3. --evaluator both scores like nest (same result lines), reports the
+#     cross-check summary with zero divergence on stdout, and writes a
+#     schema-valid run report whose evaluator section records the clean
+#     cross-check.
+#  4. An unknown backend name exits 2 naming the known backends.
+# Invoked by ctest as:
+#   cmake -DTOOL=<thistle-opt> -DWORK_DIR=<dir> -DCHECKER=<script>
+#         [-DPYTHON=<python3>] -P CheckEvaluator.cmake
+
+set(LAYER --layer 16,8,14,14,3,3 --threads 2)
+
+execute_process(
+  COMMAND ${TOOL} ${LAYER}
+  OUTPUT_VARIABLE DEFAULT_OUT
+  ERROR_VARIABLE ERR
+  RESULT_VARIABLE CODE)
+if(NOT CODE EQUAL 0)
+  message(FATAL_ERROR "default run: expected exit 0, got '${CODE}'\n${ERR}")
+endif()
+
+# 1./2. nest and maestro byte-identical to the default.
+foreach(BACKEND nest maestro)
+  execute_process(
+    COMMAND ${TOOL} ${LAYER} --evaluator ${BACKEND}
+    OUTPUT_VARIABLE BACKEND_OUT
+    ERROR_VARIABLE ERR
+    RESULT_VARIABLE CODE)
+  if(NOT CODE EQUAL 0)
+    message(FATAL_ERROR
+      "--evaluator ${BACKEND}: expected exit 0, got '${CODE}'\n${ERR}")
+  endif()
+  if(NOT BACKEND_OUT STREQUAL "${DEFAULT_OUT}")
+    message(FATAL_ERROR
+      "--evaluator ${BACKEND}: output differs from the default run\n"
+      "---- default ----\n${DEFAULT_OUT}\n"
+      "---- ${BACKEND} ----\n${BACKEND_OUT}")
+  endif()
+endforeach()
+
+# 3. Cross-check mode: default result lines as a prefix, a zero-divergence
+#    summary, and a clean evaluator section in the run report.
+set(REPORT ${WORK_DIR}/evaluator-report.json)
+execute_process(
+  COMMAND ${TOOL} ${LAYER} --evaluator both --trace-json ${REPORT}
+  OUTPUT_VARIABLE BOTH_OUT
+  ERROR_VARIABLE ERR
+  RESULT_VARIABLE CODE)
+if(NOT CODE EQUAL 0)
+  message(FATAL_ERROR
+    "--evaluator both: expected exit 0, got '${CODE}'\n${ERR}")
+endif()
+string(LENGTH "${DEFAULT_OUT}" DEFAULT_LEN)
+string(SUBSTRING "${BOTH_OUT}" 0 ${DEFAULT_LEN} BOTH_PREFIX)
+if(NOT BOTH_PREFIX STREQUAL "${DEFAULT_OUT}")
+  message(FATAL_ERROR
+    "--evaluator both: result lines differ from the default run\n"
+    "---- default ----\n${DEFAULT_OUT}\n---- both ----\n${BOTH_OUT}")
+endif()
+if(NOT BOTH_OUT MATCHES "evaluator cross-check \\(nest vs maestro\\)")
+  message(FATAL_ERROR
+    "--evaluator both: missing cross-check summary\n${BOTH_OUT}")
+endif()
+if(NOT BOTH_OUT MATCHES ", 0 divergent;")
+  message(FATAL_ERROR
+    "--evaluator both: the models diverged\n${BOTH_OUT}")
+endif()
+if(NOT BOTH_OUT MATCHES ", 0 mismatches")
+  message(FATAL_ERROR
+    "--evaluator both: counter mismatches reported\n${BOTH_OUT}")
+endif()
+
+if(NOT EXISTS ${REPORT})
+  message(FATAL_ERROR "--evaluator both: ${REPORT} was not written")
+endif()
+if(PYTHON)
+  execute_process(
+    COMMAND ${PYTHON} ${CHECKER} ${REPORT}
+    OUTPUT_VARIABLE OUT
+    ERROR_VARIABLE ERR
+    RESULT_VARIABLE CODE)
+  if(NOT CODE EQUAL 0)
+    message(FATAL_ERROR "schema check failed:\n${OUT}\n${ERR}")
+  endif()
+endif()
+file(READ ${REPORT} JSON)
+foreach(FIELD
+    "\"backend\": \"both\"" "\"cross_check\": true"
+    "\"divergent_evals\": 0" "\"counter_mismatches\": 0"
+    "\"samples\": \\[")
+  if(NOT JSON MATCHES "${FIELD}")
+    message(FATAL_ERROR "report missing ${FIELD}\n${JSON}")
+  endif()
+endforeach()
+
+# 4. Unknown backend: exit 2, diagnostic names the known backends.
+execute_process(
+  COMMAND ${TOOL} ${LAYER} --evaluator timeloop
+  OUTPUT_VARIABLE OUT
+  ERROR_VARIABLE ERR
+  RESULT_VARIABLE CODE)
+if(NOT CODE EQUAL 2)
+  message(FATAL_ERROR
+    "unknown evaluator: expected exit code 2, got '${CODE}'")
+endif()
+if(NOT ERR MATCHES "unknown evaluator 'timeloop'")
+  message(FATAL_ERROR "unknown evaluator: missing diagnostic\n${ERR}")
+endif()
+if(NOT ERR MATCHES "maestro")
+  message(FATAL_ERROR
+    "unknown evaluator: diagnostic does not list backends\n${ERR}")
+endif()

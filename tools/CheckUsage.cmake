@@ -1,7 +1,9 @@
 # Asserts the thistle-opt --help text documents every user-facing
-# contract: all flag groups, the observability flags, and the four exit
-# codes (docs/THISTLE_OPT.md mirrors this text). Invoked by ctest as:
-#   cmake -DTOOL=<thistle-opt> -P CheckUsage.cmake
+# contract: every flag the parser accepts (scraped from the tool source,
+# so a new flag cannot land undocumented), the four exit codes, and the
+# doc pointers (docs/THISTLE_OPT.md mirrors this text). Invoked by ctest
+# as:
+#   cmake -DTOOL=<thistle-opt> -DSOURCE=<thistle-opt.cpp> -P CheckUsage.cmake
 
 execute_process(
   COMMAND ${TOOL} --help
@@ -12,15 +14,32 @@ if(NOT CODE EQUAL 0)
   message(FATAL_ERROR "--help: expected exit code 0, got '${CODE}'\n${ERR}")
 endif()
 
+# Known-important flags, pinned explicitly so a parser-scrape regression
+# cannot silently weaken the audit.
 foreach(FLAG
     --layer --resnet --yolo --pipeline --network
     --mode --objective --candidates --threads --deadline-ms --hierarchy
+    --evaluator
     --pes --regs --sram-words --area-budget
     --export-timeloop --metrics --profile --trace-json)
   if(NOT OUT MATCHES "${FLAG}")
     message(FATAL_ERROR "--help: flag ${FLAG} undocumented\n${OUT}")
   endif()
 endforeach()
+
+# Every flag the parser compares against (the `Arg == "--x"` chain in
+# the tool source) must appear in the usage table.
+if(SOURCE)
+  file(READ ${SOURCE} SRC)
+  string(REGEX MATCHALL "Arg == \"(--[a-z-]+)\"" PARSED "${SRC}")
+  foreach(MATCH ${PARSED})
+    string(REGEX REPLACE "Arg == \"(--[a-z-]+)\"" "\\1" FLAG "${MATCH}")
+    if(NOT OUT MATCHES "${FLAG}")
+      message(FATAL_ERROR
+        "--help: parsed flag ${FLAG} missing from usage\n${OUT}")
+    endif()
+  endforeach()
+endif()
 
 if(NOT OUT MATCHES "exit codes:")
   message(FATAL_ERROR "--help: missing exit-code section\n${OUT}")

@@ -24,6 +24,7 @@ TOP_FIELDS = {
     "wall_seconds": (int, float),
     "exit_code": int,
     "result": dict,
+    "evaluator": dict,
     # "sweep" and "network" are dict or the literal false; checked
     # separately.
     "metrics": dict,
@@ -38,6 +39,29 @@ RESULT_FIELDS = {
     "mac_ipc": (int, float, type(None)),
     "edp_pj_cycles": (int, float, type(None)),
 }
+
+EVALUATOR_FIELDS = {
+    "backend": str,
+    "cross_check": bool,
+    "evals": int,
+    "divergent_evals": int,
+    "counters_compared": int,
+    "counter_mismatches": int,
+    "max_abs_delta": (int, float),
+    "max_rel_delta": (int, float),
+    "samples": list,
+}
+
+EVALUATOR_SAMPLE_FIELDS = {
+    "counter": str,
+    "primary": int,
+    "reference": int,
+}
+
+# The in-tree backend spellings plus the cross-check mode; a report
+# naming anything else either predates a backend rename or was emitted
+# by a build carrying unreviewed registry entries.
+EVALUATOR_BACKENDS = {"nest", "maestro", "both"}
 
 SWEEP_FIELDS = {
     "task_noun": str,
@@ -133,6 +157,44 @@ def validate(report):
     result = report.get("result")
     if isinstance(result, dict):
         check_fields(result, RESULT_FIELDS, "$.result", errors)
+
+    evaluator = report.get("evaluator")
+    if isinstance(evaluator, dict):
+        check_fields(evaluator, EVALUATOR_FIELDS, "$.evaluator", errors)
+        backend = evaluator.get("backend")
+        if isinstance(backend, str) and backend not in EVALUATOR_BACKENDS:
+            errors.append(
+                f"$.evaluator.backend: unknown backend {backend!r}"
+            )
+        if evaluator.get("cross_check") != (backend == "both"):
+            errors.append(
+                "$.evaluator.cross_check: inconsistent with backend"
+            )
+        if isinstance(evaluator.get("divergent_evals"), int) and \
+                isinstance(evaluator.get("evals"), int) and \
+                evaluator["divergent_evals"] > evaluator["evals"]:
+            errors.append("$.evaluator.divergent_evals: exceeds evals")
+        if isinstance(evaluator.get("counter_mismatches"), int) and \
+                isinstance(evaluator.get("counters_compared"), int) and \
+                evaluator["counter_mismatches"] > \
+                evaluator["counters_compared"]:
+            errors.append(
+                "$.evaluator.counter_mismatches: exceeds counters_compared"
+            )
+        if evaluator.get("counter_mismatches") == 0 and \
+                evaluator.get("max_abs_delta") not in (0, 0.0, None):
+            errors.append(
+                "$.evaluator.max_abs_delta: nonzero without mismatches"
+            )
+        samples = evaluator.get("samples")
+        if isinstance(samples, list):
+            for i, sample in enumerate(samples):
+                where = f"$.evaluator.samples[{i}]"
+                if not isinstance(sample, dict):
+                    errors.append(f"{where}: not an object")
+                    continue
+                check_fields(sample, EVALUATOR_SAMPLE_FIELDS, where,
+                             errors)
 
     sweep = report.get("sweep")
     if sweep is False:

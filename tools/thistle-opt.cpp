@@ -17,6 +17,7 @@
 #include "export/TimeloopExport.h"
 #include "ir/Builders.h"
 #include "multilevel/MultiGp.h"
+#include "nestmodel/CostEvaluator.h"
 #include "nestmodel/Mapper.h"
 #include "support/FaultInjection.h"
 #include "support/RunReport.h"
@@ -34,6 +35,8 @@
 #include <cstring>
 #include <fstream>
 #include <iostream>
+#include <iterator>
+#include <optional>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -42,72 +45,148 @@ using namespace thistle;
 
 namespace {
 
+/// One row of the generated usage table. Every flag the parser accepts
+/// has exactly one row here; tool.usage (tools/CheckUsage.cmake) scrapes
+/// the flag comparisons out of this source file and fails if any of them
+/// is missing from the --help output, so a new flag cannot land without
+/// a row.
+struct FlagSpec {
+  const char *Flag; ///< "--layer".
+  const char *Arg;  ///< Value metavar, "" for boolean flags.
+  const char *Help; ///< Description; '\n' separates continuation lines.
+};
+
+struct FlagGroup {
+  const char *Title;
+  const FlagSpec *Flags;
+  std::size_t Count;
+};
+
+const FlagSpec WorkloadFlags[] = {
+    {"--layer", "K,C,H,W,R,S[,stride[,dilation]]", "custom conv2d layer"},
+    {"--resnet", "N", "ResNet-18 conv stage N (1-12, Table II)"},
+    {"--yolo", "N", "Yolo-9000 conv stage N (1-11, Table II)"},
+    {"--pipeline", "resnet|yolo|all",
+     "optimize every stage, print a summary"},
+    {"--network", "resnet18|yolo9000|all",
+     "optimize the full conv pipeline with the\n"
+     "network driver: repeated shapes are solved\n"
+     "once, GP solutions are cached across runs\n"
+     "(disable with THISTLE_CACHE=off), and in\n"
+     "codesign mode one architecture is selected\n"
+     "for the whole network (docs/THISTLE_OPT.md)"},
+};
+
+const FlagSpec OptimizationFlags[] = {
+    {"--mode", "dataflow|codesign", "(default: dataflow)"},
+    {"--objective", "energy|delay|edp", "(default: energy)"},
+    {"--candidates", "N", "rounding width n (default: 2)"},
+    {"--threads", "N",
+     "worker threads for the pair sweep\n"
+     "(default: all hardware threads;\n"
+     "results are identical at any N)"},
+    {"--deadline-ms", "N",
+     "wall-clock budget for the sweep;\n"
+     "pairs starting after it are skipped\n"
+     "and the best completed design is\n"
+     "returned (exit code 1)"},
+    {"--hierarchy", "classic3|spad4|<file>",
+     "memory hierarchy to optimize for\n"
+     "(default: classic3, the fixed\n"
+     "reg/SRAM/DRAM machine). spad4 adds\n"
+     "a per-PE scratchpad; a file holds\n"
+     "'pes/mac-pj/fanout/level' lines\n"
+     "(see docs/HIERARCHY.md). Non-classic\n"
+     "hierarchies run the L-level GP\n"
+     "optimizer and validate the winner\n"
+     "with the stochastic mapper."},
+    {"--evaluator", "nest|maestro|both",
+     "cost-model backend scoring the\n"
+     "candidates (default: nest, the\n"
+     "Algorithm-1 nest walk). maestro is\n"
+     "the data-centric reuse model; both\n"
+     "scores with nest while cross-checking\n"
+     "maestro on every evaluation and\n"
+     "reports any divergence — the counts\n"
+     "must agree exactly (docs/EVALUATOR.md)"},
+};
+
+const FlagSpec ArchitectureFlags[] = {
+    {"--pes", "N", "PE count (default: Eyeriss, 168)"},
+    {"--regs", "N", "register words per PE (default: 512)"},
+    {"--sram-words", "N", "shared SRAM words (default: 65536)"},
+    {"--area-budget", "UM2", "co-design area (default: Eyeriss)"},
+};
+
+const FlagSpec OutputFlags[] = {
+    {"--export-timeloop", "", "emit Timeloop-style YAML specs"},
+    {"--help", "", "print this usage table (also -h)"},
+};
+
+const FlagSpec ObservabilityFlags[] = {
+    {"--metrics", "",
+     "collect named counters/statistics\n"
+     "and print them after the run"},
+    {"--profile", "",
+     "additionally record trace spans and\n"
+     "print a per-span timing summary"},
+    {"--trace-json", "FILE",
+     "write the schema-versioned JSON run\n"
+     "report (thistle-run-report/1) with\n"
+     "the full span trace to FILE"},
+};
+
+const FlagGroup UsageGroups[] = {
+    {"workload (choose one):", WorkloadFlags, std::size(WorkloadFlags)},
+    {"optimization:", OptimizationFlags, std::size(OptimizationFlags)},
+    {"architecture (dataflow mode; defaults to Eyeriss):",
+     ArchitectureFlags, std::size(ArchitectureFlags)},
+    {"output:", OutputFlags, std::size(OutputFlags)},
+    {"observability (see docs/OBSERVABILITY.md; all off by default, and\n"
+     "the optimization result is bit-identical either way):",
+     ObservabilityFlags, std::size(ObservabilityFlags)},
+};
+
 void printUsage(const char *Prog) {
+  std::printf("usage: %s [options]\n", Prog);
+  constexpr std::size_t HelpColumn = 32;
+  for (const FlagGroup &Group : UsageGroups) {
+    std::printf("\n%s\n", Group.Title);
+    for (std::size_t F = 0; F < Group.Count; ++F) {
+      const FlagSpec &Spec = Group.Flags[F];
+      std::string Head = std::string("  ") + Spec.Flag;
+      if (Spec.Arg[0])
+        Head += std::string(" ") + Spec.Arg;
+      // Long heads get their own line; the help always starts at the
+      // same column so the table reads as a table.
+      bool HeadAlone = Head.size() + 2 > HelpColumn;
+      if (HeadAlone)
+        std::printf("%s\n", Head.c_str());
+      const char *Line = Spec.Help;
+      bool First = !HeadAlone;
+      while (*Line) {
+        const char *End = std::strchr(Line, '\n');
+        std::size_t Len = End ? static_cast<std::size_t>(End - Line)
+                              : std::strlen(Line);
+        if (First)
+          std::printf("%-*s%.*s\n", static_cast<int>(HelpColumn),
+                      Head.c_str(), static_cast<int>(Len), Line);
+        else
+          std::printf("%-*s%.*s\n", static_cast<int>(HelpColumn), "",
+                      static_cast<int>(Len), Line);
+        First = false;
+        Line += Len + (End ? 1 : 0);
+      }
+    }
+  }
   std::printf(
-      "usage: %s [options]\n"
-      "\n"
-      "workload (choose one):\n"
-      "  --layer K,C,H,W,R,S[,stride[,dilation]]   custom conv2d layer\n"
-      "  --resnet N           ResNet-18 conv stage N (1-12, Table II)\n"
-      "  --yolo N             Yolo-9000 conv stage N (1-11, Table II)\n"
-      "  --pipeline resnet|yolo|all   optimize every stage, print a "
-      "summary\n"
-      "  --network resnet18|yolo9000|all\n"
-      "                       optimize the full conv pipeline with the\n"
-      "                       network driver: repeated shapes are solved\n"
-      "                       once, GP solutions are cached across runs\n"
-      "                       (disable with THISTLE_CACHE=off), and in\n"
-      "                       codesign mode one architecture is selected\n"
-      "                       for the whole network (docs/THISTLE_OPT.md)\n"
-      "\n"
-      "optimization:\n"
-      "  --mode dataflow|codesign      (default: dataflow)\n"
-      "  --objective energy|delay|edp  (default: energy)\n"
-      "  --candidates N                rounding width n (default: 2)\n"
-      "  --threads N                   worker threads for the pair sweep\n"
-      "                                (default: all hardware threads;\n"
-      "                                results are identical at any N)\n"
-      "  --deadline-ms N               wall-clock budget for the sweep;\n"
-      "                                pairs starting after it are skipped\n"
-      "                                and the best completed design is\n"
-      "                                returned (exit code 1)\n"
-      "  --hierarchy classic3|spad4|<file>\n"
-      "                                memory hierarchy to optimize for\n"
-      "                                (default: classic3, the fixed\n"
-      "                                reg/SRAM/DRAM machine). spad4 adds\n"
-      "                                a per-PE scratchpad; a file holds\n"
-      "                                'pes/mac-pj/fanout/level' lines\n"
-      "                                (see docs/HIERARCHY.md). Non-classic\n"
-      "                                hierarchies run the L-level GP\n"
-      "                                optimizer and validate the winner\n"
-      "                                with the stochastic mapper.\n"
-      "\n"
-      "architecture (dataflow mode; defaults to Eyeriss):\n"
-      "  --pes N --regs N --sram-words N\n"
-      "  --area-budget UM2             co-design area (default: Eyeriss)\n"
-      "\n"
-      "output:\n"
-      "  --export-timeloop             emit Timeloop-style YAML specs\n"
-      "  --help\n"
-      "\n"
-      "observability (see docs/OBSERVABILITY.md; all off by default, and\n"
-      "the optimization result is bit-identical either way):\n"
-      "  --metrics                     collect named counters/statistics\n"
-      "                                and print them after the run\n"
-      "  --profile                     additionally record trace spans and\n"
-      "                                print a per-span timing summary\n"
-      "  --trace-json FILE             write the schema-versioned JSON run\n"
-      "                                report (thistle-run-report/1) with\n"
-      "                                the full span trace to FILE\n"
-      "\n"
-      "exit codes:\n"
+      "\nexit codes:\n"
       "  0  success (clean sweep)\n"
       "  1  partial/degraded: a design was found but some GP pairs were\n"
       "     lost (solver failure, deadline), or a --network run found\n"
       "     designs for only some layers\n"
       "  2  invalid input (bad flags, malformed hierarchy file, bad spec)\n"
-      "  3  no feasible design found (--network: for any layer)\n",
-      Prog);
+      "  3  no feasible design found (--network: for any layer)\n");
 }
 
 /// Parses "a,b,c,..." into integers; returns false on malformed input.
@@ -189,6 +268,7 @@ int runHierarchy(const Problem &Prob, const Hierarchy &H,
   MO.Threads = Options.Threads;
   MO.Tech = Tech;
   MO.Deadline = Options.Deadline;
+  MO.Evaluator = Options.Rounding.Evaluator;
   MultiResult R = optimizeHierarchy(Prob, H, MO);
   if (!R.InputStatus.isOk()) {
     std::fprintf(stderr, "error: %s\n", R.InputStatus.toString().c_str());
@@ -245,6 +325,7 @@ int runHierarchy(const Problem &Prob, const Hierarchy &H,
   MapOpt.MaxTrials = 4000;
   MapOpt.VictoryCondition = 1000;
   MapOpt.Deadline = Options.Deadline;
+  MapOpt.Evaluator = Options.Rounding.Evaluator;
   MultiMapperResult MR = searchMultiMappings(Prob, H, MapOpt);
   if (MR.Found) {
     double GpObj = objectiveValue(R.Eval, Options.Objective);
@@ -431,6 +512,7 @@ int main(int Argc, char **Argv) {
   double AreaBudget = 0.0;
   bool ExportTimeloop = false;
   std::string HierarchySpec = "classic3";
+  std::string EvaluatorName = "nest";
   std::string PipelineName;
   std::string TraceJsonPath;
   bool WantMetrics = false;
@@ -539,6 +621,8 @@ int main(int Argc, char **Argv) {
       Options.Deadline = std::chrono::milliseconds(Ms);
     } else if (Arg == "--hierarchy") {
       HierarchySpec = needValue();
+    } else if (Arg == "--evaluator") {
+      EvaluatorName = needValue();
     } else if (Arg == "--pes") {
       Arch.NumPEs = std::atoll(needValue());
     } else if (Arg == "--regs") {
@@ -577,6 +661,25 @@ int main(int Argc, char **Argv) {
   if (Options.Mode == DesignMode::CoDesign && AreaBudget == 0.0)
     AreaBudget = eyerissAreaUm2(Tech);
 
+  // Resolve the cost-model backend. "both" scores with nest while
+  // cross-checking maestro on every evaluation; anything else must be a
+  // registered backend name. The search trajectory — and hence the
+  // printed design — is bit-identical for nest, both, and the default.
+  std::optional<CrossCheckEvaluator> CrossCheck;
+  if (EvaluatorName == "both") {
+    CrossCheck.emplace(nestCostEvaluator(), *costEvaluator("maestro"));
+    Options.Rounding.Evaluator = &*CrossCheck;
+  } else if (const CostEvaluator *E = costEvaluator(EvaluatorName)) {
+    Options.Rounding.Evaluator = E;
+  } else {
+    std::string Known;
+    for (const std::string &Name : costEvaluatorNames())
+      Known += (Known.empty() ? "" : "|") + Name;
+    std::fprintf(stderr, "error: unknown evaluator '%s' (known: %s|both)\n",
+                 EvaluatorName.c_str(), Known.c_str());
+    return 2;
+  }
+
   // Telemetry: --trace-json and --profile need the span trace, --metrics
   // alone only the counters. All three leave the optimization result
   // bit-identical (docs/OBSERVABILITY.md); with none given, collection
@@ -597,12 +700,44 @@ int main(int Argc, char **Argv) {
                  : Options.Objective == SearchObjective::Delay ? "delay"
                                                                : "edp";
   RR.Hierarchy = HierarchySpec;
+  RR.Evaluator.Backend = EvaluatorName;
+  RR.Evaluator.CrossCheck = CrossCheck.has_value();
   RR.Threads =
       Options.Threads ? Options.Threads : ThreadPool::defaultWorkerCount();
 
   // Stamps the run report and emits the requested telemetry output on
   // every exit path past argument parsing.
   auto finish = [&](int Exit) {
+    if (CrossCheck) {
+      // Fold the accumulated cross-check statistics into the report and
+      // summarize them on stdout; any mismatch is a model bug in one of
+      // the two backends.
+      CrossCheckStats S = CrossCheck->stats();
+      RR.Evaluator.Evals = S.Evals;
+      RR.Evaluator.DivergentEvals = S.DivergentEvals;
+      RR.Evaluator.CountersCompared = S.CountersCompared;
+      RR.Evaluator.CounterMismatches = S.CounterMismatches;
+      RR.Evaluator.MaxAbsDelta = S.MaxAbsDelta;
+      RR.Evaluator.MaxRelDelta = S.MaxRelDelta;
+      for (const DivergenceSample &Sample : S.Samples)
+        RR.Evaluator.Samples.push_back(
+            {Sample.Counter, Sample.Primary, Sample.Reference});
+      std::printf("evaluator cross-check (nest vs maestro): %llu evals, "
+                  "%llu divergent; %llu counters compared, %llu mismatches\n",
+                  static_cast<unsigned long long>(S.Evals),
+                  static_cast<unsigned long long>(S.DivergentEvals),
+                  static_cast<unsigned long long>(S.CountersCompared),
+                  static_cast<unsigned long long>(S.CounterMismatches));
+      if (S.CounterMismatches) {
+        std::printf("  max |delta| %g words (rel %g)\n", S.MaxAbsDelta,
+                    S.MaxRelDelta);
+        for (const DivergenceSample &Sample : S.Samples)
+          std::printf("  %s: nest %lld vs maestro %lld\n",
+                      Sample.Counter.c_str(),
+                      static_cast<long long>(Sample.Primary),
+                      static_cast<long long>(Sample.Reference));
+      }
+    }
     RR.ExitCode = Exit;
     RR.WallSeconds = std::chrono::duration<double>(
                          std::chrono::steady_clock::now() - StartTime)
