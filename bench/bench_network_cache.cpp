@@ -9,9 +9,11 @@
 //===----------------------------------------------------------------------===//
 
 #include "bench/BenchCommon.h"
+#include "support/Persist.h"
 #include "thistle/Network.h"
 
 #include <cstdio>
+#include <string>
 #include <vector>
 
 using namespace thistle;
@@ -105,6 +107,30 @@ int main() {
   printRow("cached", Cached);
   std::printf("cached speedup over cold: %.2fx\n",
               Cold.Seconds / Cached.Seconds);
+
+  // Durable-state overhead (docs/PERSISTENCE.md): what a clean-exit
+  // compaction costs, what a cold-process reload costs, and how a
+  // reloaded-from-disk replay compares to the in-memory one.
+  const std::string SnapPath = "BENCH_network_cache.snap";
+  WallTimer SaveT;
+  Status SaveSt = Cache.saveSnapshotFile(SnapPath);
+  double SaveS = SaveT.seconds();
+  GpSolutionCache Reloaded;
+  GpCachePersistStats PS;
+  WallTimer LoadT;
+  Reloaded.loadFile(SnapPath, PS);
+  double LoadS = LoadT.seconds();
+  Measurement Replayed = measure(Layers, &Reloaded);
+  if (!SaveSt.isOk())
+    std::printf("WARNING: snapshot save failed: %s\n",
+                SaveSt.toString().c_str());
+  std::printf("snapshot: save %zu entries %.3fs, load %.3fs\n",
+              Cache.size(), SaveS, LoadS);
+  printRow("reloaded", Replayed);
+  if (Replayed.Result.Totals.EnergyPj != Cold.Result.Totals.EnergyPj ||
+      Replayed.Result.Stats.CacheMisses != 0)
+    std::printf("WARNING: disk round trip changed the replay!\n");
+  persist::removeFile(SnapPath);
 
   if (NoCache.Result.Totals.EnergyPj != Cold.Result.Totals.EnergyPj ||
       Cold.Result.Totals.EnergyPj != Cached.Result.Totals.EnergyPj)

@@ -29,6 +29,10 @@
 ///   thistle.pair        keyed by pair task index: the pair solve fails
 ///   multigp.combo       keyed by combo index: the combo solve fails
 ///   parse.hierarchy     parseHierarchy rejects the input
+///   persist.write-fail  keyed by artifact (0 snapshot, 1 journal):
+///                       the durable write fails outright
+///   persist.torn-write  same keys: the payload is truncated mid-write
+///   persist.corrupt-crc same keys: one payload byte is bit-flipped
 ///
 //===----------------------------------------------------------------------===//
 

@@ -313,6 +313,49 @@ std::string RunReport::toJson() const {
     W.endObject();
   }
 
+  W.key("persistence");
+  if (!Persistence.Present) {
+    W.value(false); // No cache directory was configured.
+  } else {
+    W.beginObject();
+    W.key("directory");
+    W.value(Persistence.Directory);
+    W.key("capacity");
+    W.value(Persistence.Capacity);
+    W.key("loaded_files");
+    W.value(Persistence.LoadedFiles);
+    W.key("loaded_entries");
+    W.value(Persistence.LoadedEntries);
+    W.key("append_failures");
+    W.value(Persistence.AppendFailures);
+    W.key("evictions");
+    W.value(Persistence.Evictions);
+    W.key("data_loss_detected");
+    W.value(Persistence.DataLossDetected);
+    W.key("problems");
+    W.beginArray();
+    for (const std::string &P : Persistence.Problems)
+      W.value(P);
+    W.endArray();
+    W.key("snapshot_written");
+    W.value(Persistence.SnapshotWritten);
+    W.endObject();
+  }
+
+  W.key("shards");
+  if (!Shards.Present) {
+    W.value(false); // Not a sharded or merging run.
+  } else {
+    W.beginObject();
+    W.key("index");
+    W.value(Shards.Index);
+    W.key("count");
+    W.value(Shards.Count);
+    W.key("merge");
+    W.value(Shards.Merge);
+    W.endObject();
+  }
+
   W.key("metrics");
   W.beginObject();
   W.key("counters");

@@ -90,6 +90,34 @@ struct RunReportEvaluator {
   std::vector<RunReportEvaluatorSample> Samples;
 };
 
+/// The `persistence` section: what durable state the run loaded, what
+/// it wrote, and every damage diagnostic (docs/PERSISTENCE.md). Present
+/// only when a cache directory was configured.
+struct RunReportPersistence {
+  bool Present = false; ///< Serialized as `"persistence": false` unset.
+  std::string Directory;
+  std::uint64_t Capacity = 0; ///< In-memory LRU bound; 0 = unbounded.
+  std::uint64_t LoadedFiles = 0;
+  std::uint64_t LoadedEntries = 0;
+  std::uint64_t AppendFailures = 0; ///< Journal appends that failed.
+  std::uint64_t Evictions = 0;
+  /// Artifacts detected torn/truncated/corrupt on load. The run then
+  /// degraded to a cold start for the damaged portion; Problems lists
+  /// one diagnostic per artifact.
+  std::uint64_t DataLossDetected = 0;
+  std::vector<std::string> Problems;
+  bool SnapshotWritten = false; ///< Clean-exit compaction succeeded.
+};
+
+/// The `shards` section: this run's slice of a distributed sweep.
+/// Present only under --shard or --merge-shards.
+struct RunReportShards {
+  bool Present = false; ///< Serialized as `"shards": false` when unset.
+  std::uint64_t Index = 1; ///< 1-based, as on the command line.
+  std::uint64_t Count = 1;
+  bool Merge = false; ///< True for the --merge-shards recombination run.
+};
+
 /// One run of the optimizer, ready for JSON serialization.
 struct RunReport {
   std::string Tool = "thistle-opt";
@@ -121,6 +149,12 @@ struct RunReport {
 
   /// The `--network` section; Present is false for single-layer runs.
   RunReportNetwork Network;
+
+  /// Durable-state accounting; Present only with a cache directory.
+  RunReportPersistence Persistence;
+
+  /// Distributed-sweep slice; Present only when sharding or merging.
+  RunReportShards Shards;
 
   /// Counters, statistics and spans collected during the run.
   telemetry::Snapshot Telemetry;

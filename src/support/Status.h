@@ -46,6 +46,12 @@ enum class StatusCode {
   DeadlineExceeded,
   /// An internal component violated its contract (caught exception).
   Internal,
+  /// A requested durable artifact (snapshot, journal) does not exist.
+  NotFound,
+  /// Durable state could not be written, or was detected damaged on
+  /// load (bad magic, truncated payload, CRC mismatch). Loads degrade
+  /// to a cold start; the damage is reported, never silently repaired.
+  DataLoss,
 };
 
 /// Renders a code as a stable lower-case token (used in diagnostics).
@@ -65,6 +71,10 @@ inline const char *statusCodeName(StatusCode Code) {
     return "deadline-exceeded";
   case StatusCode::Internal:
     return "internal";
+  case StatusCode::NotFound:
+    return "not-found";
+  case StatusCode::DataLoss:
+    return "data-loss";
   }
   return "unknown";
 }

@@ -96,6 +96,14 @@ NetworkResult thistle::optimizeNetwork(const std::vector<ConvLayer> &Layers,
         "network has no layers; 0 tasks: nothing attempted");
     return Result;
   }
+  if (Options.ShardCount == 0 ||
+      Options.ShardIndex >= Options.ShardCount) {
+    Result.InputStatus = Status::invalidArgument(
+        "shard " + std::to_string(Options.ShardIndex + 1) + "/" +
+        std::to_string(Options.ShardCount) +
+        " is not a valid 1-of-N partition");
+    return Result;
+  }
 
   // Deduplicate identical shapes: repeated blocks (ResNet basic blocks,
   // Yolo's stacked 3x3 stages) are solved once and their winner shared.
@@ -189,6 +197,13 @@ NetworkResult thistle::optimizeNetwork(const std::vector<ConvLayer> &Layers,
         [&](PhaseAccumulator &Acc, std::size_t TaskIdx) {
           const std::size_t Cell = TaskIdx / PhaseTasks;
           const std::size_t Rem = TaskIdx % PhaseTasks;
+          // The shard partition is a pure function of the global task
+          // index (phase span base + cell + offset), so every shard of
+          // every phase agrees on ownership without coordination.
+          if (Options.ShardCount > 1 &&
+              (SpanBase + Cell * PhaseTasks + Rem) % Options.ShardCount !=
+                  Options.ShardIndex)
+            return;
           const std::size_t S = shapeOfTask(Offsets, Rem);
           runPairTask(Ctxs[Cell * Shapes.size() + S], Rem - Offsets[S],
                       Acc[Cell * Shapes.size() + S]);

@@ -47,6 +47,14 @@ struct NetworkOptions {
   /// architecture for the whole network (the paper's comparison). When
   /// false each layer keeps its own co-designed architecture.
   bool SelectNetworkArch = true;
+  /// Deterministic 1-of-N partition of the pair-task grid for
+  /// distributed sweeps (docs/PERSISTENCE.md): this process solves only
+  /// tasks whose global index is congruent to ShardIndex mod ShardCount
+  /// and skips the rest before any cache lookup. The partition depends
+  /// only on the task grid, never on timing, so shard results recombine
+  /// (via a shared cache directory) bit-identically to a 1-process run.
+  std::size_t ShardIndex = 0; ///< 0-based; must be < ShardCount.
+  std::size_t ShardCount = 1; ///< 1 = no sharding.
 };
 
 /// One input layer's slice of the network result.

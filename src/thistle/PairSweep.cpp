@@ -190,6 +190,11 @@ void thistle::runPairTask(const PairSweepContext &Ctx, std::size_t TaskIdx,
       if (telemetry::traceEnabled())
         PairSpan.setDetail(std::string("cache-hit ") +
                            taskOutcomeName(Hit.Outcome));
+      // Replays must grow the warm tier exactly as the original solve
+      // did, or a run resumed from loaded entries would freeze
+      // different warm seeds than the uninterrupted run (the insert on
+      // the miss path is what fed the pending slot the first time).
+      Ctx.Cache->feedWarmPending(ExactKey, WarmKey, Hit.Optimum);
       replayCacheEntry(Hit, Task, TaskIdx, Acc);
       return;
     }

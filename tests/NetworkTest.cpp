@@ -253,3 +253,160 @@ TEST(Network, CoDesignSelectsOneNetworkArch) {
   // The area budget binds the selected architecture too.
   EXPECT_LE(R.Arch.areaUm2(Tech), eyerissAreaUm2(Tech) * 1.0001);
 }
+
+//===----------------------------------------------------------------------===//
+// GpSolutionCache persistence: LRU bound, snapshot/journal round trips,
+// and graceful degradation on damaged artifacts (docs/PERSISTENCE.md).
+//===----------------------------------------------------------------------===//
+
+#include "support/Persist.h"
+
+#include <fstream>
+
+namespace {
+
+NetworkResult runToy(GpSolutionCache *Cache) {
+  NetworkOptions NO = fastNetworkOptions();
+  NO.Cache = Cache;
+  return optimizeNetwork(toyNetwork(), eyerissArch(), TechParams::cgo45nm(),
+                         NO);
+}
+
+} // namespace
+
+TEST(NetworkPersist, LruBoundNeverChangesResults) {
+  NetworkResult Unbounded = runToy(nullptr);
+  ASSERT_TRUE(Unbounded.Found);
+
+  GpSolutionCache Tiny;
+  Tiny.setCapacity(2);
+  EXPECT_EQ(Tiny.capacity(), 2u);
+  NetworkResult First = runToy(&Tiny);
+  ASSERT_TRUE(First.Found);
+  expectIdentical(Unbounded, First);
+  // The toy network fills more than two exact entries, so the bound
+  // must have evicted — and the telemetry must say so.
+  EXPECT_GT(First.Stats.CacheMisses, 2u);
+  EXPECT_GT(Tiny.evictions(), 0u);
+  EXPECT_LE(Tiny.size(), 2u);
+
+  // A rerun mostly re-solves (the evicted entries are gone) but the
+  // results stay bit-identical: eviction is a capacity decision, never
+  // a correctness one.
+  NetworkResult Second = runToy(&Tiny);
+  ASSERT_TRUE(Second.Found);
+  expectIdentical(Unbounded, Second);
+
+  // Shrinking an over-full cache evicts immediately.
+  GpSolutionCache Shrunk;
+  NetworkResult Fill = runToy(&Shrunk);
+  ASSERT_TRUE(Fill.Found);
+  ASSERT_GT(Shrunk.size(), 1u);
+  Shrunk.setCapacity(1);
+  EXPECT_EQ(Shrunk.size(), 1u);
+  EXPECT_GT(Shrunk.evictions(), 0u);
+}
+
+TEST(NetworkPersist, SnapshotReloadReplaysBitIdentically) {
+  std::string Path = ::testing::TempDir() + "/netpersist-roundtrip.snap";
+  persist::removeFile(Path);
+
+  GpSolutionCache Warm;
+  NetworkResult First = runToy(&Warm);
+  ASSERT_TRUE(First.Found);
+  ASSERT_GT(Warm.size(), 0u);
+  ASSERT_TRUE(Warm.saveSnapshotFile(Path).isOk());
+
+  GpSolutionCache Reloaded;
+  GpCachePersistStats Stats;
+  Reloaded.loadFile(Path, Stats);
+  EXPECT_EQ(Stats.FilesLoaded, 1u);
+  EXPECT_EQ(Stats.EntriesLoaded, Warm.size());
+  EXPECT_EQ(Stats.DataLoss, 0u);
+  EXPECT_EQ(Reloaded.size(), Warm.size());
+
+  // The reloaded run replays every task from disk — zero misses — and
+  // reproduces the original bit for bit.
+  NetworkResult Replayed = runToy(&Reloaded);
+  ASSERT_TRUE(Replayed.Found);
+  expectIdentical(First, Replayed);
+  EXPECT_EQ(Replayed.Stats.CacheMisses, 0u);
+  EXPECT_EQ(Replayed.Stats.CacheHits, First.Stats.CacheMisses);
+  persist::removeFile(Path);
+}
+
+TEST(NetworkPersist, JournalCheckpointsReplayLikeSnapshots) {
+  std::string Path = ::testing::TempDir() + "/netpersist-journal.log";
+  persist::removeFile(Path);
+
+  GpSolutionCache Writer;
+  ASSERT_TRUE(Writer.attachJournal(Path).isOk());
+  NetworkResult First = runToy(&Writer);
+  ASSERT_TRUE(First.Found);
+  EXPECT_EQ(Writer.journalAppendFailures(), 0u);
+  Writer.detachJournal();
+
+  GpSolutionCache Reloaded;
+  GpCachePersistStats Stats;
+  Reloaded.loadFile(Path, Stats);
+  EXPECT_EQ(Stats.EntriesLoaded, Writer.size());
+  EXPECT_EQ(Stats.RecordsRead, Writer.size());
+  EXPECT_EQ(Stats.DataLoss, 0u);
+
+  NetworkResult Replayed = runToy(&Reloaded);
+  ASSERT_TRUE(Replayed.Found);
+  expectIdentical(First, Replayed);
+  EXPECT_EQ(Replayed.Stats.CacheMisses, 0u);
+  persist::removeFile(Path);
+}
+
+TEST(NetworkPersist, DamagedArtifactsDegradeToColdStart) {
+  std::string Dir = ::testing::TempDir();
+
+  // A snapshot from an unknown format: reported, then ignored.
+  std::string Bad = Dir + "/netpersist-bad.snap";
+  {
+    std::ofstream Out(Bad, std::ios::binary | std::ios::trunc);
+    Out << "bogus-format/9 snap gpcache 4 deadbeef\nXXXX";
+  }
+  GpSolutionCache Cold;
+  GpCachePersistStats Stats;
+  Cold.loadFile(Bad, Stats);
+  EXPECT_EQ(Stats.EntriesLoaded, 0u);
+  EXPECT_EQ(Stats.DataLoss, 1u);
+  ASSERT_EQ(Stats.Problems.size(), 1u);
+  EXPECT_NE(Stats.Problems[0].find(Bad), std::string::npos);
+
+  // A missing file is not damage — silence, then a cold start.
+  GpCachePersistStats Quiet;
+  Cold.loadFile(Dir + "/netpersist-nonexistent.snap", Quiet);
+  EXPECT_EQ(Quiet.DataLoss, 0u);
+  EXPECT_EQ(Quiet.FilesLoaded, 0u);
+
+  // The cold cache still runs the network to the same answer.
+  NetworkResult Baseline = runToy(nullptr);
+  NetworkResult Degraded = runToy(&Cold);
+  ASSERT_TRUE(Degraded.Found);
+  expectIdentical(Baseline, Degraded);
+  EXPECT_EQ(Degraded.Stats.CacheHits, 0u);
+
+  // A bit-flip inside a real snapshot's payload: CRC catches it.
+  std::string Flip = Dir + "/netpersist-flip.snap";
+  ASSERT_TRUE(Cold.saveSnapshotFile(Flip).isOk());
+  {
+    std::ifstream In(Flip, std::ios::binary);
+    std::string Bytes((std::istreambuf_iterator<char>(In)),
+                      std::istreambuf_iterator<char>());
+    Bytes[Bytes.size() / 2] ^= 0x01;
+    std::ofstream Out(Flip, std::ios::binary | std::ios::trunc);
+    Out.write(Bytes.data(), static_cast<std::streamsize>(Bytes.size()));
+  }
+  GpSolutionCache Rejects;
+  GpCachePersistStats FlipStats;
+  Rejects.loadFile(Flip, FlipStats);
+  EXPECT_EQ(FlipStats.EntriesLoaded, 0u);
+  EXPECT_EQ(FlipStats.DataLoss, 1u);
+  EXPECT_EQ(Rejects.size(), 0u);
+  persist::removeFile(Bad);
+  persist::removeFile(Flip);
+}

@@ -318,3 +318,272 @@ TEST(FaultInjection, SpecParsing) {
 }
 
 #endif // THISTLE_FAULT_INJECTION_ENABLED
+
+//===----------------------------------------------------------------------===//
+// Persist: the crash-safe durable-state layer (docs/PERSISTENCE.md).
+//===----------------------------------------------------------------------===//
+
+#include "support/Persist.h"
+
+#include <cmath>
+#include <fstream>
+#include <limits>
+
+namespace {
+
+std::string tmpPath(const std::string &Name) {
+  return ::testing::TempDir() + "/" + Name;
+}
+
+std::string slurp(const std::string &Path) {
+  std::ifstream In(Path, std::ios::binary);
+  return std::string(std::istreambuf_iterator<char>(In),
+                     std::istreambuf_iterator<char>());
+}
+
+void spit(const std::string &Path, const std::string &Bytes) {
+  std::ofstream Out(Path, std::ios::binary | std::ios::trunc);
+  Out.write(Bytes.data(), static_cast<std::streamsize>(Bytes.size()));
+}
+
+} // namespace
+
+TEST(Persist, Crc32KnownVectorAndChaining) {
+  // The IEEE 802.3 check value.
+  EXPECT_EQ(persist::crc32("123456789", 9), 0xCBF43926u);
+  // Seed chaining composes: crc(ab) == crc(b, crc(a)).
+  std::uint32_t Part = persist::crc32("12345", 5);
+  EXPECT_EQ(persist::crc32("6789", 4, Part), 0xCBF43926u);
+  EXPECT_EQ(persist::crc32("", 0), 0u);
+}
+
+TEST(Persist, EncoderDecoderRoundTripIsBitExact) {
+  persist::Encoder E;
+  E.putU32(0xDEADBEEFu);
+  E.putU64(~0ull);
+  E.putI64(-42);
+  E.putBool(true);
+  E.putDouble(0.1);
+  E.putDouble(-0.0);
+  E.putDouble(std::numeric_limits<double>::infinity());
+  E.putDouble(std::numeric_limits<double>::quiet_NaN());
+  E.putString(std::string("nul\0newline\n", 12));
+
+  persist::Decoder D(E.bytes());
+  std::uint32_t U32 = 0;
+  std::uint64_t U64 = 0;
+  std::int64_t I64 = 0;
+  bool B = false;
+  double Tenth = 0, NegZero = 0, Inf = 0, Nan = 0;
+  std::string S;
+  EXPECT_TRUE(D.getU32(U32));
+  EXPECT_TRUE(D.getU64(U64));
+  EXPECT_TRUE(D.getI64(I64));
+  EXPECT_TRUE(D.getBool(B));
+  EXPECT_TRUE(D.getDouble(Tenth));
+  EXPECT_TRUE(D.getDouble(NegZero));
+  EXPECT_TRUE(D.getDouble(Inf));
+  EXPECT_TRUE(D.getDouble(Nan));
+  EXPECT_TRUE(D.getString(S));
+  EXPECT_EQ(U32, 0xDEADBEEFu);
+  EXPECT_EQ(U64, ~0ull);
+  EXPECT_EQ(I64, -42);
+  EXPECT_TRUE(B);
+  EXPECT_EQ(Tenth, 0.1);
+  EXPECT_EQ(NegZero, 0.0);
+  EXPECT_TRUE(std::signbit(NegZero)); // -0.0 survives, not just ==.
+  EXPECT_TRUE(std::isinf(Inf));
+  EXPECT_TRUE(std::isnan(Nan));
+  EXPECT_EQ(S, std::string("nul\0newline\n", 12));
+  EXPECT_TRUE(D.atEnd());
+  EXPECT_FALSE(D.failed());
+}
+
+TEST(Persist, DecoderUnderrunLatchesFailure) {
+  persist::Encoder E;
+  E.putU32(7);
+  persist::Decoder D(E.bytes());
+  std::uint64_t U64 = 99;
+  EXPECT_FALSE(D.getU64(U64)); // Only 4 bytes available.
+  EXPECT_EQ(U64, 99u);         // Output untouched on failure.
+  EXPECT_TRUE(D.failed());
+  std::uint32_t U32 = 0;
+  EXPECT_FALSE(D.getU32(U32)); // Latched: even a fitting read fails.
+
+  // A string whose length prefix exceeds the remaining bytes fails too.
+  persist::Encoder E2;
+  E2.putU64(1000);
+  persist::Decoder D2(E2.bytes());
+  std::string S;
+  EXPECT_FALSE(D2.getString(S));
+  EXPECT_TRUE(D2.failed());
+}
+
+TEST(Persist, SnapshotRoundTripAndAtomicReplace) {
+  std::string Path = tmpPath("persist-roundtrip.snap");
+  std::string Payload("binary\0payload\n\xff", 16);
+  ASSERT_TRUE(persist::writeSnapshotFile(Path, "unit", Payload).isOk());
+  Expected<std::string> Back = persist::readSnapshotFile(Path, "unit");
+  ASSERT_TRUE(Back.hasValue());
+  EXPECT_EQ(Back.value(), Payload);
+
+  // Rewriting replaces the snapshot in place (rename atomicity).
+  ASSERT_TRUE(persist::writeSnapshotFile(Path, "unit", "v2").isOk());
+  Back = persist::readSnapshotFile(Path, "unit");
+  ASSERT_TRUE(Back.hasValue());
+  EXPECT_EQ(Back.value(), "v2");
+  persist::removeFile(Path);
+}
+
+TEST(Persist, SnapshotErrorTaxonomy) {
+  // Missing file: NotFound (callers stay silent and start cold).
+  Expected<std::string> Missing =
+      persist::readSnapshotFile(tmpPath("persist-nonexistent.snap"), "unit");
+  ASSERT_FALSE(Missing.hasValue());
+  EXPECT_EQ(Missing.status().code(), StatusCode::NotFound);
+
+  // Unknown version magic: ParseError, never a guess.
+  std::string Path = tmpPath("persist-badmagic.snap");
+  spit(Path, "bogus-format/9 snap unit 2 00000000\nhi");
+  Expected<std::string> BadMagic = persist::readSnapshotFile(Path, "unit");
+  ASSERT_FALSE(BadMagic.hasValue());
+  EXPECT_EQ(BadMagic.status().code(), StatusCode::ParseError);
+
+  // Wrong kind: a gpcache snapshot is not a sweep snapshot.
+  ASSERT_TRUE(persist::writeSnapshotFile(Path, "unit", "hi").isOk());
+  Expected<std::string> WrongKind = persist::readSnapshotFile(Path, "other");
+  ASSERT_FALSE(WrongKind.hasValue());
+  EXPECT_EQ(WrongKind.status().code(), StatusCode::ParseError);
+
+  // Truncated payload: DataLoss naming the byte counts.
+  std::string Good = slurp(Path);
+  spit(Path, Good.substr(0, Good.size() - 1));
+  Expected<std::string> Torn = persist::readSnapshotFile(Path, "unit");
+  ASSERT_FALSE(Torn.hasValue());
+  EXPECT_EQ(Torn.status().code(), StatusCode::DataLoss);
+
+  // Flipped payload byte: CRC mismatch, DataLoss.
+  std::string Flipped = Good;
+  Flipped.back() ^= 0x40;
+  spit(Path, Flipped);
+  Expected<std::string> Corrupt = persist::readSnapshotFile(Path, "unit");
+  ASSERT_FALSE(Corrupt.hasValue());
+  EXPECT_EQ(Corrupt.status().code(), StatusCode::DataLoss);
+  EXPECT_NE(Corrupt.status().toString().find("CRC"), std::string::npos);
+  persist::removeFile(Path);
+}
+
+TEST(Persist, JournalAppendsSurviveReopen) {
+  std::string Path = tmpPath("persist-journal.log");
+  persist::removeFile(Path);
+  {
+    persist::JournalWriter W;
+    ASSERT_TRUE(W.open(Path, "unit").isOk());
+    EXPECT_TRUE(W.isOpen());
+    ASSERT_TRUE(W.append("first").isOk());
+    ASSERT_TRUE(W.append(std::string("bin\0rec", 7)).isOk());
+  } // Destructor closes.
+  {
+    // Reopening appends without duplicating the header.
+    persist::JournalWriter W;
+    ASSERT_TRUE(W.open(Path, "unit").isOk());
+    ASSERT_TRUE(W.append("third").isOk());
+  }
+  Expected<persist::JournalContents> Back =
+      persist::readJournalFile(Path, "unit");
+  ASSERT_TRUE(Back.hasValue());
+  EXPECT_FALSE(Back.value().Truncated);
+  ASSERT_EQ(Back.value().Records.size(), 3u);
+  EXPECT_EQ(Back.value().Records[0], "first");
+  EXPECT_EQ(Back.value().Records[1], std::string("bin\0rec", 7));
+  EXPECT_EQ(Back.value().Records[2], "third");
+  persist::removeFile(Path);
+}
+
+TEST(Persist, JournalTornTailKeepsIntactPrefix) {
+  std::string Path = tmpPath("persist-torn.log");
+  persist::removeFile(Path);
+  {
+    persist::JournalWriter W;
+    ASSERT_TRUE(W.open(Path, "unit").isOk());
+    ASSERT_TRUE(W.append("alpha").isOk());
+    ASSERT_TRUE(W.append("beta").isOk());
+  }
+  // A SIGKILL mid-append leaves a half-written frame at the tail.
+  std::string Bytes = slurp(Path);
+  spit(Path, Bytes + "rec 50 0123abcd\nhalf");
+  Expected<persist::JournalContents> Back =
+      persist::readJournalFile(Path, "unit");
+  ASSERT_TRUE(Back.hasValue());
+  ASSERT_EQ(Back.value().Records.size(), 2u);
+  EXPECT_EQ(Back.value().Records[0], "alpha");
+  EXPECT_EQ(Back.value().Records[1], "beta");
+  EXPECT_TRUE(Back.value().Truncated);
+  EXPECT_NE(Back.value().Problem.find("2 intact"), std::string::npos);
+
+  // A corrupt (bit-flipped) tail record is dropped the same way.
+  std::string Corrupt = Bytes;
+  Corrupt.back() ^= 0x40; // "beta"'s record separator.
+  spit(Path, Corrupt);
+  Back = persist::readJournalFile(Path, "unit");
+  ASSERT_TRUE(Back.hasValue());
+  ASSERT_EQ(Back.value().Records.size(), 1u);
+  EXPECT_EQ(Back.value().Records[0], "alpha");
+  EXPECT_TRUE(Back.value().Truncated);
+  persist::removeFile(Path);
+}
+
+#if THISTLE_FAULT_INJECTION_ENABLED
+
+TEST(Persist, FaultSitesCoverBothArtifacts) {
+  FaultGuard G;
+  std::string Path = tmpPath("persist-fault.snap");
+  persist::removeFile(Path);
+
+  // Key 0 is the snapshot path: the write fails outright and leaves no
+  // file behind.
+  fault::arm("persist.write-fail", /*Key=*/0);
+  Status St = persist::writeSnapshotFile(Path, "unit", "payload");
+  EXPECT_EQ(St.code(), StatusCode::DataLoss);
+  EXPECT_FALSE(persist::fileExists(Path));
+  fault::disarmAll();
+
+  // A torn snapshot write "succeeds" but the reader detects the loss.
+  fault::arm("persist.torn-write", /*Key=*/0);
+  ASSERT_TRUE(persist::writeSnapshotFile(Path, "unit", "payload").isOk());
+  fault::disarmAll();
+  Expected<std::string> Torn = persist::readSnapshotFile(Path, "unit");
+  ASSERT_FALSE(Torn.hasValue());
+  EXPECT_EQ(Torn.status().code(), StatusCode::DataLoss);
+
+  // Same for a bit flip after the CRC was computed.
+  fault::arm("persist.corrupt-crc", /*Key=*/0);
+  ASSERT_TRUE(persist::writeSnapshotFile(Path, "unit", "payload").isOk());
+  fault::disarmAll();
+  Expected<std::string> Corrupt = persist::readSnapshotFile(Path, "unit");
+  ASSERT_FALSE(Corrupt.hasValue());
+  EXPECT_EQ(Corrupt.status().code(), StatusCode::DataLoss);
+  persist::removeFile(Path);
+
+  // Key 1 is the journal path: appends fail, the writer stays open, and
+  // records appended around the failure still land.
+  std::string JPath = tmpPath("persist-fault.log");
+  persist::removeFile(JPath);
+  persist::JournalWriter W;
+  ASSERT_TRUE(W.open(JPath, "unit").isOk());
+  ASSERT_TRUE(W.append("before").isOk());
+  fault::arm("persist.write-fail", /*Key=*/1);
+  EXPECT_EQ(W.append("dropped").code(), StatusCode::DataLoss);
+  fault::disarmAll();
+  ASSERT_TRUE(W.append("after").isOk());
+  W.close();
+  Expected<persist::JournalContents> Back =
+      persist::readJournalFile(JPath, "unit");
+  ASSERT_TRUE(Back.hasValue());
+  ASSERT_EQ(Back.value().Records.size(), 2u);
+  EXPECT_EQ(Back.value().Records[0], "before");
+  EXPECT_EQ(Back.value().Records[1], "after");
+  persist::removeFile(JPath);
+}
+
+#endif // THISTLE_FAULT_INJECTION_ENABLED

@@ -5,7 +5,14 @@ The schema (thistle-run-report/1) is pinned in docs/OBSERVABILITY.md.
 Stdlib only; exits 0 when the report validates, 1 with a list of
 violations otherwise.
 
-Usage: check_run_report.py report.json
+Usage: check_run_report.py [--canonical] report.json
+
+With --canonical the report is validated and then printed to stdout in
+a canonical form with the volatile fields (timings, trace, metrics,
+cache traffic, persistence/shard accounting) removed — two runs that
+computed the same result canonicalize to identical bytes, which is how
+the resume/shard drivers compare a resumed or merged run against an
+uninterrupted one.
 """
 
 import json
@@ -25,8 +32,8 @@ TOP_FIELDS = {
     "exit_code": int,
     "result": dict,
     "evaluator": dict,
-    # "sweep" and "network" are dict or the literal false; checked
-    # separately.
+    # "sweep", "network", "persistence" and "shards" are dict or the
+    # literal false; checked separately.
     "metrics": dict,
     "trace": dict,
 }
@@ -108,6 +115,24 @@ NETWORK_LAYER_FIELDS = {
     "found": bool,
     "energy_pj": (int, float, type(None)),
     "cycles": (int, float, type(None)),
+}
+
+PERSISTENCE_FIELDS = {
+    "directory": str,
+    "capacity": int,
+    "loaded_files": int,
+    "loaded_entries": int,
+    "append_failures": int,
+    "evictions": int,
+    "data_loss_detected": int,
+    "problems": list,
+    "snapshot_written": bool,
+}
+
+SHARDS_FIELDS = {
+    "index": int,
+    "count": int,
+    "merge": bool,
 }
 
 INCIDENT_FIELDS = {
@@ -259,6 +284,41 @@ def validate(report):
     else:
         errors.append("$.network: expected object or false")
 
+    persistence = report.get("persistence")
+    if persistence is False:
+        pass  # No cache directory configured.
+    elif isinstance(persistence, dict):
+        check_fields(persistence, PERSISTENCE_FIELDS, "$.persistence",
+                     errors)
+        problems = persistence.get("problems")
+        if isinstance(problems, list):
+            for i, problem in enumerate(problems):
+                if not isinstance(problem, str):
+                    errors.append(
+                        f"$.persistence.problems[{i}]: not a string")
+            if isinstance(persistence.get("data_loss_detected"), int) and \
+                    persistence["data_loss_detected"] != len(problems):
+                errors.append(
+                    "$.persistence.data_loss_detected: "
+                    "!= len(problems)")
+    else:
+        errors.append("$.persistence: expected object or false")
+
+    shards = report.get("shards")
+    if shards is False:
+        pass  # Not a sharded or merging run.
+    elif isinstance(shards, dict):
+        check_fields(shards, SHARDS_FIELDS, "$.shards", errors)
+        if isinstance(shards.get("index"), int) and \
+                isinstance(shards.get("count"), int) and \
+                not 1 <= shards["index"] <= shards["count"]:
+            errors.append("$.shards.index: outside 1..count")
+        if persistence is False:
+            errors.append(
+                "$.shards: sharded run without a persistence section")
+    else:
+        errors.append("$.shards: expected object or false")
+
     metrics = report.get("metrics")
     if isinstance(metrics, dict):
         counters = metrics.get("counters")
@@ -317,15 +377,44 @@ def validate(report):
     return errors
 
 
+# Fields that legitimately differ between runs computing the same
+# result: timings, the span trace, telemetry counters, cache traffic
+# (a resumed run hits where the original missed) and the durable-state
+# accounting itself. Everything else — the result, the winner, the
+# sweep outcomes, the per-layer rows — must match byte-for-byte.
+CANONICAL_DROP_TOP = (
+    "wall_seconds", "metrics", "trace", "persistence", "shards",
+)
+CANONICAL_DROP_NETWORK = (
+    "cache_hits", "cache_misses", "cache_warm_starts",
+)
+
+
+def canonicalize(report):
+    out = {k: v for k, v in report.items() if k not in CANONICAL_DROP_TOP}
+    network = out.get("network")
+    if isinstance(network, dict):
+        out["network"] = {
+            k: v for k, v in network.items()
+            if k not in CANONICAL_DROP_NETWORK
+        }
+    return out
+
+
 def main(argv):
-    if len(argv) != 2:
+    args = list(argv[1:])
+    canonical = "--canonical" in args
+    if canonical:
+        args.remove("--canonical")
+    if len(args) != 1:
         print(__doc__.strip(), file=sys.stderr)
         return 1
+    path = args[0]
     try:
-        with open(argv[1], encoding="utf-8") as handle:
+        with open(path, encoding="utf-8") as handle:
             report = json.load(handle)
     except (OSError, json.JSONDecodeError) as exc:
-        print(f"error: {argv[1]}: {exc}", file=sys.stderr)
+        print(f"error: {path}: {exc}", file=sys.stderr)
         return 1
     if not isinstance(report, dict):
         print("error: top-level JSON value is not an object",
@@ -335,10 +424,13 @@ def main(argv):
     if errors:
         for error in errors:
             print(f"error: {error}", file=sys.stderr)
-        print(f"{argv[1]}: {len(errors)} schema violation(s)",
+        print(f"{path}: {len(errors)} schema violation(s)",
               file=sys.stderr)
         return 1
-    print(f"{argv[1]}: valid {SCHEMA}")
+    if canonical:
+        print(json.dumps(canonicalize(report), indent=2, sort_keys=True))
+    else:
+        print(f"{path}: valid {SCHEMA}")
     return 0
 
 

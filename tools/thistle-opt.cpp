@@ -20,6 +20,7 @@
 #include "nestmodel/CostEvaluator.h"
 #include "nestmodel/Mapper.h"
 #include "support/FaultInjection.h"
+#include "support/Persist.h"
 #include "support/RunReport.h"
 #include "support/TablePrinter.h"
 #include "support/Telemetry.h"
@@ -118,6 +119,36 @@ const FlagSpec ArchitectureFlags[] = {
     {"--area-budget", "UM2", "co-design area (default: Eyeriss)"},
 };
 
+const FlagSpec PersistenceFlags[] = {
+    {"--cache-dir", "DIR",
+     "durable GP solution cache: load any\n"
+     "snapshot/journal found in DIR, append\n"
+     "every new solution at task granularity\n"
+     "(survives SIGKILL), compact to a\n"
+     "snapshot on exit. Damaged files are\n"
+     "detected (CRC), reported and skipped —\n"
+     "the run degrades to a cold start.\n"
+     "THISTLE_CACHE_DIR is the env form;\n"
+     "the flag wins (docs/PERSISTENCE.md)"},
+    {"--resume", "DIR",
+     "alias of --cache-dir: rerun the same\n"
+     "command after a crash and completed\n"
+     "tasks replay from the checkpoint,\n"
+     "bit-identically to an uninterrupted run"},
+    {"--cache-capacity", "N",
+     "bound the in-memory cache to N entries\n"
+     "(LRU eviction; default 0 = unbounded)"},
+    {"--shard", "I/N",
+     "solve only slice I of N (1-based) of\n"
+     "the deterministic task-grid partition;\n"
+     "each shard checkpoints to its own\n"
+     "cache segment and report in DIR"},
+    {"--merge-shards", "",
+     "recombine the shard segments in DIR\n"
+     "into the full-network result, bit-\n"
+     "identical to a single-process run"},
+};
+
 const FlagSpec OutputFlags[] = {
     {"--export-timeloop", "", "emit Timeloop-style YAML specs"},
     {"--help", "", "print this usage table (also -h)"},
@@ -141,6 +172,8 @@ const FlagGroup UsageGroups[] = {
     {"optimization:", OptimizationFlags, std::size(OptimizationFlags)},
     {"architecture (dataflow mode; defaults to Eyeriss):",
      ArchitectureFlags, std::size(ArchitectureFlags)},
+    {"persistence (--network runs; see docs/PERSISTENCE.md):",
+     PersistenceFlags, std::size(PersistenceFlags)},
     {"output:", OutputFlags, std::size(OutputFlags)},
     {"observability (see docs/OBSERVABILITY.md; all off by default, and\n"
      "the optimization result is bit-identical either way):",
@@ -388,17 +421,102 @@ int runPipeline(const std::vector<ConvLayer> &Layers,
   return Exit;
 }
 
+/// The persistence/sharding configuration of a --network run.
+struct PersistConfig {
+  std::string Dir;               ///< Empty = no durable state.
+  std::uint64_t Capacity = 0;    ///< In-memory LRU bound; 0 = unbounded.
+  std::size_t ShardIndex = 0;    ///< 0-based.
+  std::size_t ShardCount = 1;    ///< 1 = no sharding.
+  bool Merge = false;            ///< --merge-shards recombination run.
+};
+
 /// --network mode: run the network driver (shape dedup, shared GP
 /// solution cache, optional network-level arch selection) and print a
 /// per-layer table plus the network totals.
 int runNetwork(const std::vector<ConvLayer> &Layers,
                const ThistleOptions &Options, const ArchConfig &Arch,
                const TechParams &Tech, double AreaBudget, bool UseCache,
-               RunReport &RR) {
+               const PersistConfig &PC, RunReport &RR) {
   GpSolutionCache Cache;
   NetworkOptions NO;
   NO.Layer = Options;
   NO.Cache = UseCache ? &Cache : nullptr;
+  NO.ShardIndex = PC.ShardIndex;
+  NO.ShardCount = PC.ShardCount;
+  const bool Sharded = PC.ShardCount > 1;
+
+  // Durable state: load whatever the cache directory holds, then attach
+  // the journal so every new solution is checkpointed at task
+  // granularity. Damaged artifacts are reported and skipped (the run
+  // degrades to a cold start for that portion); only an unusable
+  // directory is a hard error, caught before any solving starts.
+  // The LRU bound applies with or without durable state.
+  Cache.setCapacity(static_cast<std::size_t>(PC.Capacity));
+
+  const bool Persist = UseCache && !PC.Dir.empty();
+  GpCachePersistStats PS;
+  std::string SnapPath, JournalPath;
+  if (Persist) {
+    if (Status St = persist::createDirectories(PC.Dir); !St.isOk()) {
+      std::fprintf(stderr, "error: --cache-dir: %s\n",
+                   St.toString().c_str());
+      return 2;
+    }
+    RR.Persistence.Present = true;
+    RR.Persistence.Directory = PC.Dir;
+    RR.Persistence.Capacity = PC.Capacity;
+    // The shared artifacts first: the compacted snapshot, then the
+    // journal of any run that died before compacting.
+    const std::string Base = PC.Dir + "/gpcache";
+    Cache.loadFile(Base + ".snap", PS);
+    Cache.loadFile(Base + ".journal", PS);
+    if (Sharded) {
+      // A shard checkpoints to its own segment pair and self-resumes
+      // from it; the shared artifacts above seed it with any earlier
+      // compaction.
+      const std::string Seg =
+          PC.Dir + "/shard-" + std::to_string(PC.ShardIndex + 1) +
+          "-of-" + std::to_string(PC.ShardCount);
+      SnapPath = Seg + ".snap";
+      JournalPath = Seg + ".journal";
+      Cache.loadFile(SnapPath, PS);
+      Cache.loadFile(JournalPath, PS);
+    } else {
+      SnapPath = Base + ".snap";
+      JournalPath = Base + ".journal";
+      if (PC.Merge) {
+        // Recombine every shard segment. Load order is lexicographic
+        // for determinism, though it cannot matter: entries agree
+        // wherever keys collide, and first-wins keeps one copy.
+        for (const std::string &F :
+             persist::listFiles(PC.Dir, "shard-", ".snap"))
+          Cache.loadFile(F, PS);
+        for (const std::string &F :
+             persist::listFiles(PC.Dir, "shard-", ".journal"))
+          Cache.loadFile(F, PS);
+      }
+    }
+    for (const std::string &P : PS.Problems)
+      std::printf("persist: warning: %s\n", P.c_str());
+    std::printf("persist: %s: %llu entries from %u file(s)%s\n",
+                PC.Dir.c_str(),
+                static_cast<unsigned long long>(PS.EntriesLoaded),
+                PS.FilesLoaded, PS.DataLoss ? " [data loss detected]" : "");
+    if (Status St = Cache.attachJournal(JournalPath); !St.isOk())
+      std::printf("persist: warning: no checkpoint journal: %s\n",
+                  St.toString().c_str());
+  }
+  if (Sharded) {
+    RR.Shards.Present = true;
+    RR.Shards.Index = PC.ShardIndex + 1;
+    RR.Shards.Count = PC.ShardCount;
+    std::printf("persist: shard %zu/%zu of the task grid\n",
+                PC.ShardIndex + 1, PC.ShardCount);
+  } else if (PC.Merge) {
+    RR.Shards.Present = true;
+    RR.Shards.Merge = true;
+  }
+
   NetworkResult R = optimizeNetwork(Layers, Arch, Tech, NO, AreaBudget);
   if (!R.InputStatus.isOk()) {
     std::fprintf(stderr, "error: %s\n", R.InputStatus.toString().c_str());
@@ -479,6 +597,49 @@ int runNetwork(const std::vector<ConvLayer> &Layers,
                 static_cast<unsigned long long>(R.Stats.CacheMisses),
                 static_cast<unsigned long long>(R.Stats.CacheWarmStarts));
 
+  // Clean-exit compaction: the sweep finished, so fold the journal into
+  // one atomic snapshot and drop the superseded artifacts. A failed
+  // snapshot write keeps the journal (nothing is lost, the next run
+  // replays it) and never changes the exit code.
+  if (Persist) {
+    RR.Persistence.LoadedFiles = PS.FilesLoaded;
+    RR.Persistence.LoadedEntries = PS.EntriesLoaded;
+    RR.Persistence.AppendFailures = Cache.journalAppendFailures();
+    RR.Persistence.Evictions = Cache.evictions();
+    RR.Persistence.DataLossDetected = PS.DataLoss;
+    RR.Persistence.Problems = PS.Problems;
+    if (Cache.journalAppendFailures())
+      std::printf("persist: warning: %llu checkpoint append(s) failed; "
+                  "those tasks will re-solve after a crash\n",
+                  static_cast<unsigned long long>(
+                      Cache.journalAppendFailures()));
+    Cache.detachJournal();
+    if (Status St = Cache.saveSnapshotFile(SnapPath); St.isOk()) {
+      RR.Persistence.SnapshotWritten = true;
+      if (JournalPath != SnapPath)
+        persist::removeFile(JournalPath);
+      if (PC.Merge) {
+        for (const std::string &F :
+             persist::listFiles(PC.Dir, "shard-", ".snap"))
+          persist::removeFile(F);
+        for (const std::string &F :
+             persist::listFiles(PC.Dir, "shard-", ".journal"))
+          persist::removeFile(F);
+      }
+      std::printf("persist: compacted %zu entries to %s\n", Cache.size(),
+                  SnapPath.c_str());
+    } else {
+      std::printf("persist: warning: %s (journal kept)\n",
+                  St.toString().c_str());
+    }
+  }
+
+  // A shard owns only its slice of the task grid, so missing layers and
+  // empty sweeps are by design; its exit reflects its own slice's sweep
+  // health, and the merge run applies the whole-network criteria.
+  if (Sharded)
+    return sweepExitCode(R.Report, "pair");
+
   if (R.LayersFound == 0) {
     std::fprintf(stderr, "no feasible design found for any layer\n");
     return 3;
@@ -517,6 +678,8 @@ int main(int Argc, char **Argv) {
   std::string TraceJsonPath;
   bool WantMetrics = false;
   bool WantProfile = false;
+  PersistConfig PC;
+  bool HaveCapacity = false;
 
   for (int I = 1; I < Argc; ++I) {
     std::string Arg = Argv[I];
@@ -631,6 +794,38 @@ int main(int Argc, char **Argv) {
       Arch.SramWords = std::atoll(needValue());
     } else if (Arg == "--area-budget") {
       AreaBudget = std::atof(needValue());
+    } else if (Arg == "--cache-dir" || Arg == "--resume") {
+      PC.Dir = needValue();
+      if (PC.Dir.empty()) {
+        std::fprintf(stderr, "error: %s wants a directory\n", Arg.c_str());
+        return 2;
+      }
+    } else if (Arg == "--cache-capacity") {
+      long long N = std::atoll(needValue());
+      if (N < 0) {
+        std::fprintf(stderr, "error: --cache-capacity wants a "
+                             "non-negative entry count (0 = unbounded)\n");
+        return 2;
+      }
+      PC.Capacity = static_cast<std::uint64_t>(N);
+      HaveCapacity = true;
+    } else if (Arg == "--shard") {
+      std::string V = needValue();
+      std::size_t Slash = V.find('/');
+      long I = Slash == std::string::npos
+                   ? 0
+                   : std::atol(V.substr(0, Slash).c_str());
+      long N =
+          Slash == std::string::npos ? 0 : std::atol(V.c_str() + Slash + 1);
+      if (I < 1 || N < 1 || I > N) {
+        std::fprintf(stderr,
+                     "error: --shard wants I/N with 1 <= I <= N\n");
+        return 2;
+      }
+      PC.ShardIndex = static_cast<std::size_t>(I - 1);
+      PC.ShardCount = static_cast<std::size_t>(N);
+    } else if (Arg == "--merge-shards") {
+      PC.Merge = true;
     } else if (Arg == "--export-timeloop") {
       ExportTimeloop = true;
     } else if (Arg == "--trace-json") {
@@ -656,6 +851,17 @@ int main(int Argc, char **Argv) {
     std::fprintf(stderr,
                  "error: --network excludes --layer/--resnet/--yolo/"
                  "--pipeline\n");
+    return 2;
+  }
+  if ((!PC.Dir.empty() || PC.ShardCount > 1 || PC.Merge || HaveCapacity) &&
+      Network.empty()) {
+    std::fprintf(stderr, "error: --cache-dir/--resume/--cache-capacity/"
+                         "--shard/--merge-shards require --network\n");
+    return 2;
+  }
+  if (PC.ShardCount > 1 && PC.Merge) {
+    std::fprintf(stderr,
+                 "error: --shard and --merge-shards are exclusive\n");
     return 2;
   }
   if (Options.Mode == DesignMode::CoDesign && AreaBudget == 0.0)
@@ -770,8 +976,27 @@ int main(int Argc, char **Argv) {
     bool UseCache = true;
     if (const char *Env = std::getenv("THISTLE_CACHE"))
       UseCache = std::string(Env) != "off" && std::string(Env) != "0";
+    // THISTLE_CACHE_DIR is the ambient form of --cache-dir; the flag
+    // wins, and either one implies the cache (over THISTLE_CACHE=off).
+    if (PC.Dir.empty())
+      if (const char *Env = std::getenv("THISTLE_CACHE_DIR"))
+        PC.Dir = Env;
+    if (!PC.Dir.empty())
+      UseCache = true;
+    if ((PC.ShardCount > 1 || PC.Merge) && PC.Dir.empty()) {
+      std::fprintf(stderr, "error: --shard/--merge-shards need "
+                           "--cache-dir (or THISTLE_CACHE_DIR) for the "
+                           "shard segments\n");
+      return finish(2);
+    }
+    // A shard's run report is part of its checkpoint; default it into
+    // the cache directory when no explicit --trace-json was given.
+    if (PC.ShardCount > 1 && TraceJsonPath.empty())
+      TraceJsonPath = PC.Dir + "/shard-" +
+                      std::to_string(PC.ShardIndex + 1) + "-of-" +
+                      std::to_string(PC.ShardCount) + "-report.json";
     return finish(runNetwork(Network, Options, Arch, Tech, AreaBudget,
-                             UseCache, RR));
+                             UseCache, PC, RR));
   }
 
   if (!Pipeline.empty()) {
