@@ -1,0 +1,267 @@
+//===- support/Json.cpp - Minimal JSON parser -----------------------------===//
+//
+// Part of the Thistle reproduction (CGO 2022).
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Json.h"
+
+#include <cctype>
+#include <cstdlib>
+
+namespace thistle {
+namespace json {
+namespace {
+
+/// Recursive-descent parser over a single in-memory document. Depth is
+/// bounded so a pathological request ("[[[[…") cannot exhaust the
+/// server's stack.
+class Parser {
+public:
+  explicit Parser(const std::string &Text) : Text(Text) {}
+
+  Expected<JsonValue> run() {
+    Expected<JsonValue> V = parseValue(0);
+    if (!V)
+      return V;
+    skipSpace();
+    if (Pos != Text.size())
+      return fail("trailing characters after JSON value");
+    return V;
+  }
+
+private:
+  static constexpr int MaxDepth = 64;
+
+  Status failStatus(const std::string &What) const {
+    return Status::parseError(What + " at byte " + std::to_string(Pos));
+  }
+  Expected<JsonValue> fail(const std::string &What) const {
+    return failStatus(What);
+  }
+
+  void skipSpace() {
+    while (Pos < Text.size()) {
+      char C = Text[Pos];
+      if (C != ' ' && C != '\t' && C != '\n' && C != '\r')
+        break;
+      ++Pos;
+    }
+  }
+
+  bool consume(char C) {
+    if (Pos < Text.size() && Text[Pos] == C) {
+      ++Pos;
+      return true;
+    }
+    return false;
+  }
+
+  bool consumeWord(const char *W) {
+    std::size_t Len = std::string(W).size();
+    if (Text.compare(Pos, Len, W) == 0) {
+      Pos += Len;
+      return true;
+    }
+    return false;
+  }
+
+  Expected<JsonValue> parseValue(int Depth) {
+    if (Depth > MaxDepth)
+      return fail("nesting too deep");
+    skipSpace();
+    if (Pos >= Text.size())
+      return fail("unexpected end of input");
+    char C = Text[Pos];
+    switch (C) {
+    case '{':
+      return parseObject(Depth);
+    case '[':
+      return parseArray(Depth);
+    case '"': {
+      std::string S;
+      if (Status St = parseString(S); !St.isOk())
+        return St;
+      return JsonValue::makeString(std::move(S));
+    }
+    case 't':
+      if (consumeWord("true"))
+        return JsonValue::makeBool(true);
+      return fail("invalid literal");
+    case 'f':
+      if (consumeWord("false"))
+        return JsonValue::makeBool(false);
+      return fail("invalid literal");
+    case 'n':
+      if (consumeWord("null"))
+        return JsonValue::makeNull();
+      return fail("invalid literal");
+    default:
+      if (C == '-' || (C >= '0' && C <= '9'))
+        return parseNumber();
+      return fail(std::string("unexpected character '") + C + "'");
+    }
+  }
+
+  Expected<JsonValue> parseObject(int Depth) {
+    ++Pos; // '{'
+    JsonValue Obj = JsonValue::makeObject();
+    skipSpace();
+    if (consume('}'))
+      return Obj;
+    while (true) {
+      skipSpace();
+      if (Pos >= Text.size() || Text[Pos] != '"')
+        return fail("expected object key string");
+      std::string Key;
+      if (Status St = parseString(Key); !St.isOk())
+        return St;
+      skipSpace();
+      if (!consume(':'))
+        return fail("expected ':' after object key");
+      Expected<JsonValue> V = parseValue(Depth + 1);
+      if (!V)
+        return V;
+      Obj.set(std::move(Key), V.takeValue());
+      skipSpace();
+      if (consume(','))
+        continue;
+      if (consume('}'))
+        return Obj;
+      return fail("expected ',' or '}' in object");
+    }
+  }
+
+  Expected<JsonValue> parseArray(int Depth) {
+    ++Pos; // '['
+    JsonValue Arr = JsonValue::makeArray();
+    skipSpace();
+    if (consume(']'))
+      return Arr;
+    while (true) {
+      Expected<JsonValue> V = parseValue(Depth + 1);
+      if (!V)
+        return V;
+      Arr.push(V.takeValue());
+      skipSpace();
+      if (consume(','))
+        continue;
+      if (consume(']'))
+        return Arr;
+      return fail("expected ',' or ']' in array");
+    }
+  }
+
+  Status parseString(std::string &Out) {
+    ++Pos; // opening '"'
+    Out.clear();
+    while (Pos < Text.size()) {
+      char C = Text[Pos];
+      if (C == '"') {
+        ++Pos;
+        return Status::ok();
+      }
+      if (static_cast<unsigned char>(C) < 0x20)
+        return failStatus("unescaped control character in string");
+      if (C == '\\') {
+        if (Pos + 1 >= Text.size())
+          return failStatus("truncated escape");
+        char E = Text[Pos + 1];
+        Pos += 2;
+        switch (E) {
+        case '"':
+          Out += '"';
+          break;
+        case '\\':
+          Out += '\\';
+          break;
+        case '/':
+          Out += '/';
+          break;
+        case 'b':
+          Out += '\b';
+          break;
+        case 'f':
+          Out += '\f';
+          break;
+        case 'n':
+          Out += '\n';
+          break;
+        case 'r':
+          Out += '\r';
+          break;
+        case 't':
+          Out += '\t';
+          break;
+        case 'u': {
+          if (Pos + 4 > Text.size())
+            return failStatus("truncated \\u escape");
+          for (int I = 0; I < 4; ++I)
+            if (!std::isxdigit(static_cast<unsigned char>(Text[Pos + I])))
+              return failStatus("bad \\u escape digit");
+          // Preserved verbatim: serve requests never need non-ASCII keys
+          // and verbatim round-trips keep byte comparisons simple.
+          Out += "\\u";
+          Out.append(Text, Pos, 4);
+          Pos += 4;
+          break;
+        }
+        default:
+          return failStatus("unknown escape");
+        }
+        continue;
+      }
+      Out += C;
+      ++Pos;
+    }
+    return failStatus("unterminated string");
+  }
+
+  Expected<JsonValue> parseNumber() {
+    std::size_t Start = Pos;
+    if (consume('-')) {
+    }
+    if (Pos >= Text.size() || !std::isdigit(static_cast<unsigned char>(Text[Pos])))
+      return fail("malformed number");
+    if (Text[Pos] == '0') {
+      ++Pos;
+    } else {
+      while (Pos < Text.size() && std::isdigit(static_cast<unsigned char>(Text[Pos])))
+        ++Pos;
+    }
+    if (Pos < Text.size() && Text[Pos] == '.') {
+      ++Pos;
+      if (Pos >= Text.size() || !std::isdigit(static_cast<unsigned char>(Text[Pos])))
+        return fail("malformed number fraction");
+      while (Pos < Text.size() && std::isdigit(static_cast<unsigned char>(Text[Pos])))
+        ++Pos;
+    }
+    if (Pos < Text.size() && (Text[Pos] == 'e' || Text[Pos] == 'E')) {
+      ++Pos;
+      if (Pos < Text.size() && (Text[Pos] == '+' || Text[Pos] == '-'))
+        ++Pos;
+      if (Pos >= Text.size() || !std::isdigit(static_cast<unsigned char>(Text[Pos])))
+        return fail("malformed number exponent");
+      while (Pos < Text.size() && std::isdigit(static_cast<unsigned char>(Text[Pos])))
+        ++Pos;
+    }
+    std::string Token = Text.substr(Start, Pos - Start);
+    char *End = nullptr;
+    double V = std::strtod(Token.c_str(), &End);
+    if (End != Token.c_str() + Token.size())
+      return fail("malformed number");
+    return JsonValue::makeNumber(V);
+  }
+
+  const std::string &Text;
+  std::size_t Pos = 0;
+};
+
+} // namespace
+
+Expected<JsonValue> parseJson(const std::string &Text) {
+  return Parser(Text).run();
+}
+
+} // namespace json
+} // namespace thistle

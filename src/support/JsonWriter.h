@@ -1,0 +1,161 @@
+//===- support/JsonWriter.h - Order-preserving JSON emitter -----*- C++ -*-===//
+//
+// Part of the Thistle reproduction (CGO 2022).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The tiny order-preserving JSON writer behind every machine-readable
+/// artifact the project emits: the thistle-run-report/1 file written by
+/// `thistle-opt --trace-json` and the newline-delimited thistle-serve/1
+/// responses of the co-design server. Two layouts share one emitter:
+/// pretty (two-space indent, one key per line — the run-report file) and
+/// compact (no whitespace at all — wire responses, which must be exactly
+/// one line). Field order is caller-controlled and values are emitted
+/// deterministically (%.17g doubles, non-finite as null), so equal
+/// inputs produce equal bytes in either layout.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef THISTLE_SUPPORT_JSONWRITER_H
+#define THISTLE_SUPPORT_JSONWRITER_H
+
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+#include <sstream>
+#include <string>
+
+namespace thistle {
+namespace json {
+
+/// Minimal JSON string escaping (quotes, backslashes, control chars).
+inline std::string escape(const std::string &S) {
+  std::string Out;
+  Out.reserve(S.size() + 2);
+  for (char C : S) {
+    switch (C) {
+    case '"':
+      Out += "\\\"";
+      break;
+    case '\\':
+      Out += "\\\\";
+      break;
+    case '\n':
+      Out += "\\n";
+      break;
+    case '\r':
+      Out += "\\r";
+      break;
+    case '\t':
+      Out += "\\t";
+      break;
+    default:
+      if (static_cast<unsigned char>(C) < 0x20) {
+        char Buf[8];
+        std::snprintf(Buf, sizeof(Buf), "\\u%04x",
+                      static_cast<unsigned>(static_cast<unsigned char>(C)));
+        Out += Buf;
+      } else {
+        Out += C;
+      }
+    }
+  }
+  return Out;
+}
+
+/// JSON number: finite doubles in shortest-ish round-trippable form,
+/// non-finite as null (JSON has no inf/nan).
+inline std::string number(double V) {
+  if (!std::isfinite(V))
+    return "null";
+  char Buf[64];
+  std::snprintf(Buf, sizeof(Buf), "%.17g", V);
+  return Buf;
+}
+
+/// Order-preserving structured writer: enough shape to keep emitters
+/// readable without pulling in a library. Construct with Compact=true
+/// for single-line output (the serve wire format).
+class Writer {
+public:
+  explicit Writer(std::ostringstream &OS, bool Compact = false)
+      : OS(OS), Compact(Compact) {}
+
+  void beginObject() { punct("{"); }
+  void endObject() { close("}"); }
+  void beginArray() { punct("["); }
+  void endArray() { close("]"); }
+
+  void key(const char *K) {
+    comma();
+    indent();
+    OS << '"' << K << (Compact ? "\":" : "\": ");
+    PendingValue = true;
+  }
+
+  void value(const std::string &S) { raw('"' + escape(S) + '"'); }
+  void value(const char *S) { value(std::string(S)); }
+  void value(double V) { raw(number(V)); }
+  void value(std::uint64_t V) { raw(std::to_string(V)); }
+  void value(std::int64_t V) { raw(std::to_string(V)); }
+  void value(unsigned V) { raw(std::to_string(V)); }
+  void value(int V) { raw(std::to_string(V)); }
+  void value(bool V) { raw(V ? "true" : "false"); }
+  void null() { raw("null"); }
+
+  /// Splices pre-serialized JSON (e.g. a compact sub-report) in as the
+  /// next value; the caller vouches for its validity.
+  void rawValue(const std::string &Json) { raw(Json); }
+
+private:
+  void comma() {
+    if (NeedComma)
+      OS << (Compact ? "," : ",\n");
+    NeedComma = false;
+  }
+  void indent() {
+    if (Compact || PendingValue)
+      return;
+    for (int I = 0; I < Depth; ++I)
+      OS << "  ";
+  }
+  void punct(const char *Open) {
+    comma();
+    indent();
+    PendingValue = false;
+    OS << Open;
+    if (!Compact)
+      OS << "\n";
+    ++Depth;
+    NeedComma = false;
+  }
+  void close(const char *Close) {
+    if (NeedComma && !Compact)
+      OS << "\n";
+    --Depth;
+    NeedComma = false;
+    PendingValue = false;
+    indent();
+    OS << Close;
+    NeedComma = true;
+  }
+  void raw(const std::string &Text) {
+    comma();
+    indent();
+    PendingValue = false;
+    OS << Text;
+    NeedComma = true;
+  }
+
+  std::ostringstream &OS;
+  bool Compact = false;
+  int Depth = 0;
+  bool NeedComma = false;
+  bool PendingValue = false;
+};
+
+} // namespace json
+} // namespace thistle
+
+#endif // THISTLE_SUPPORT_JSONWRITER_H

@@ -1,0 +1,199 @@
+//===- support/LineSocket.cpp - Newline-delimited TCP I/O -----------------===//
+//
+// Part of the Thistle reproduction (CGO 2022).
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/LineSocket.h"
+
+#include <arpa/inet.h>
+#include <cerrno>
+#include <cstring>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+namespace thistle {
+namespace net {
+namespace {
+
+Status errnoStatus(const char *What) {
+  return Status::error(StatusCode::DataLoss,
+                       std::string(What) + ": " + std::strerror(errno));
+}
+
+/// send() flags that suppress SIGPIPE where the platform supports it.
+int sendFlags() {
+#ifdef MSG_NOSIGNAL
+  return MSG_NOSIGNAL;
+#else
+  return 0;
+#endif
+}
+
+void configurePeerSocket(int Fd) {
+  int One = 1;
+  // Request/response lines are small; never batch them behind Nagle.
+  ::setsockopt(Fd, IPPROTO_TCP, TCP_NODELAY, &One, sizeof(One));
+#ifdef SO_NOSIGPIPE
+  ::setsockopt(Fd, SOL_SOCKET, SO_NOSIGPIPE, &One, sizeof(One));
+#endif
+}
+
+} // namespace
+
+void LineConnection::close() {
+  if (Fd >= 0) {
+    ::close(Fd);
+    Fd = -1;
+  }
+  Buffer.clear();
+}
+
+void LineConnection::shutdownBoth() {
+  if (Fd >= 0)
+    ::shutdown(Fd, SHUT_RDWR);
+}
+
+Expected<std::string> LineConnection::readLine() {
+  if (Fd < 0)
+    return Status::error(StatusCode::DataLoss, "read on closed connection");
+  while (true) {
+    std::size_t Nl = Buffer.find('\n');
+    if (Nl != std::string::npos) {
+      std::string Line = Buffer.substr(0, Nl);
+      Buffer.erase(0, Nl + 1);
+      if (!Line.empty() && Line.back() == '\r')
+        Line.pop_back();
+      return Line;
+    }
+    if (Buffer.size() > MaxLineBytes)
+      return Status::error(StatusCode::DataLoss, "line exceeds " +
+                                                     std::to_string(MaxLineBytes) +
+                                                     " bytes");
+    char Chunk[4096];
+    ssize_t N = ::recv(Fd, Chunk, sizeof(Chunk), 0);
+    if (N > 0) {
+      Buffer.append(Chunk, static_cast<std::size_t>(N));
+      continue;
+    }
+    if (N == 0) {
+      if (!Buffer.empty())
+        return Status::error(StatusCode::DataLoss,
+                             "connection closed mid-line");
+      return Status::error(StatusCode::NotFound, "end of stream");
+    }
+    if (errno == EINTR)
+      continue;
+    return errnoStatus("recv");
+  }
+}
+
+Status LineConnection::writeLine(const std::string &Line) {
+  if (Fd < 0)
+    return Status::error(StatusCode::DataLoss, "write on closed connection");
+  std::string Frame = Line;
+  Frame += '\n';
+  std::size_t Sent = 0;
+  while (Sent < Frame.size()) {
+    ssize_t N =
+        ::send(Fd, Frame.data() + Sent, Frame.size() - Sent, sendFlags());
+    if (N > 0) {
+      Sent += static_cast<std::size_t>(N);
+      continue;
+    }
+    if (N < 0 && errno == EINTR)
+      continue;
+    return errnoStatus("send");
+  }
+  return Status::ok();
+}
+
+void LineListener::close() {
+  if (Fd >= 0) {
+    ::close(Fd);
+    Fd = -1;
+  }
+  BoundPort = 0;
+}
+
+Status LineListener::listen(std::uint16_t Port, int Backlog) {
+  close();
+  Fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (Fd < 0)
+    return errnoStatus("socket");
+  int One = 1;
+  ::setsockopt(Fd, SOL_SOCKET, SO_REUSEADDR, &One, sizeof(One));
+  sockaddr_in Addr{};
+  Addr.sin_family = AF_INET;
+  Addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  Addr.sin_port = htons(Port);
+  if (::bind(Fd, reinterpret_cast<sockaddr *>(&Addr), sizeof(Addr)) != 0) {
+    Status S = errnoStatus("bind");
+    close();
+    return S;
+  }
+  if (::listen(Fd, Backlog) != 0) {
+    Status S = errnoStatus("listen");
+    close();
+    return S;
+  }
+  sockaddr_in Bound{};
+  socklen_t Len = sizeof(Bound);
+  if (::getsockname(Fd, reinterpret_cast<sockaddr *>(&Bound), &Len) != 0) {
+    Status S = errnoStatus("getsockname");
+    close();
+    return S;
+  }
+  BoundPort = ntohs(Bound.sin_port);
+  return Status::ok();
+}
+
+Expected<LineConnection> LineListener::acceptConnection(int TimeoutMs) {
+  if (Fd < 0)
+    return Status::error(StatusCode::DataLoss, "accept on closed listener");
+  pollfd Pfd{};
+  Pfd.fd = Fd;
+  Pfd.events = POLLIN;
+  int R = ::poll(&Pfd, 1, TimeoutMs);
+  if (R == 0)
+    return Status::error(StatusCode::NotFound, "accept timeout");
+  if (R < 0) {
+    if (errno == EINTR)
+      return Status::error(StatusCode::NotFound, "accept interrupted");
+    return errnoStatus("poll");
+  }
+  int Client = ::accept(Fd, nullptr, nullptr);
+  if (Client < 0) {
+    if (errno == EINTR || errno == ECONNABORTED)
+      return Status::error(StatusCode::NotFound, "accept interrupted");
+    return errnoStatus("accept");
+  }
+  configurePeerSocket(Client);
+  return LineConnection(Client);
+}
+
+Expected<LineConnection> connectLoopback(std::uint16_t Port) {
+  int Fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (Fd < 0)
+    return errnoStatus("socket");
+  sockaddr_in Addr{};
+  Addr.sin_family = AF_INET;
+  Addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  Addr.sin_port = htons(Port);
+  while (::connect(Fd, reinterpret_cast<sockaddr *>(&Addr), sizeof(Addr)) !=
+         0) {
+    if (errno == EINTR)
+      continue;
+    Status S = errnoStatus("connect");
+    ::close(Fd);
+    return S;
+  }
+  configurePeerSocket(Fd);
+  return LineConnection(Fd);
+}
+
+} // namespace net
+} // namespace thistle

@@ -1,0 +1,119 @@
+//===- support/LineSocket.h - Newline-delimited TCP I/O ---------*- C++ -*-===//
+//
+// Part of the Thistle reproduction (CGO 2022).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The transport under the thistle-serve wire protocol
+/// (docs/SERVING.md): loopback TCP carrying one JSON document per
+/// newline-terminated line in each direction. Three small pieces:
+///
+///  - LineConnection: a connected socket with buffered readLine()
+///    (strips the trailing '\n', tolerates '\r\n') and all-or-nothing
+///    writeLine(). A line-length cap bounds per-client memory.
+///  - LineListener: a 127.0.0.1 listener with ephemeral-port support
+///    (port 0 → kernel picks; boundPort() reports it) and a poll-based
+///    accept() that wakes periodically so the server can observe
+///    shutdown flags.
+///  - connectLoopback(): the client side.
+///
+/// POSIX sockets only — the rest of the project is already
+/// POSIX-shaped (Persist.cpp). Errors surface as Status, never as
+/// exceptions, and SIGPIPE is avoided via MSG_NOSIGNAL/SO_NOSIGPIPE so
+/// a client hanging up mid-response cannot kill the daemon.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef THISTLE_SUPPORT_LINESOCKET_H
+#define THISTLE_SUPPORT_LINESOCKET_H
+
+#include "support/Status.h"
+
+#include <cstdint>
+#include <string>
+
+namespace thistle {
+namespace net {
+
+/// One connected, newline-framed peer (either direction).
+class LineConnection {
+public:
+  LineConnection() = default;
+  explicit LineConnection(int Fd) : Fd(Fd) {}
+  ~LineConnection() { close(); }
+
+  LineConnection(LineConnection &&Other) noexcept { *this = std::move(Other); }
+  LineConnection &operator=(LineConnection &&Other) noexcept {
+    if (this != &Other) {
+      close();
+      Fd = Other.Fd;
+      Buffer = std::move(Other.Buffer);
+      Other.Fd = -1;
+      Other.Buffer.clear();
+    }
+    return *this;
+  }
+  LineConnection(const LineConnection &) = delete;
+  LineConnection &operator=(const LineConnection &) = delete;
+
+  bool isOpen() const { return Fd >= 0; }
+  void close();
+
+  /// Half-closes both directions without releasing the descriptor:
+  /// a reader blocked in readLine() (possibly on another thread) wakes
+  /// with EOF/DataLoss. This is how the daemon unsticks idle connection
+  /// threads at shutdown; close() itself stays single-threaded.
+  void shutdownBoth();
+
+  /// Reads the next '\n'-terminated line (terminator stripped, a
+  /// trailing '\r' too). Returns NotFound on clean EOF with no pending
+  /// partial line, DataLoss on I/O errors or an over-long line.
+  Expected<std::string> readLine();
+
+  /// Writes Line plus a trailing '\n', retrying short writes until the
+  /// whole frame is out. DataLoss on error (including peer reset).
+  Status writeLine(const std::string &Line);
+
+  /// Longest accepted incoming line; a peer exceeding it is an error,
+  /// not an unbounded buffer. Network-query responses stay well under.
+  static constexpr std::size_t MaxLineBytes = 8u << 20;
+
+private:
+  int Fd = -1;
+  std::string Buffer;
+};
+
+/// A loopback TCP listener.
+class LineListener {
+public:
+  LineListener() = default;
+  ~LineListener() { close(); }
+  LineListener(const LineListener &) = delete;
+  LineListener &operator=(const LineListener &) = delete;
+
+  /// Binds and listens on 127.0.0.1:Port. Port 0 asks the kernel for an
+  /// ephemeral port; boundPort() reports the actual one either way.
+  Status listen(std::uint16_t Port, int Backlog = 64);
+
+  bool isOpen() const { return Fd >= 0; }
+  std::uint16_t boundPort() const { return BoundPort; }
+  void close();
+
+  /// Waits up to TimeoutMs for a connection. Returns a connection, or
+  /// NotFound on timeout (poll again — this is how shutdown flags get
+  /// observed), or DataLoss on listener errors.
+  Expected<LineConnection> acceptConnection(int TimeoutMs);
+
+private:
+  int Fd = -1;
+  std::uint16_t BoundPort = 0;
+};
+
+/// Connects to 127.0.0.1:Port (the server is loopback-only by design).
+Expected<LineConnection> connectLoopback(std::uint16_t Port);
+
+} // namespace net
+} // namespace thistle
+
+#endif // THISTLE_SUPPORT_LINESOCKET_H

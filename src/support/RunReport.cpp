@@ -2,196 +2,83 @@
 
 #include "support/RunReport.h"
 
+#include "support/JsonWriter.h"
 #include "support/TablePrinter.h"
 
-#include <cmath>
-#include <cstdio>
 #include <map>
 #include <ostream>
 #include <sstream>
 
 using namespace thistle;
+using json::Writer;
 
 namespace {
 
-/// Minimal JSON string escaping (quotes, backslashes, control chars).
-std::string jsonEscape(const std::string &S) {
-  std::string Out;
-  Out.reserve(S.size() + 2);
-  for (char C : S) {
-    switch (C) {
-    case '"':
-      Out += "\\\"";
-      break;
-    case '\\':
-      Out += "\\\\";
-      break;
-    case '\n':
-      Out += "\\n";
-      break;
-    case '\r':
-      Out += "\\r";
-      break;
-    case '\t':
-      Out += "\\t";
-      break;
-    default:
-      if (static_cast<unsigned char>(C) < 0x20) {
-        char Buf[8];
-        std::snprintf(Buf, sizeof(Buf), "\\u%04x",
-                      static_cast<unsigned>(static_cast<unsigned char>(C)));
-        Out += Buf;
-      } else {
-        Out += C;
-      }
-    }
-  }
-  return Out;
-}
-
-/// JSON number: finite doubles in shortest-ish form, non-finite as null
-/// (JSON has no inf/nan).
-std::string jsonNumber(double V) {
-  if (!std::isfinite(V))
-    return "null";
-  char Buf[64];
-  std::snprintf(Buf, sizeof(Buf), "%.17g", V);
-  return Buf;
-}
-
-/// Tiny order-preserving JSON writer: enough structure to keep the
-/// emitter readable without pulling in a library.
-class JsonWriter {
-public:
-  explicit JsonWriter(std::ostringstream &OS) : OS(OS) {}
-
-  void beginObject() { punct("{"); }
-  void endObject() { close("}"); }
-  void beginArray() { punct("["); }
-  void endArray() { close("]"); }
-
-  void key(const char *K) {
-    comma();
-    indent();
-    OS << '"' << K << "\": ";
-    PendingValue = true;
-  }
-
-  void value(const std::string &S) { raw('"' + jsonEscape(S) + '"'); }
-  void value(const char *S) { value(std::string(S)); }
-  void value(double V) { raw(jsonNumber(V)); }
-  void value(std::uint64_t V) { raw(std::to_string(V)); }
-  void value(std::int64_t V) { raw(std::to_string(V)); }
-  void value(unsigned V) { raw(std::to_string(V)); }
-  void value(int V) { raw(std::to_string(V)); }
-  void value(bool V) { raw(V ? "true" : "false"); }
-
-private:
-  void comma() {
-    if (NeedComma)
-      OS << ",\n";
-    NeedComma = false;
-  }
-  void indent() {
-    if (PendingValue)
-      return;
-    for (int I = 0; I < Depth; ++I)
-      OS << "  ";
-  }
-  void punct(const char *Open) {
-    comma();
-    indent();
-    PendingValue = false;
-    OS << Open << "\n";
-    ++Depth;
-    NeedComma = false;
-  }
-  void close(const char *Close) {
-    if (NeedComma)
-      OS << "\n";
-    --Depth;
-    NeedComma = false;
-    PendingValue = false;
-    indent();
-    OS << Close;
-    NeedComma = true;
-  }
-  void raw(const std::string &Text) {
-    comma();
-    indent();
-    PendingValue = false;
-    OS << Text;
-    NeedComma = true;
-  }
-
-  std::ostringstream &OS;
-  int Depth = 0;
-  bool NeedComma = false;
-  bool PendingValue = false;
-};
-
-} // namespace
-
-std::string RunReport::toJson() const {
-  std::ostringstream OS;
-  JsonWriter W(OS);
-  W.beginObject();
+/// schema..exit_code header. The canonical projection omits
+/// wall_seconds — it is the one header field that varies run to run.
+void emitHeader(Writer &W, const RunReport &R, bool Canonical) {
   W.key("schema");
   W.value(RunReportSchema);
   W.key("tool");
-  W.value(Tool);
+  W.value(R.Tool);
   W.key("workload");
-  W.value(Workload);
+  W.value(R.Workload);
   W.key("mode");
-  W.value(Mode);
+  W.value(R.Mode);
   W.key("objective");
-  W.value(Objective);
+  W.value(R.Objective);
   W.key("hierarchy");
-  W.value(Hierarchy);
+  W.value(R.Hierarchy);
   W.key("threads");
-  W.value(Threads);
-  W.key("wall_seconds");
-  W.value(WallSeconds);
+  W.value(R.Threads);
+  if (!Canonical) {
+    W.key("wall_seconds");
+    W.value(R.WallSeconds);
+  }
   W.key("exit_code");
-  W.value(ExitCode);
+  W.value(R.ExitCode);
+}
 
+void emitResult(Writer &W, const RunReport &R) {
   W.key("result");
   W.beginObject();
   W.key("found");
-  W.value(Found);
+  W.value(R.Found);
   W.key("energy_pj");
-  W.value(EnergyPj);
+  W.value(R.EnergyPj);
   W.key("energy_per_mac_pj");
-  W.value(EnergyPerMacPj);
+  W.value(R.EnergyPerMacPj);
   W.key("cycles");
-  W.value(Cycles);
+  W.value(R.Cycles);
   W.key("mac_ipc");
-  W.value(MacIpc);
+  W.value(R.MacIpc);
   W.key("edp_pj_cycles");
-  W.value(EdpPjCycles);
+  W.value(R.EdpPjCycles);
   W.endObject();
+}
 
+void emitEvaluator(Writer &W, const RunReportEvaluator &E) {
   W.key("evaluator");
   W.beginObject();
   W.key("backend");
-  W.value(Evaluator.Backend);
+  W.value(E.Backend);
   W.key("cross_check");
-  W.value(Evaluator.CrossCheck);
+  W.value(E.CrossCheck);
   W.key("evals");
-  W.value(Evaluator.Evals);
+  W.value(E.Evals);
   W.key("divergent_evals");
-  W.value(Evaluator.DivergentEvals);
+  W.value(E.DivergentEvals);
   W.key("counters_compared");
-  W.value(Evaluator.CountersCompared);
+  W.value(E.CountersCompared);
   W.key("counter_mismatches");
-  W.value(Evaluator.CounterMismatches);
+  W.value(E.CounterMismatches);
   W.key("max_abs_delta");
-  W.value(Evaluator.MaxAbsDelta);
+  W.value(E.MaxAbsDelta);
   W.key("max_rel_delta");
-  W.value(Evaluator.MaxRelDelta);
+  W.value(E.MaxRelDelta);
   W.key("samples");
   W.beginArray();
-  for (const RunReportEvaluatorSample &S : Evaluator.Samples) {
+  for (const RunReportEvaluatorSample &S : E.Samples) {
     W.beginObject();
     W.key("counter");
     W.value(S.Counter);
@@ -203,171 +90,217 @@ std::string RunReport::toJson() const {
   }
   W.endArray();
   W.endObject();
+}
 
+void emitSweep(Writer &W, const RunReport &R) {
   W.key("sweep");
-  if (!HasSweep) {
+  if (!R.HasSweep) {
     W.value(false); // No sweep ran (usage error / validation failure).
-  } else {
-    W.beginObject();
-    W.key("task_noun");
-    W.value(SweepTaskNoun);
-    W.key("tasks");
-    W.value(Sweep.total());
-    W.key("solved");
-    W.value(Sweep.Solved);
-    W.key("retried");
-    W.value(Sweep.Retried);
-    W.key("degraded");
-    W.value(Sweep.Degraded);
-    W.key("infeasible");
-    W.value(Sweep.Infeasible);
-    W.key("failed");
-    W.value(Sweep.Failed);
-    W.key("skipped");
-    W.value(Sweep.Skipped);
-    W.key("skipped_by_policy");
-    W.value(Sweep.SkippedByPolicy);
-    W.key("deadline_expired");
-    W.value(Sweep.DeadlineExpired);
-    W.key("clean");
-    W.value(Sweep.clean());
-    W.key("incidents");
-    W.beginArray();
-    for (const SweepIncident &I : Sweep.Incidents) {
-      W.beginObject();
-      W.key("index");
-      W.value(static_cast<std::uint64_t>(I.Index));
-      W.key("a");
-      W.value(static_cast<std::uint64_t>(I.A));
-      W.key("b");
-      W.value(static_cast<std::uint64_t>(I.B));
-      W.key("outcome");
-      W.value(taskOutcomeName(I.Outcome));
-      W.key("attempts");
-      W.value(I.Attempts);
-      W.key("detail");
-      W.value(I.Detail);
-      W.endObject();
-    }
-    W.endArray();
-    W.endObject();
+    return;
   }
-
-  W.key("network");
-  if (!Network.Present) {
-    W.value(false); // Not a --network run.
-  } else {
-    W.beginObject();
-    W.key("layers_total");
-    W.value(Network.LayersTotal);
-    W.key("layers_found");
-    W.value(Network.LayersFound);
-    W.key("unique_shapes");
-    W.value(Network.UniqueShapes);
-    W.key("cache_enabled");
-    W.value(Network.CacheEnabled);
-    W.key("cache_hits");
-    W.value(Network.CacheHits);
-    W.key("cache_misses");
-    W.value(Network.CacheMisses);
-    W.key("cache_warm_starts");
-    W.value(Network.CacheWarmStarts);
-    W.key("arch_candidates");
-    W.value(Network.ArchCandidates);
-    W.key("summed_objective");
-    W.value(Network.SummedObjective);
-    W.key("totals");
-    W.beginObject();
-    W.key("energy_pj");
-    W.value(Network.TotalEnergyPj);
-    W.key("cycles");
-    W.value(Network.TotalCycles);
-    W.key("edp_pj_cycles");
-    W.value(Network.TotalEdpPjCycles);
-    W.key("energy_per_mac_pj");
-    W.value(Network.EnergyPerMacPj);
-    W.key("macs");
-    W.value(Network.Macs);
-    W.endObject();
-    W.key("layers");
-    W.beginArray();
-    for (const RunReportNetworkLayer &L : Network.Layers) {
-      W.beginObject();
-      W.key("name");
-      W.value(L.Name);
-      W.key("shape_index");
-      W.value(L.ShapeIndex);
-      W.key("multiplicity");
-      W.value(L.Multiplicity);
-      W.key("deduplicated");
-      W.value(L.Deduplicated);
-      W.key("found");
-      W.value(L.Found);
-      W.key("energy_pj");
-      W.value(L.EnergyPj);
-      W.key("cycles");
-      W.value(L.Cycles);
-      W.endObject();
-    }
-    W.endArray();
-    W.endObject();
-  }
-
-  W.key("persistence");
-  if (!Persistence.Present) {
-    W.value(false); // No cache directory was configured.
-  } else {
-    W.beginObject();
-    W.key("directory");
-    W.value(Persistence.Directory);
-    W.key("capacity");
-    W.value(Persistence.Capacity);
-    W.key("loaded_files");
-    W.value(Persistence.LoadedFiles);
-    W.key("loaded_entries");
-    W.value(Persistence.LoadedEntries);
-    W.key("append_failures");
-    W.value(Persistence.AppendFailures);
-    W.key("evictions");
-    W.value(Persistence.Evictions);
-    W.key("data_loss_detected");
-    W.value(Persistence.DataLossDetected);
-    W.key("problems");
-    W.beginArray();
-    for (const std::string &P : Persistence.Problems)
-      W.value(P);
-    W.endArray();
-    W.key("snapshot_written");
-    W.value(Persistence.SnapshotWritten);
-    W.endObject();
-  }
-
-  W.key("shards");
-  if (!Shards.Present) {
-    W.value(false); // Not a sharded or merging run.
-  } else {
+  W.beginObject();
+  W.key("task_noun");
+  W.value(R.SweepTaskNoun);
+  W.key("tasks");
+  W.value(R.Sweep.total());
+  W.key("solved");
+  W.value(R.Sweep.Solved);
+  W.key("retried");
+  W.value(R.Sweep.Retried);
+  W.key("degraded");
+  W.value(R.Sweep.Degraded);
+  W.key("infeasible");
+  W.value(R.Sweep.Infeasible);
+  W.key("failed");
+  W.value(R.Sweep.Failed);
+  W.key("skipped");
+  W.value(R.Sweep.Skipped);
+  W.key("skipped_by_policy");
+  W.value(R.Sweep.SkippedByPolicy);
+  W.key("deadline_expired");
+  W.value(R.Sweep.DeadlineExpired);
+  W.key("clean");
+  W.value(R.Sweep.clean());
+  W.key("incidents");
+  W.beginArray();
+  for (const SweepIncident &I : R.Sweep.Incidents) {
     W.beginObject();
     W.key("index");
-    W.value(Shards.Index);
-    W.key("count");
-    W.value(Shards.Count);
-    W.key("merge");
-    W.value(Shards.Merge);
+    W.value(static_cast<std::uint64_t>(I.Index));
+    W.key("a");
+    W.value(static_cast<std::uint64_t>(I.A));
+    W.key("b");
+    W.value(static_cast<std::uint64_t>(I.B));
+    W.key("outcome");
+    W.value(taskOutcomeName(I.Outcome));
+    W.key("attempts");
+    W.value(I.Attempts);
+    W.key("detail");
+    W.value(I.Detail);
     W.endObject();
   }
+  W.endArray();
+  W.endObject();
+}
 
+/// Canonical projections drop the three cache traffic counters: hot
+/// replay answers the same query with hits where the cold run counted
+/// misses, and the whole point of the projection is that those runs
+/// compare byte-equal.
+void emitNetwork(Writer &W, const RunReportNetwork &N, bool Canonical) {
+  W.key("network");
+  if (!N.Present) {
+    W.value(false); // Not a --network run.
+    return;
+  }
+  W.beginObject();
+  W.key("layers_total");
+  W.value(N.LayersTotal);
+  W.key("layers_found");
+  W.value(N.LayersFound);
+  W.key("unique_shapes");
+  W.value(N.UniqueShapes);
+  W.key("cache_enabled");
+  W.value(N.CacheEnabled);
+  if (!Canonical) {
+    W.key("cache_hits");
+    W.value(N.CacheHits);
+    W.key("cache_misses");
+    W.value(N.CacheMisses);
+    W.key("cache_warm_starts");
+    W.value(N.CacheWarmStarts);
+  }
+  W.key("arch_candidates");
+  W.value(N.ArchCandidates);
+  W.key("summed_objective");
+  W.value(N.SummedObjective);
+  W.key("totals");
+  W.beginObject();
+  W.key("energy_pj");
+  W.value(N.TotalEnergyPj);
+  W.key("cycles");
+  W.value(N.TotalCycles);
+  W.key("edp_pj_cycles");
+  W.value(N.TotalEdpPjCycles);
+  W.key("energy_per_mac_pj");
+  W.value(N.EnergyPerMacPj);
+  W.key("macs");
+  W.value(N.Macs);
+  W.endObject();
+  W.key("layers");
+  W.beginArray();
+  for (const RunReportNetworkLayer &L : N.Layers) {
+    W.beginObject();
+    W.key("name");
+    W.value(L.Name);
+    W.key("shape_index");
+    W.value(L.ShapeIndex);
+    W.key("multiplicity");
+    W.value(L.Multiplicity);
+    W.key("deduplicated");
+    W.value(L.Deduplicated);
+    W.key("found");
+    W.value(L.Found);
+    W.key("energy_pj");
+    W.value(L.EnergyPj);
+    W.key("cycles");
+    W.value(L.Cycles);
+    W.endObject();
+  }
+  W.endArray();
+  W.endObject();
+}
+
+void emitPersistence(Writer &W, const RunReportPersistence &P) {
+  W.key("persistence");
+  if (!P.Present) {
+    W.value(false); // No cache directory was configured.
+    return;
+  }
+  W.beginObject();
+  W.key("directory");
+  W.value(P.Directory);
+  W.key("capacity");
+  W.value(P.Capacity);
+  W.key("loaded_files");
+  W.value(P.LoadedFiles);
+  W.key("loaded_entries");
+  W.value(P.LoadedEntries);
+  W.key("append_failures");
+  W.value(P.AppendFailures);
+  W.key("evictions");
+  W.value(P.Evictions);
+  W.key("data_loss_detected");
+  W.value(P.DataLossDetected);
+  W.key("problems");
+  W.beginArray();
+  for (const std::string &Problem : P.Problems)
+    W.value(Problem);
+  W.endArray();
+  W.key("snapshot_written");
+  W.value(P.SnapshotWritten);
+  W.endObject();
+}
+
+void emitShards(Writer &W, const RunReportShards &S) {
+  W.key("shards");
+  if (!S.Present) {
+    W.value(false); // Not a sharded or merging run.
+    return;
+  }
+  W.beginObject();
+  W.key("index");
+  W.value(S.Index);
+  W.key("count");
+  W.value(S.Count);
+  W.key("merge");
+  W.value(S.Merge);
+  W.endObject();
+}
+
+void emitServe(Writer &W, const RunReportServe &S) {
+  W.key("serve");
+  if (!S.Present) {
+    W.value(false); // Not a thistle-serve report.
+    return;
+  }
+  W.beginObject();
+  W.key("requests");
+  W.value(S.Requests);
+  W.key("queries");
+  W.value(S.Queries);
+  W.key("errors");
+  W.value(S.Errors);
+  W.key("deduplicated");
+  W.value(S.Deduplicated);
+  W.key("solves");
+  W.value(S.Solves);
+  W.key("cache_hits");
+  W.value(S.CacheHits);
+  W.key("cache_misses");
+  W.value(S.CacheMisses);
+  W.key("cache_warm_starts");
+  W.value(S.CacheWarmStarts);
+  W.key("cache_evictions");
+  W.value(S.CacheEvictions);
+  W.key("compactions");
+  W.value(S.Compactions);
+  W.endObject();
+}
+
+void emitMetricsAndTrace(Writer &W, const telemetry::Snapshot &T) {
   W.key("metrics");
   W.beginObject();
   W.key("counters");
   W.beginObject();
-  for (const telemetry::CounterValue &C : Telemetry.Counters) {
+  for (const telemetry::CounterValue &C : T.Counters) {
     W.key(C.Name.c_str());
     W.value(C.Value);
   }
   W.endObject();
   W.key("stats");
   W.beginObject();
-  for (const telemetry::StatValue &S : Telemetry.Stats) {
+  for (const telemetry::StatValue &S : T.Stats) {
     W.key(S.Name.c_str());
     W.beginObject();
     W.key("count");
@@ -388,10 +321,10 @@ std::string RunReport::toJson() const {
   W.key("trace");
   W.beginObject();
   W.key("dropped_spans");
-  W.value(Telemetry.DroppedSpans);
+  W.value(T.DroppedSpans);
   W.key("spans");
   W.beginArray();
-  for (const telemetry::Span &S : Telemetry.Spans) {
+  for (const telemetry::Span &S : T.Spans) {
     W.beginObject();
     W.key("name");
     W.value(S.Name);
@@ -415,9 +348,38 @@ std::string RunReport::toJson() const {
   }
   W.endArray();
   W.endObject();
+}
 
+} // namespace
+
+std::string RunReport::toJson() const {
+  std::ostringstream OS;
+  Writer W(OS);
+  W.beginObject();
+  emitHeader(W, *this, /*Canonical=*/false);
+  emitResult(W, *this);
+  emitEvaluator(W, Evaluator);
+  emitSweep(W, *this);
+  emitNetwork(W, Network, /*Canonical=*/false);
+  emitPersistence(W, Persistence);
+  emitShards(W, Shards);
+  emitServe(W, Serve);
+  emitMetricsAndTrace(W, Telemetry);
   W.endObject();
   OS << "\n";
+  return OS.str();
+}
+
+std::string RunReport::toCanonicalJson() const {
+  std::ostringstream OS;
+  Writer W(OS, /*Compact=*/true);
+  W.beginObject();
+  emitHeader(W, *this, /*Canonical=*/true);
+  emitResult(W, *this);
+  emitEvaluator(W, Evaluator);
+  emitSweep(W, *this);
+  emitNetwork(W, Network, /*Canonical=*/true);
+  W.endObject();
   return OS.str();
 }
 

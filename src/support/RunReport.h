@@ -118,6 +118,23 @@ struct RunReportShards {
   bool Merge = false; ///< True for the --merge-shards recombination run.
 };
 
+/// The `serve` section: lifetime totals of one thistle-serve process
+/// (docs/SERVING.md). Present only in reports written by the daemon at
+/// shutdown. The cache counters are process-level deltas; the
+/// stats-vs-report consistency test checks they equal the sum of the
+/// per-request `server.cache` counters across all responses.
+struct RunReportServe {
+  bool Present = false; ///< Serialized as `"serve": false` when unset.
+  std::uint64_t Requests = 0;     ///< Lines received (incl. admin cmds).
+  std::uint64_t Queries = 0;      ///< Solve queries admitted.
+  std::uint64_t Errors = 0;       ///< Error responses (bad JSON/request).
+  std::uint64_t Deduplicated = 0; ///< Queries joined onto an in-flight solve.
+  std::uint64_t Solves = 0;       ///< Solver-thread jobs actually run.
+  std::uint64_t CacheHits = 0, CacheMisses = 0, CacheWarmStarts = 0;
+  std::uint64_t CacheEvictions = 0;
+  std::uint64_t Compactions = 0; ///< Journal→snapshot compactions.
+};
+
 /// One run of the optimizer, ready for JSON serialization.
 struct RunReport {
   std::string Tool = "thistle-opt";
@@ -156,6 +173,9 @@ struct RunReport {
   /// Distributed-sweep slice; Present only when sharding or merging.
   RunReportShards Shards;
 
+  /// Daemon lifetime totals; Present only for thistle-serve reports.
+  RunReportServe Serve;
+
   /// Counters, statistics and spans collected during the run.
   telemetry::Snapshot Telemetry;
 
@@ -163,6 +183,16 @@ struct RunReport {
   /// newline). Field order is fixed, so equal runs produce equal bytes
   /// up to the timing fields.
   std::string toJson() const;
+
+  /// The deterministic projection carried inside thistle-serve/1
+  /// responses: compact (single line, no whitespace, no trailing
+  /// newline) and restricted to the fields that are a pure function of
+  /// the query — schema/tool/workload/mode/objective/hierarchy/threads/
+  /// exit_code, result, evaluator, sweep, and network minus its cache
+  /// traffic counters. Timing (wall_seconds), metrics, trace,
+  /// persistence, shards and serve are excluded, so equal queries
+  /// produce equal bytes whether the cache was cold, hot or reloaded.
+  std::string toCanonicalJson() const;
 };
 
 /// Prints the `--profile` summary: spans aggregated by name (count,

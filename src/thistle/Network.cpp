@@ -9,6 +9,7 @@
 #include <algorithm>
 #include <cinttypes>
 #include <cstdio>
+#include <optional>
 #include <string>
 #include <tuple>
 #include <unordered_map>
@@ -167,7 +168,10 @@ NetworkResult thistle::optimizeNetwork(const std::vector<ConvLayer> &Layers,
   telemetry::beginEpoch();
   telemetry::TraceScope NetSpan("thistle.optimize_network");
   telemetry::count("thistle.networks");
-  ThreadPool Pool(Options.Layer.Threads);
+  std::optional<ThreadPool> OwnPool;
+  if (!Options.Pool)
+    OwnPool.emplace(Options.Layer.Threads);
+  ThreadPool &Pool = Options.Pool ? *Options.Pool : *OwnPool;
 
   // Runs one phase: \p Opts/\p PhaseArch/\p PhaseBudget applied to every
   // unique shape, cells of \p Cells many repetitions of the shape grid

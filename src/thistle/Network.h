@@ -43,6 +43,10 @@ struct NetworkOptions {
   /// The same instance may be passed to consecutive runs to reuse
   /// solutions (the repeated-block / repeated-network case).
   GpSolutionCache *Cache = nullptr;
+  /// Optional external worker pool (the serving path shares one pool
+  /// across requests); when set, Layer.Threads is ignored. Results are
+  /// bit-identical at any pool size either way.
+  ThreadPool *Pool = nullptr;
   /// In CoDesign mode, run the second phase that selects one
   /// architecture for the whole network (the paper's comparison). When
   /// false each layer keeps its own co-designed architecture.

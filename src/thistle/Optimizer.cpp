@@ -6,6 +6,7 @@
 #include "support/ThreadPool.h"
 #include "thistle/PairSweep.h"
 
+#include <optional>
 #include <string>
 #include <utility>
 
@@ -15,6 +16,16 @@ ThistleResult thistle::optimizeLayer(const Problem &Prob,
                                      const ArchConfig &Arch,
                                      const TechParams &Tech,
                                      const ThistleOptions &Options,
+                                     double AreaBudgetUm2) {
+  return optimizeLayer(Prob, Arch, Tech, Options, LayerRunContext{},
+                       AreaBudgetUm2);
+}
+
+ThistleResult thistle::optimizeLayer(const Problem &Prob,
+                                     const ArchConfig &Arch,
+                                     const TechParams &Tech,
+                                     const ThistleOptions &Options,
+                                     const LayerRunContext &Run,
                                      double AreaBudgetUm2) {
   ThistleResult Result;
 
@@ -39,13 +50,22 @@ ThistleResult thistle::optimizeLayer(const Problem &Prob,
 
   PairSweepContext Ctx{Prob,  Plan, Options, Arch,
                        Tech,  AreaBudgetUm2};
+  Ctx.Cache = Run.Cache;
   Ctx.HasDeadline = resolveSweepDeadline(Options.Deadline,
                                          Options.DeadlineAt, Ctx.DeadlineAt);
 
   telemetry::beginEpoch();
   telemetry::TraceScope SweepSpan("thistle.optimize_layer");
   telemetry::count("thistle.sweeps");
-  ThreadPool Pool(Options.Threads);
+  // Freeze the warm tier at the sweep boundary, as the network driver
+  // does per phase: warm lookups during the sweep then only see entries
+  // from earlier sweeps, independent of task completion order.
+  if (Ctx.Cache)
+    Ctx.Cache->beginGeneration();
+  std::optional<ThreadPool> OwnPool;
+  if (!Run.Pool)
+    OwnPool.emplace(Options.Threads);
+  ThreadPool &Pool = Run.Pool ? *Run.Pool : *OwnPool;
   SweepAccumulator Total = parallelReduce(
       Pool, Plan.Pairs.size(), SweepAccumulator{},
       [&Ctx](SweepAccumulator &Acc, std::size_t TaskIdx) {

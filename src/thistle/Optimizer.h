@@ -65,6 +65,9 @@ struct ThistleOptions {
   std::chrono::steady_clock::time_point DeadlineAt{};
 };
 
+class GpSolutionCache;
+class ThreadPool;
+
 /// Search statistics (exposed for the ablation benchmarks).
 struct ThistleStats {
   unsigned PermClassesPerLevel = 0;
@@ -83,6 +86,10 @@ struct ThistleStats {
   unsigned GpInfeasible = 0;
   unsigned NewtonIterations = 0;
   std::size_t CandidatesEvaluated = 0;
+  /// This sweep's GP-cache traffic (all zero without a shared cache).
+  /// Per-run deltas, like NetworkStats' counters — the cache's own
+  /// counters aggregate across runs instead.
+  std::uint64_t CacheHits = 0, CacheMisses = 0, CacheWarmStarts = 0;
 };
 
 /// The best design found for one layer.
@@ -106,6 +113,23 @@ struct ThistleResult {
   ThistleStats Stats;
 };
 
+/// Shared long-lived resources a layer run may borrow instead of
+/// creating its own (the serving path, docs/SERVING.md). Both are
+/// optional and null by default, which reproduces the self-contained
+/// behavior exactly: no cache, a private pool sized by
+/// ThistleOptions::Threads.
+struct LayerRunContext {
+  /// Shared GP solution cache; exact hits replay bit-identically and
+  /// structural near-misses warm-start failed solves (thistle/GpCache.h).
+  /// The caller must serialize runs sharing one cache — the warm tier's
+  /// generation freeze is per-cache state.
+  GpSolutionCache *Cache = nullptr;
+  /// External worker pool for the pair sweep; when set,
+  /// ThistleOptions::Threads is ignored. Results are bit-identical at
+  /// any pool size either way.
+  ThreadPool *Pool = nullptr;
+};
+
 /// Runs Thistle on one layer.
 ///
 /// In DataflowOnly mode, \p Arch is the fixed architecture. In CoDesign
@@ -115,6 +139,13 @@ struct ThistleResult {
 ThistleResult optimizeLayer(const Problem &Prob, const ArchConfig &Arch,
                             const TechParams &Tech,
                             const ThistleOptions &Options,
+                            double AreaBudgetUm2 = 0.0);
+
+/// As above, borrowing the caller's cache and/or thread pool.
+ThistleResult optimizeLayer(const Problem &Prob, const ArchConfig &Arch,
+                            const TechParams &Tech,
+                            const ThistleOptions &Options,
+                            const LayerRunContext &Run,
                             double AreaBudgetUm2 = 0.0);
 
 } // namespace thistle

@@ -377,6 +377,9 @@ void thistle::finishLayerResult(const LayerSweepPlan &Plan,
   Result.Stats.NewtonIterations = Total.NewtonIterations;
   Result.Stats.GpInfeasible = Total.GpInfeasible;
   Result.Stats.CandidatesEvaluated = Total.CandidatesEvaluated;
+  Result.Stats.CacheHits = Total.CacheHits;
+  Result.Stats.CacheMisses = Total.CacheMisses;
+  Result.Stats.CacheWarmStarts = Total.CacheWarmStarts;
   Result.Report = std::move(Total.Report);
   // Capped pairs enumerate after the planned ones, so appending their
   // pre-recorded skips keeps the incident list in ascending task order.

@@ -1,9 +1,33 @@
-# Asserts the thistle-opt --help text documents every user-facing
-# contract: every flag the parser accepts (scraped from the tool source,
-# so a new flag cannot land undocumented), the four exit codes, and the
-# doc pointers (docs/THISTLE_OPT.md mirrors this text). Invoked by ctest
-# as:
-#   cmake -DTOOL=<thistle-opt> -DSOURCE=<thistle-opt.cpp> -P CheckUsage.cmake
+# Asserts a tool's --help text documents every user-facing contract:
+# every flag the parser accepts (scraped from the tool source, so a new
+# flag cannot land undocumented), the exit codes, and the doc pointers.
+# Invoked by ctest as:
+#   cmake -DTOOL=<thistle-opt> -DSOURCE=<thistle-opt.cpp> [-DMODE=serve]
+#         -P CheckUsage.cmake
+# The default mode audits thistle-opt (docs/THISTLE_OPT.md mirrors its
+# usage text); MODE=serve audits the thistle-serve daemon against
+# docs/SERVING.md instead.
+
+if(MODE STREQUAL "serve")
+  # Known-important flags, pinned explicitly so a parser-scrape
+  # regression cannot silently weaken the audit.
+  set(PINNED
+      --port --port-file --max-clients --threads
+      --cache-dir --cache-capacity --snapshot-every --trace-json)
+  set(EXIT_PAIRS "0  clean shutdown" "2  invalid arguments")
+  set(DOC_POINTER "docs/SERVING.md")
+else()
+  set(PINNED
+      --layer --resnet --yolo --pipeline --network
+      --mode --objective --candidates --threads --deadline-ms --hierarchy
+      --evaluator
+      --pes --regs --sram-words --area-budget
+      --export-timeloop --metrics --profile --trace-json)
+  set(EXIT_PAIRS
+      "0  success" "1  partial/degraded" "2  invalid input"
+      "3  no feasible design")
+  set(DOC_POINTER "docs/OBSERVABILITY.md")
+endif()
 
 execute_process(
   COMMAND ${TOOL} --help
@@ -14,14 +38,7 @@ if(NOT CODE EQUAL 0)
   message(FATAL_ERROR "--help: expected exit code 0, got '${CODE}'\n${ERR}")
 endif()
 
-# Known-important flags, pinned explicitly so a parser-scrape regression
-# cannot silently weaken the audit.
-foreach(FLAG
-    --layer --resnet --yolo --pipeline --network
-    --mode --objective --candidates --threads --deadline-ms --hierarchy
-    --evaluator
-    --pes --regs --sram-words --area-budget
-    --export-timeloop --metrics --profile --trace-json)
+foreach(FLAG ${PINNED})
   if(NOT OUT MATCHES "${FLAG}")
     message(FATAL_ERROR "--help: flag ${FLAG} undocumented\n${OUT}")
   endif()
@@ -44,16 +61,14 @@ endif()
 if(NOT OUT MATCHES "exit codes:")
   message(FATAL_ERROR "--help: missing exit-code section\n${OUT}")
 endif()
-foreach(PAIR
-    "0  success" "1  partial/degraded" "2  invalid input"
-    "3  no feasible design")
+foreach(PAIR ${EXIT_PAIRS})
   if(NOT OUT MATCHES "${PAIR}")
     message(FATAL_ERROR "--help: missing exit code entry '${PAIR}'\n${OUT}")
   endif()
 endforeach()
 
-if(NOT OUT MATCHES "docs/OBSERVABILITY.md")
-  message(FATAL_ERROR "--help: missing observability doc pointer\n${OUT}")
+if(NOT OUT MATCHES "${DOC_POINTER}")
+  message(FATAL_ERROR "--help: missing doc pointer ${DOC_POINTER}\n${OUT}")
 endif()
 
 # An unknown option must print the same usage text and exit 2.

@@ -5,7 +5,11 @@ The schema (thistle-run-report/1) is pinned in docs/OBSERVABILITY.md.
 Stdlib only; exits 0 when the report validates, 1 with a list of
 violations otherwise.
 
-Usage: check_run_report.py [--canonical] report.json
+Usage:
+  check_run_report.py [--canonical | --for-diff] report.json
+  check_run_report.py --serve responses.jsonl
+  check_run_report.py --extract-report responses.jsonl
+  check_run_report.py --serve-consistency report.json responses.jsonl...
 
 With --canonical the report is validated and then printed to stdout in
 a canonical form with the volatile fields (timings, trace, metrics,
@@ -13,6 +17,23 @@ cache traffic, persistence/shard accounting) removed — two runs that
 computed the same result canonicalize to identical bytes, which is how
 the resume/shard drivers compare a resumed or merged run against an
 uninterrupted one.
+
+--for-diff goes one step further and also drops the tool name and the
+thread count, producing the normal form shared by thistle-opt reports
+and the canonical reports embedded in thistle-serve/1 responses: the
+same query must produce the same --for-diff bytes from either tool.
+
+--serve validates a file of newline-delimited thistle-serve/1 response
+envelopes (docs/SERVING.md): field order, status/exit-code agreement,
+the per-request server section, and every embedded report against the
+canonical-projection schema. --extract-report prints each non-null
+embedded report in --for-diff normal form, one per line, for
+byte-comparison against `thistle-opt --trace-json` output.
+
+--serve-consistency cross-checks a daemon's shutdown run report
+against every response it sent: the response count and the per-request
+server.cache counters must sum exactly to the report's serve section
+(the stats-vs-report contract).
 """
 
 import json
@@ -32,11 +53,32 @@ TOP_FIELDS = {
     "exit_code": int,
     "result": dict,
     "evaluator": dict,
-    # "sweep", "network", "persistence" and "shards" are dict or the
-    # literal false; checked separately.
+    # "sweep", "network", "persistence", "shards" and "serve" are dict
+    # or the literal false; checked separately.
     "metrics": dict,
     "trace": dict,
 }
+
+# The canonical projection embedded in thistle-serve/1 responses: the
+# header minus the volatile fields. Sections are restricted separately.
+EMBEDDED_TOP_FIELDS = {
+    "schema": str,
+    "tool": str,
+    "workload": str,
+    "mode": str,
+    "objective": str,
+    "hierarchy": str,
+    "threads": int,
+    "exit_code": int,
+    "result": dict,
+    "evaluator": dict,
+}
+
+# Volatile by construction; an embedded canonical report carrying any
+# of these would break the byte-identity guarantee.
+EMBEDDED_FORBIDDEN = (
+    "wall_seconds", "metrics", "trace", "persistence", "shards", "serve",
+)
 
 RESULT_FIELDS = {
     "found": bool,
@@ -99,6 +141,12 @@ NETWORK_FIELDS = {
     "layers": list,
 }
 
+# Dropped from the canonical projection embedded in thistle-serve/1
+# responses: the counters depend on whether the cache was cold or hot,
+# which must not leak into the served bytes.
+NETWORK_VOLATILE_FIELDS = ("cache_hits", "cache_misses",
+                           "cache_warm_starts")
+
 NETWORK_TOTALS_FIELDS = {
     "energy_pj": (int, float, type(None)),
     "cycles": (int, float, type(None)),
@@ -135,6 +183,40 @@ SHARDS_FIELDS = {
     "merge": bool,
 }
 
+SERVE_FIELDS = {
+    "requests": int,
+    "queries": int,
+    "errors": int,
+    "deduplicated": int,
+    "solves": int,
+    "cache_hits": int,
+    "cache_misses": int,
+    "cache_warm_starts": int,
+    "cache_evictions": int,
+    "compactions": int,
+}
+
+# The thistle-serve/1 response envelope, in serialized key order
+# (docs/SERVING.md). "serve" appears only on stats responses.
+ENVELOPE_KEYS = ("schema", "id", "status", "exit_code", "error",
+                 "report", "serve", "server")
+ENVELOPE_SCHEMA = "thistle-serve/1"
+STATUS_BY_EXIT = {0: "ok", 1: "degraded", 2: "invalid", 3: "no-design"}
+
+SERVER_SECTION_FIELDS = {
+    "deduplicated": bool,
+    "queue_depth": int,
+    "latency_ms": (int, float),
+    "cache": dict,
+}
+
+SERVER_CACHE_FIELDS = {
+    "hit": int,
+    "miss": int,
+    "warmstart": int,
+    "evictions": int,
+}
+
 INCIDENT_FIELDS = {
     "index": int,
     "a": int,
@@ -168,9 +250,16 @@ def check_fields(obj, spec, where, errors):
             )
 
 
-def validate(report):
+def validate(report, embedded=False):
     errors = []
-    check_fields(report, TOP_FIELDS, "$", errors)
+    check_fields(report, EMBEDDED_TOP_FIELDS if embedded else TOP_FIELDS,
+                 "$", errors)
+    if embedded:
+        for name in EMBEDDED_FORBIDDEN:
+            if name in report:
+                errors.append(
+                    f"$.{name}: volatile field in embedded canonical report"
+                )
     if report.get("schema") != SCHEMA:
         errors.append(
             f"$.schema: expected '{SCHEMA}', got {report.get('schema')!r}"
@@ -256,7 +345,15 @@ def validate(report):
     if network is False:
         pass  # Not a --network run.
     elif isinstance(network, dict):
-        check_fields(network, NETWORK_FIELDS, "$.network", errors)
+        network_fields = NETWORK_FIELDS
+        if embedded:
+            network_fields = {k: v for k, v in NETWORK_FIELDS.items()
+                              if k not in NETWORK_VOLATILE_FIELDS}
+            for name in NETWORK_VOLATILE_FIELDS:
+                if name in network:
+                    errors.append(f"$.network.{name}: volatile field in "
+                                  f"embedded canonical report")
+        check_fields(network, network_fields, "$.network", errors)
         if isinstance(network.get("layers_found"), int) and \
                 isinstance(network.get("layers_total"), int) and \
                 network["layers_found"] > network["layers_total"]:
@@ -283,6 +380,9 @@ def validate(report):
                 check_fields(layer, NETWORK_LAYER_FIELDS, where, errors)
     else:
         errors.append("$.network: expected object or false")
+
+    if embedded:
+        return errors
 
     persistence = report.get("persistence")
     if persistence is False:
@@ -318,6 +418,24 @@ def validate(report):
                 "$.shards: sharded run without a persistence section")
     else:
         errors.append("$.shards: expected object or false")
+
+    serve = report.get("serve")
+    if serve is False or serve is None:
+        pass  # Not a thistle-serve shutdown report (absent pre-serve).
+    elif isinstance(serve, dict):
+        check_fields(serve, SERVE_FIELDS, "$.serve", errors)
+        counts = {k: serve.get(k) for k in SERVE_FIELDS}
+        if all(isinstance(v, int) for v in counts.values()):
+            if counts["queries"] > counts["requests"]:
+                errors.append("$.serve.queries: exceeds requests")
+            if counts["errors"] > counts["requests"]:
+                errors.append("$.serve.errors: exceeds requests")
+            if counts["deduplicated"] > counts["queries"]:
+                errors.append("$.serve.deduplicated: exceeds queries")
+            if counts["solves"] > counts["queries"]:
+                errors.append("$.serve.solves: exceeds queries")
+    else:
+        errors.append("$.serve: expected object or false")
 
     metrics = report.get("metrics")
     if isinstance(metrics, dict):
@@ -383,11 +501,15 @@ def validate(report):
 # accounting itself. Everything else — the result, the winner, the
 # sweep outcomes, the per-layer rows — must match byte-for-byte.
 CANONICAL_DROP_TOP = (
-    "wall_seconds", "metrics", "trace", "persistence", "shards",
+    "wall_seconds", "metrics", "trace", "persistence", "shards", "serve",
 )
 CANONICAL_DROP_NETWORK = (
     "cache_hits", "cache_misses", "cache_warm_starts",
 )
+
+# Additionally dropped by --for-diff: which tool answered and at what
+# concurrency are not part of the answer.
+DIFF_DROP_TOP = ("tool", "threads")
 
 
 def canonicalize(report):
@@ -401,34 +523,223 @@ def canonicalize(report):
     return out
 
 
-def main(argv):
-    args = list(argv[1:])
-    canonical = "--canonical" in args
-    if canonical:
-        args.remove("--canonical")
-    if len(args) != 1:
-        print(__doc__.strip(), file=sys.stderr)
-        return 1
-    path = args[0]
+def diff_form(report):
+    """The normal form shared by thistle-opt and thistle-serve reports."""
+    out = canonicalize(report)
+    return {k: v for k, v in out.items() if k not in DIFF_DROP_TOP}
+
+
+def dump_diff_form(report):
+    return json.dumps(diff_form(report), sort_keys=True,
+                      separators=(",", ":"))
+
+
+def load_envelopes(path):
+    """Parses a responses.jsonl file; returns (envelopes, errors)."""
+    envelopes, errors = [], []
+    try:
+        with open(path, encoding="utf-8") as handle:
+            lines = [ln for ln in handle.read().splitlines() if ln]
+    except OSError as exc:
+        return [], [f"{path}: {exc}"]
+    for i, line in enumerate(lines):
+        where = f"{path}:{i + 1}"
+        try:
+            env = json.loads(line)
+        except json.JSONDecodeError as exc:
+            errors.append(f"{where}: not JSON: {exc}")
+            continue
+        if not isinstance(env, dict):
+            errors.append(f"{where}: response is not an object")
+            continue
+        envelopes.append((where, env))
+    return envelopes, errors
+
+
+def validate_envelope(where, env):
+    errors = []
+    keys = [k for k in ENVELOPE_KEYS if k in env]
+    if list(env.keys()) != keys:
+        errors.append(f"{where}: envelope keys out of order or unknown: "
+                      f"{list(env.keys())}")
+    for required in ("schema", "status", "exit_code", "error", "report",
+                     "server"):
+        if required not in env:
+            errors.append(f"{where}: missing '{required}'")
+    if errors:
+        return errors
+    if env["schema"] != ENVELOPE_SCHEMA:
+        errors.append(f"{where}.schema: expected '{ENVELOPE_SCHEMA}', "
+                      f"got {env['schema']!r}")
+    exit_code = env["exit_code"]
+    if STATUS_BY_EXIT.get(exit_code) != env["status"]:
+        errors.append(f"{where}: status {env['status']!r} does not match "
+                      f"exit_code {exit_code!r}")
+    if (exit_code == 2) != isinstance(env["error"], str):
+        errors.append(f"{where}.error: must be a string exactly when "
+                      "exit_code is 2")
+    if exit_code == 2 and env["report"] is not None:
+        errors.append(f"{where}.report: must be null on exit_code 2")
+    report = env["report"]
+    if report is not None:
+        if not isinstance(report, dict):
+            errors.append(f"{where}.report: expected object or null")
+        else:
+            for err in validate(report, embedded=True):
+                errors.append(f"{where}.report{err[1:]}")
+            if report.get("exit_code") != exit_code:
+                errors.append(f"{where}.report.exit_code: disagrees with "
+                              "envelope")
+    if "serve" in env:
+        if not isinstance(env["serve"], dict):
+            errors.append(f"{where}.serve: expected object")
+        else:
+            check_fields(env["serve"], SERVE_FIELDS, f"{where}.serve",
+                         errors)
+    server = env["server"]
+    if not isinstance(server, dict):
+        errors.append(f"{where}.server: expected object")
+        return errors
+    check_fields(server, SERVER_SECTION_FIELDS, f"{where}.server", errors)
+    cache = server.get("cache")
+    if isinstance(cache, dict):
+        check_fields(cache, SERVER_CACHE_FIELDS, f"{where}.server.cache",
+                     errors)
+    return errors
+
+
+def check_serve_consistency(report, envelopes):
+    """The stats-vs-report contract: per-response server.cache counters
+    (zero on dedup joins) sum exactly to the daemon's lifetime serve
+    section, and every request produced exactly one response."""
+    errors = []
+    serve = report.get("serve")
+    if not isinstance(serve, dict):
+        return ["$.serve: shutdown report has no serve section"]
+    sums = {"hit": 0, "miss": 0, "warmstart": 0, "evictions": 0}
+    dedup = 0
+    for _, env in envelopes:
+        server = env.get("server")
+        if not isinstance(server, dict):
+            continue
+        if server.get("deduplicated") is True:
+            dedup += 1
+        cache = server.get("cache")
+        if isinstance(cache, dict):
+            for key in sums:
+                value = cache.get(key)
+                if isinstance(value, int):
+                    sums[key] += value
+    expected = {
+        "hit": serve.get("cache_hits"),
+        "miss": serve.get("cache_misses"),
+        "warmstart": serve.get("cache_warm_starts"),
+        "evictions": serve.get("cache_evictions"),
+    }
+    for key, total in sums.items():
+        if total != expected[key]:
+            errors.append(
+                f"serve-consistency: sum of server.cache.{key} over "
+                f"responses is {total}, report says {expected[key]}"
+            )
+    if dedup != serve.get("deduplicated"):
+        errors.append(
+            f"serve-consistency: {dedup} deduplicated responses, report "
+            f"says {serve.get('deduplicated')}"
+        )
+    if len(envelopes) != serve.get("requests"):
+        errors.append(
+            f"serve-consistency: {len(envelopes)} responses captured, "
+            f"report says {serve.get('requests')} requests"
+        )
+    return errors
+
+
+def load_report(path):
     try:
         with open(path, encoding="utf-8") as handle:
             report = json.load(handle)
     except (OSError, json.JSONDecodeError) as exc:
         print(f"error: {path}: {exc}", file=sys.stderr)
-        return 1
+        return None
     if not isinstance(report, dict):
-        print("error: top-level JSON value is not an object",
+        print(f"error: {path}: top-level JSON value is not an object",
               file=sys.stderr)
+        return None
+    return report
+
+
+def fail(path, errors):
+    for error in errors:
+        print(f"error: {error}", file=sys.stderr)
+    print(f"{path}: {len(errors)} violation(s)", file=sys.stderr)
+    return 1
+
+
+def main(argv):
+    args = list(argv[1:])
+    modes = [m for m in ("--canonical", "--for-diff", "--serve",
+                         "--extract-report", "--serve-consistency")
+             if m in args]
+    if len(modes) > 1:
+        print(f"error: {' and '.join(modes)} are exclusive",
+              file=sys.stderr)
+        return 1
+    mode = modes[0] if modes else None
+    if mode:
+        args.remove(mode)
+
+    if mode == "--serve-consistency":
+        if len(args) < 2:
+            print(__doc__.strip(), file=sys.stderr)
+            return 1
+        report = load_report(args[0])
+        if report is None:
+            return 1
+        errors = validate(report)
+        envelopes = []
+        for path in args[1:]:
+            envs, errs = load_envelopes(path)
+            errors.extend(errs)
+            for where, env in envs:
+                errors.extend(validate_envelope(where, env))
+            envelopes.extend(envs)
+        errors.extend(check_serve_consistency(report, envelopes))
+        if errors:
+            return fail(args[0], errors)
+        print(f"{args[0]}: consistent with {len(envelopes)} response(s)")
+        return 0
+
+    if len(args) != 1:
+        print(__doc__.strip(), file=sys.stderr)
+        return 1
+    path = args[0]
+
+    if mode in ("--serve", "--extract-report"):
+        envelopes, errors = load_envelopes(path)
+        for where, env in envelopes:
+            errors.extend(validate_envelope(where, env))
+        if errors:
+            return fail(path, errors)
+        if mode == "--extract-report":
+            for _, env in envelopes:
+                if isinstance(env.get("report"), dict):
+                    print(dump_diff_form(env["report"]))
+        else:
+            print(f"{path}: {len(envelopes)} valid {ENVELOPE_SCHEMA} "
+                  "response(s)")
+        return 0
+
+    report = load_report(path)
+    if report is None:
         return 1
     errors = validate(report)
     if errors:
-        for error in errors:
-            print(f"error: {error}", file=sys.stderr)
-        print(f"{path}: {len(errors)} schema violation(s)",
-              file=sys.stderr)
-        return 1
-    if canonical:
+        return fail(path, errors)
+    if mode == "--canonical":
         print(json.dumps(canonicalize(report), indent=2, sort_keys=True))
+    elif mode == "--for-diff":
+        print(dump_diff_form(report))
     else:
         print(f"{path}: valid {SCHEMA}")
     return 0
