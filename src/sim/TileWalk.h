@@ -57,6 +57,18 @@ inline std::int64_t intersectionWords(const Box &A, const Box &B) {
 
 /// The dense box spanned by \p T when iterator i ranges over
 /// [Origins[i], Origins[i] + Extents[i]).
+///
+/// "Dense" is the model's counting convention, not an approximation bug
+/// (DESIGN.md, docs/WORKLOADS.md): each dimension's range is the *bounding
+/// interval* of its affine projection. For a multi-term projection
+/// x*h + d*r with x > 1 or d > 1 (strided or dilated layers), interior
+/// positions no (h, r) combination actually touches — the "halo holes" —
+/// are still counted as resident and transferred. The analytical nest and
+/// maestro backends count the same dense boxes (MultiNestAnalysis's
+/// footprint/union words and MaestroModel's delivered-words recurrence),
+/// which is exactly why all three agree to the integer on dilated,
+/// transposed and grouped layers; an exact point-count here would break
+/// that equality for every strided layer already in Table II.
 inline Box tileBox(const Tensor &T, const std::vector<std::int64_t> &Origins,
                    const std::vector<std::int64_t> &Extents) {
   Box B;
@@ -64,6 +76,8 @@ inline Box tileBox(const Tensor &T, const std::vector<std::int64_t> &Origins,
   for (const DimRef &D : T.Dims) {
     std::int64_t Lo = 0, Hi = 0;
     for (const DimRef::Term &Term : D.Terms) {
+      assert(Term.Stride > 0 && "projection strides must be positive");
+      assert(Extents[Term.Iter] >= 1 && "tile extents must be positive");
       Lo += Term.Stride * Origins[Term.Iter];
       Hi += Term.Stride * (Origins[Term.Iter] + Extents[Term.Iter] - 1);
     }

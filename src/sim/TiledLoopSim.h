@@ -13,7 +13,14 @@
 ///
 /// Counting semantics (pinned in DESIGN.md, matching the paper's model):
 ///  - A tensor tile is the dense box spanned by its affine dimension
-///    projections (halo holes from strides are not exploited).
+///    projections (halo holes from strides are not exploited). This
+///    extends unchanged to dilated, transposed and grouped layers: a
+///    dilated projection x*h + d*r leaves d-1 untouched rows between
+///    kernel taps inside the box, and those holes are counted as moved —
+///    by this oracle *and* by both analytical backends, so the
+///    sim == nest == maestro integer equality holds per layer class
+///    (docs/WORKLOADS.md pins the convention; SimTest pins the hole
+///    counts on a dilated layer).
 ///  - Between consecutive steps of the same loop nest, words already in
 ///    the buffer are not reloaded. This reproduces both copy hoisting
 ///    (identical consecutive tiles move nothing) and the halo-union

@@ -26,9 +26,10 @@ std::string shapeKey(const ConvLayer &L) {
   std::snprintf(Buf, sizeof(Buf),
                 "%" PRId64 ",%" PRId64 ",%" PRId64 ",%" PRId64 ",%" PRId64
                 ",%" PRId64 ",%" PRId64 ",%" PRId64 ",%" PRId64 ",%" PRId64
-                ",%" PRId64,
+                ",%" PRId64 ",%" PRId64 ",%d,%s",
                 L.N, L.K, L.C, L.Hin, L.Win, L.R, L.S, L.StrideX, L.StrideY,
-                L.DilationX, L.DilationY);
+                L.DilationX, L.DilationY, L.Groups, L.Transposed ? 1 : 0,
+                paddingName(L.Padding));
   return Buf;
 }
 
@@ -105,6 +106,11 @@ NetworkResult thistle::optimizeNetwork(const std::vector<ConvLayer> &Layers,
         " is not a valid 1-of-N partition");
     return Result;
   }
+  for (const ConvLayer &L : Layers)
+    if (Status S = L.validate(); !S.isOk()) {
+      Result.InputStatus = std::move(S.withContext("validating network"));
+      return Result;
+    }
 
   // Deduplicate identical shapes: repeated blocks (ResNet basic blocks,
   // Yolo's stacked 3x3 stages) are solved once and their winner shared.

@@ -96,12 +96,12 @@ Status parseWorkload(const JsonValue &W, ServeEngine::SolveJob &Job) {
     return Status::invalidArgument(
         "\"workload\" wants exactly one of layer/resnet/yolo/network");
   const auto &[Kind, V] = W.members().front();
-  if (Kind == "layer") {
-    if (!V.isArray() || V.array().size() < 6 || V.array().size() > 8)
+  auto parseLayerDims = [&Job](const JsonValue &A) -> Status {
+    if (!A.isArray() || A.array().size() < 6 || A.array().size() > 8)
       return Status::invalidArgument(
           "\"layer\" wants [K,C,H,W,R,S[,stride[,dilation]]]");
     std::vector<std::int64_t> Dims;
-    for (const JsonValue &E : V.array()) {
+    for (const JsonValue &E : A.array()) {
       std::uint64_t N = 0;
       if (!E.asUint(N) || N < 1)
         return Status::invalidArgument(
@@ -119,6 +119,51 @@ Status parseWorkload(const JsonValue &W, ServeEngine::SolveJob &Job) {
     Job.Layer.DilationX = Job.Layer.DilationY =
         Dims.size() > 7 ? Dims[7] : 1;
     return Status::ok();
+  };
+  if (Kind == "layer") {
+    // Two wire forms: the [K,C,H,W,R,S[,stride[,dilation]]] array, or an
+    // object whose "dims" is that array plus the general-conv fields
+    // ("groups", "transposed", "padding" — docs/WORKLOADS.md). Either way
+    // the layer passes the same ConvLayer::validate() the CLI uses.
+    if (V.isObject()) {
+      const JsonValue *Dims = nullptr;
+      for (const auto &[LK, LV] : V.members()) {
+        if (LK == "dims") {
+          Dims = &LV;
+        } else if (LK == "groups") {
+          std::uint64_t N = 0;
+          if (!LV.asUint(N) || N < 1)
+            return Status::invalidArgument(
+                "\"layer.groups\" wants a positive integer");
+          Job.Layer.Groups = static_cast<std::int64_t>(N);
+        } else if (LK == "transposed") {
+          if (!LV.isBool())
+            return Status::invalidArgument(
+                "\"layer.transposed\" wants a boolean");
+          Job.Layer.Transposed = LV.boolean();
+        } else if (LK == "padding") {
+          if (!LV.isString())
+            return Status::invalidArgument(
+                "\"layer.padding\" wants \"same\" or \"valid\"");
+          Expected<ConvPadding> P = parsePadding(LV.string());
+          if (!P) {
+            Status St = P.status();
+            return St.withContext("\"layer.padding\"");
+          }
+          Job.Layer.Padding = P.value();
+        } else {
+          return Status::invalidArgument("unknown layer field '" + LK +
+                                         "'");
+        }
+      }
+      if (!Dims)
+        return Status::invalidArgument("\"layer\" object needs \"dims\"");
+      if (Status St = parseLayerDims(*Dims); !St.isOk())
+        return St;
+    } else if (Status St = parseLayerDims(V); !St.isOk()) {
+      return St;
+    }
+    return Job.Layer.validate();
   }
   if (Kind == "resnet" || Kind == "yolo") {
     std::vector<ConvLayer> Layers =
@@ -139,6 +184,10 @@ Status parseWorkload(const JsonValue &W, ServeEngine::SolveJob &Job) {
       Job.NetworkLayers = resnet18NetworkLayers();
     else if (Name == "yolo9000")
       Job.NetworkLayers = yolo9000NetworkLayers();
+    else if (Name == "mobilenetv2")
+      Job.NetworkLayers = mobilenetV2NetworkLayers();
+    else if (Name == "dcgan")
+      Job.NetworkLayers = dcganNetworkLayers();
     else if (Name == "all")
       Job.NetworkLayers = allNetworkLayers();
     else
@@ -234,6 +283,10 @@ Status parseQuery(const JsonValue &Q, const TechParams &Tech,
   if (Job.Mode == DesignMode::CoDesign && Job.AreaBudget == 0.0)
     Job.AreaBudget = eyerissAreaUm2(Tech);
 
+  // The layer part of the key covers every ConvLayer field the solve can
+  // depend on — both stride/dilation axes, groups, transposed and the
+  // padding convention — so distinct general-conv queries never share an
+  // in-flight solve.
   std::string Key =
       Job.IsNetwork ? "network:" + Job.NetworkName
                     : "layer:" + std::to_string(Job.Layer.K) + "," +
@@ -243,7 +296,12 @@ Status parseQuery(const JsonValue &Q, const TechParams &Tech,
                           std::to_string(Job.Layer.R) + "," +
                           std::to_string(Job.Layer.S) + "," +
                           std::to_string(Job.Layer.StrideX) + "," +
-                          std::to_string(Job.Layer.DilationX) + ":" +
+                          std::to_string(Job.Layer.StrideY) + "," +
+                          std::to_string(Job.Layer.DilationX) + "," +
+                          std::to_string(Job.Layer.DilationY) + "," +
+                          std::to_string(Job.Layer.Groups) + "," +
+                          (Job.Layer.Transposed ? "t" : "d") + "," +
+                          paddingName(Job.Layer.Padding) + ":" +
                           Job.Layer.Name;
   Key += "|mode=";
   Key += modeName(Job.Mode);

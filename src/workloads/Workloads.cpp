@@ -108,6 +108,103 @@ std::vector<ConvLayer> thistle::allNetworkLayers() {
   return All;
 }
 
+namespace {
+
+/// A depthwise 3x3 stage: one filter per input channel (Groups == C).
+ConvLayer dwLayer(std::string Name, std::int64_t C, std::int64_t HW,
+                  std::int64_t Stride) {
+  ConvLayer L = layer(std::move(Name), C, C, HW, 3, Stride);
+  L.Groups = C;
+  return L;
+}
+
+/// A transposed (fractionally-strided) square stage.
+ConvLayer tLayer(std::string Name, std::int64_t K, std::int64_t C,
+                 std::int64_t HW, std::int64_t RS, std::int64_t Stride) {
+  ConvLayer L = layer(std::move(Name), K, C, HW, RS, Stride);
+  L.Transposed = true;
+  return L;
+}
+
+/// A dilated square stage (stride 1).
+ConvLayer dilLayer(std::string Name, std::int64_t K, std::int64_t C,
+                   std::int64_t HW, std::int64_t RS, std::int64_t Dilation) {
+  ConvLayer L = layer(std::move(Name), K, C, HW, RS, 1);
+  L.DilationX = Dilation;
+  L.DilationY = Dilation;
+  return L;
+}
+
+} // namespace
+
+std::vector<ConvLayer> thistle::mobilenetV2Layers() {
+  // Width 1.0, 224x224 input. One entry per distinct shape, stem to
+  // head; .dw marks the depthwise 3x3 of an inverted-residual block,
+  // .ex/.pj its pointwise expand/project convs.
+  return {
+      layer("mbv2-1", 32, 3, 224, 3, 2),
+      dwLayer("mbv2-2.dw", 32, 112, 1),
+      layer("mbv2-3.pj", 16, 32, 112, 1, 1),
+      layer("mbv2-4.ex", 96, 16, 112, 1, 1),
+      dwLayer("mbv2-5.dw", 96, 112, 2),
+      layer("mbv2-6.pj", 24, 96, 56, 1, 1),
+      layer("mbv2-7.ex", 144, 24, 56, 1, 1),
+      dwLayer("mbv2-8.dw", 144, 56, 1),
+      layer("mbv2-9.pj", 24, 144, 56, 1, 1),
+      dwLayer("mbv2-10.dw", 144, 56, 2),
+      layer("mbv2-11.pj", 32, 144, 28, 1, 1),
+      layer("mbv2-12.ex", 192, 32, 28, 1, 1),
+      dwLayer("mbv2-13.dw", 192, 28, 1),
+      layer("mbv2-14.pj", 32, 192, 28, 1, 1),
+      dwLayer("mbv2-15.dw", 192, 28, 2),
+      layer("mbv2-16.pj", 64, 192, 14, 1, 1),
+      layer("mbv2-17.ex", 384, 64, 14, 1, 1),
+      dwLayer("mbv2-18.dw", 384, 14, 1),
+      layer("mbv2-19.pj", 64, 384, 14, 1, 1),
+      layer("mbv2-20.pj", 96, 384, 14, 1, 1),
+      layer("mbv2-21.ex", 576, 96, 14, 1, 1),
+      dwLayer("mbv2-22.dw", 576, 14, 1),
+      layer("mbv2-23.pj", 96, 576, 14, 1, 1),
+      dwLayer("mbv2-24.dw", 576, 14, 2),
+      layer("mbv2-25.pj", 160, 576, 7, 1, 1),
+      layer("mbv2-26.ex", 960, 160, 7, 1, 1),
+      dwLayer("mbv2-27.dw", 960, 7, 1),
+      layer("mbv2-28.pj", 160, 960, 7, 1, 1),
+      layer("mbv2-29.pj", 320, 960, 7, 1, 1),
+      layer("mbv2-30", 1280, 320, 7, 1, 1),
+  };
+}
+
+std::vector<ConvLayer> thistle::mobilenetV2NetworkLayers() {
+  // The repeat counts restore MobileNetV2's 52 conv instances: expand
+  // shapes recur across the tail blocks of one stage and the head block
+  // of the next (e.g. 32->192 appears three times), depthwise and
+  // project shapes across the residual blocks that keep their stage's
+  // resolution.
+  return repeatLayers(mobilenetV2Layers(),
+                      {1, 1, 1, 1, 1, 1, 2, 1, 1, 1, 1, 3, 2, 2, 1,
+                       1, 4, 4, 3, 1, 3, 2, 2, 1, 1, 3, 3, 2, 1, 1});
+}
+
+std::vector<ConvLayer> thistle::dcganLayers() {
+  // Generator (64x64 DCGAN): four fractionally-strided convs from the
+  // 4x4x1024 projection up to the image; outputs follow the full
+  // stride*(Hin-1)+R convention (no cropping — docs/WORKLOADS.md).
+  // Training also needs the backward pass of the discriminator's
+  // stride-2 convs, which EcoFlow maps onto dilation-2 convolutions
+  // over the upstream activations.
+  return {
+      tLayer("dcgan-g1", 512, 1024, 4, 4, 2),
+      tLayer("dcgan-g2", 256, 512, 8, 4, 2),
+      tLayer("dcgan-g3", 128, 256, 16, 4, 2),
+      tLayer("dcgan-g4", 3, 128, 32, 4, 2),
+      dilLayer("dcgan-d1", 128, 64, 32, 3, 2),
+      dilLayer("dcgan-d2", 256, 128, 16, 3, 2),
+  };
+}
+
+std::vector<ConvLayer> thistle::dcganNetworkLayers() { return dcganLayers(); }
+
 ArchConfig thistle::eyerissArch() {
   ArchConfig Arch;
   Arch.NumPEs = 168;

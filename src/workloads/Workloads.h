@@ -48,6 +48,25 @@ std::vector<ConvLayer> yolo9000NetworkLayers();
 /// Both expanded pipelines concatenated (ResNet-18 first).
 std::vector<ConvLayer> allNetworkLayers();
 
+/// The 30 distinct conv shapes of MobileNetV2 (width 1.0, 224x224 input;
+/// docs/WORKLOADS.md): the dense stem, the depthwise 3x3 stages
+/// (Groups == C) and the pointwise 1x1 expand/project stages of the
+/// inverted-residual bottlenecks, plus the final 1x1 conv.
+std::vector<ConvLayer> mobilenetV2Layers();
+
+/// The full 52-conv MobileNetV2 pipeline for the network driver: the 30
+/// distinct shapes expanded with their bottleneck-repeat multiplicities.
+std::vector<ConvLayer> mobilenetV2NetworkLayers();
+
+/// DCGAN-style training layers (docs/WORKLOADS.md): the four transposed
+/// convs of the 64x64 generator (full-output convention) and two
+/// dilation-2 stages modeling the strided discriminator convs' backward
+/// pass, which EcoFlow shows maps onto dilated convolutions.
+std::vector<ConvLayer> dcganLayers();
+
+/// The DCGAN table as a network pipeline (each stage once).
+std::vector<ConvLayer> dcganNetworkLayers();
+
 /// The Eyeriss architectural parameters used as the paper's baseline.
 ArchConfig eyerissArch();
 

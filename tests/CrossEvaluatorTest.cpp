@@ -20,6 +20,7 @@
 #include "support/MathUtil.h"
 #include "support/Rng.h"
 #include "support/Telemetry.h"
+#include "thistle/Optimizer.h"
 #include "workloads/Workloads.h"
 
 #include <gtest/gtest.h>
@@ -131,6 +132,51 @@ std::vector<Problem> simWorkloads() {
     Probs.push_back(makeConvProblem(L));
   }
   return Probs;
+}
+
+/// One downscaled layer per call, covering the general-conv fields.
+ConvLayer generalLayer(std::int64_t K, std::int64_t C, std::int64_t HW,
+                       std::int64_t RS, std::int64_t Stride,
+                       std::int64_t Dilation, std::int64_t Groups,
+                       bool Transposed,
+                       ConvPadding Padding = ConvPadding::Same) {
+  ConvLayer L;
+  L.Name = "general";
+  L.K = K;
+  L.C = C;
+  L.Hin = HW;
+  L.Win = HW;
+  L.R = RS;
+  L.S = RS;
+  L.StrideX = L.StrideY = Stride;
+  L.DilationX = L.DilationY = Dilation;
+  L.Groups = Groups;
+  L.Transposed = Transposed;
+  L.Padding = Padding;
+  EXPECT_TRUE(L.validate().isOk()) << L.validate().toString();
+  return L;
+}
+
+/// Downscaled layers of every new workload class — at least three each
+/// of dilated, transposed and grouped/depthwise, mixing strides,
+/// dilations and the valid-padding rule — small enough for the
+/// brute-force simulator.
+std::vector<ConvLayer> generalSimLayers() {
+  return {
+      // Dilated.
+      generalLayer(8, 4, 10, 3, 1, 2, 1, false),
+      generalLayer(4, 8, 8, 3, 2, 2, 1, false),
+      generalLayer(8, 4, 12, 3, 1, 3, 1, false, ConvPadding::Valid),
+      // Transposed (the last one also dilated).
+      generalLayer(8, 4, 5, 3, 2, 1, 1, true),
+      generalLayer(4, 8, 4, 4, 2, 1, 1, true),
+      generalLayer(8, 8, 6, 2, 3, 2, 1, true),
+      // Grouped and depthwise (the last one dilated and strided).
+      generalLayer(8, 8, 8, 3, 1, 1, 2, false),
+      generalLayer(16, 8, 6, 3, 2, 1, 4, false),
+      generalLayer(8, 8, 8, 3, 1, 1, 8, false),
+      generalLayer(6, 6, 10, 3, 2, 2, 6, false),
+  };
 }
 
 /// A deliberately wrong backend: the nest counts with one word added to
@@ -327,4 +373,101 @@ TEST(CrossEvaluator, MapperTrajectoryIsBackendInvariantWhenBackendsAgree) {
   }
   EXPECT_EQ(XC.stats().DivergentEvals, 0u);
   EXPECT_GT(XC.stats().Evals, 0u);
+}
+
+TEST(CrossEvaluator, GeneralConvClassesMatchTiledLoopSimExactly) {
+  // The tentpole claim of the open-workload work: dilated, transposed
+  // and grouped/depthwise layers count exactly like the dense path —
+  // nest == maestro == brute-force simulator, to the integer, on both
+  // tool hierarchies.
+  const CostEvaluator &Nest = nestCostEvaluator();
+  const CostEvaluator &Maestro = maestroCostEvaluator();
+  for (const Hierarchy &H : toolHierarchies()) {
+    for (const ConvLayer &L : generalSimLayers()) {
+      SCOPED_TRACE(std::string(L.layerClass()) + " K" +
+                   std::to_string(L.K) + " C" + std::to_string(L.C) + " H" +
+                   std::to_string(L.Hin));
+      Problem P = makeConvProblem(L);
+      Rng R(41);
+      for (int Trial = 0; Trial < 4; ++Trial) {
+        MultiMapping M = randomMultiMapping(P, H.numLevels(), R);
+        ASSERT_TRUE(M.validate(P, H).empty());
+        MultiProfile Sim = simulateMultiNestProfile(P, H, M);
+        expectSameMultiProfile(P, H, Nest.profile(P, H, M), Sim);
+        expectSameMultiProfile(P, H, Maestro.profile(P, H, M), Sim);
+      }
+    }
+  }
+}
+
+TEST(CrossEvaluator, MaestroMatchesNestOnGeneralLayerTables) {
+  // Full-size MobileNetV2 and DCGAN stages: the analytical backends stay
+  // count-equal at production shapes, not just on the downscaled sims.
+  const CostEvaluator &Nest = nestCostEvaluator();
+  const CostEvaluator &Maestro = maestroCostEvaluator();
+  std::vector<ConvLayer> Layers = mobilenetV2Layers();
+  std::vector<ConvLayer> Dcgan = dcganLayers();
+  Layers.insert(Layers.end(), Dcgan.begin(), Dcgan.end());
+  for (const Hierarchy &H : toolHierarchies()) {
+    for (const ConvLayer &L : Layers) {
+      SCOPED_TRACE(L.Name);
+      Problem P = makeConvProblem(L);
+      Rng R(43);
+      for (int Trial = 0; Trial < 3; ++Trial) {
+        MultiMapping M = randomMultiMapping(P, H.numLevels(), R);
+        ASSERT_TRUE(M.validate(P, H).empty());
+        expectSameMultiProfile(P, H, Maestro.profile(P, H, M),
+                               Nest.profile(P, H, M));
+        expectSameMultiEval(Maestro.evaluate(P, H, M),
+                            Nest.evaluate(P, H, M));
+      }
+    }
+  }
+}
+
+TEST(CrossEvaluator, OptimizeLayerOnNewClassesIsThreadAndBackendInvariant) {
+  // One layer per class through the full optimizeLayer sweep: results
+  // bit-identical at 1 and 8 worker threads, and with the nest-vs-maestro
+  // cross-check scoring every candidate (which must stay divergence-free).
+  const ConvLayer Layers[] = {
+      generalLayer(8, 4, 10, 3, 1, 2, 1, false),  // dilated
+      generalLayer(8, 4, 5, 3, 2, 1, 1, true),    // transposed
+      generalLayer(16, 8, 6, 3, 2, 1, 4, false),  // grouped
+      generalLayer(8, 8, 8, 3, 1, 1, 8, false),   // depthwise
+  };
+  for (const ConvLayer &L : Layers) {
+    SCOPED_TRACE(L.layerClass());
+    Problem P = makeConvProblem(L);
+    ThistleOptions One;
+    One.MaxPermClassPairs = 8;
+    One.Threads = 1;
+    ThistleResult R1 = optimizeLayer(P, eyerissArch(),
+                                     TechParams::cgo45nm(), One);
+    ASSERT_TRUE(R1.InputStatus.isOk());
+    ASSERT_TRUE(R1.Found);
+
+    ThistleOptions Eight = One;
+    Eight.Threads = 8;
+    ThistleResult R8 = optimizeLayer(P, eyerissArch(),
+                                     TechParams::cgo45nm(), Eight);
+    ASSERT_TRUE(R8.Found);
+    EXPECT_EQ(R1.Eval.EnergyPj, R8.Eval.EnergyPj);
+    EXPECT_EQ(R1.Eval.Cycles, R8.Eval.Cycles);
+    EXPECT_EQ(R1.Eval.EdpPjCycles, R8.Eval.EdpPjCycles);
+    EXPECT_EQ(R1.Map.Factors, R8.Map.Factors);
+    EXPECT_EQ(R1.BestPePerm, R8.BestPePerm);
+    EXPECT_EQ(R1.BestDramPerm, R8.BestDramPerm);
+
+    CrossCheckEvaluator XC(nestCostEvaluator(), maestroCostEvaluator());
+    ThistleOptions Checked = Eight;
+    Checked.Rounding.Evaluator = &XC;
+    ThistleResult RX = optimizeLayer(P, eyerissArch(),
+                                     TechParams::cgo45nm(), Checked);
+    ASSERT_TRUE(RX.Found);
+    EXPECT_EQ(R1.Eval.EnergyPj, RX.Eval.EnergyPj);
+    EXPECT_EQ(R1.Eval.Cycles, RX.Eval.Cycles);
+    EXPECT_EQ(R1.Map.Factors, RX.Map.Factors);
+    EXPECT_EQ(XC.stats().DivergentEvals, 0u);
+    EXPECT_GT(XC.stats().Evals, 0u);
+  }
 }

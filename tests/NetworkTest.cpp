@@ -410,3 +410,79 @@ TEST(NetworkPersist, DamagedArtifactsDegradeToColdStart) {
   persist::removeFile(Bad);
   persist::removeFile(Flip);
 }
+
+namespace {
+
+/// A toy network covering each new layer class once: depthwise,
+/// grouped, dilated, transposed — small enough for a full sweep.
+std::vector<ConvLayer> generalToyNetwork() {
+  ConvLayer Dw = conv("dw", 8, 8, 10, 3);
+  Dw.Groups = 8;
+  ConvLayer Gr = conv("gr", 8, 8, 8, 3, 2);
+  Gr.Groups = 2;
+  ConvLayer Dil = conv("dil", 8, 4, 10, 3);
+  Dil.DilationX = Dil.DilationY = 2;
+  ConvLayer Tr = conv("tr", 4, 8, 5, 3, 2);
+  Tr.Transposed = true;
+  return {Dw, Gr, Dil, Tr};
+}
+
+} // namespace
+
+TEST(Network, GeneralConvClassesAreCacheAndThreadInvariant) {
+  NetworkOptions One = fastNetworkOptions();
+  One.Layer.Threads = 1;
+  NetworkResult R1 = optimizeNetwork(generalToyNetwork(), eyerissArch(),
+                                     TechParams::cgo45nm(), One);
+  ASSERT_TRUE(R1.InputStatus.isOk());
+  ASSERT_TRUE(R1.Found);
+  EXPECT_EQ(R1.Stats.UniqueShapes, 4u); // No false dedup across classes.
+
+  NetworkOptions Eight = fastNetworkOptions();
+  Eight.Layer.Threads = 8;
+  GpSolutionCache Cache;
+  Eight.Cache = &Cache;
+  NetworkResult Cold = optimizeNetwork(generalToyNetwork(), eyerissArch(),
+                                       TechParams::cgo45nm(), Eight);
+  ASSERT_TRUE(Cold.Found);
+  expectIdentical(R1, Cold);
+  NetworkResult Warm = optimizeNetwork(generalToyNetwork(), eyerissArch(),
+                                       TechParams::cgo45nm(), Eight);
+  ASSERT_TRUE(Warm.Found);
+  expectIdentical(R1, Warm);
+  EXPECT_EQ(Warm.Stats.CacheMisses, 0u);
+}
+
+TEST(Network, ShapeKeySeparatesGroupedFromDenseTwins) {
+  // Two layers with identical dims where only Groups (or Transposed)
+  // differs must NOT deduplicate onto one shape.
+  ConvLayer Dense = conv("dense", 8, 8, 8, 3);
+  ConvLayer Grouped = conv("grouped", 8, 8, 8, 3);
+  Grouped.Groups = 2;
+  ConvLayer Flipped = conv("flipped", 8, 8, 8, 3);
+  Flipped.Transposed = true;
+  ConvLayer Valid = conv("valid", 8, 8, 8, 3);
+  Valid.Padding = ConvPadding::Valid;
+  NetworkResult R =
+      optimizeNetwork({Dense, Grouped, Flipped, Valid}, eyerissArch(),
+                      TechParams::cgo45nm(), fastNetworkOptions());
+  ASSERT_TRUE(R.InputStatus.isOk());
+  EXPECT_EQ(R.Stats.LayersTotal, 4u);
+  EXPECT_EQ(R.Stats.UniqueShapes, 4u);
+  for (const NetworkLayerResult &L : R.Layers)
+    EXPECT_FALSE(L.Deduplicated) << L.Name;
+}
+
+TEST(Network, InvalidLayerIsRejectedBeforeAnySolve) {
+  std::vector<ConvLayer> Net = generalToyNetwork();
+  Net[1].Groups = 3; // 8 channels not divisible by 3.
+  NetworkResult R = optimizeNetwork(Net, eyerissArch(),
+                                    TechParams::cgo45nm(),
+                                    fastNetworkOptions());
+  EXPECT_FALSE(R.Found);
+  ASSERT_FALSE(R.InputStatus.isOk());
+  EXPECT_EQ(R.InputStatus.code(), StatusCode::InvalidArgument);
+  EXPECT_NE(R.InputStatus.toString().find("divisible"), std::string::npos)
+      << R.InputStatus.toString();
+  EXPECT_EQ(R.Stats.PairsSolved, 0u);
+}

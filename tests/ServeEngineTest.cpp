@@ -265,6 +265,94 @@ TEST(ServeEngine, ShutdownReportMatchesStats) {
   EXPECT_NE(RR.toJson().find("\"serve\""), std::string::npos);
 }
 
+TEST(ServeEngine, ObjectFormLayerParsesGeneralConvModifiers) {
+  ServeEngine Engine{ServeOptions{}};
+  ASSERT_TRUE(Engine.start().isOk());
+
+  // Array and object forms of the same dense layer share a dedup key;
+  // the depthwise/transposed/valid-padding variants must not.
+  const char *Forms[] = {
+      "{\"schema\":\"thistle-serve/1\",\"id\":1,\"query\":{\"workload\":"
+      "{\"layer\":{\"dims\":[8,8,10,10,3,3]}}}}",
+      "{\"schema\":\"thistle-serve/1\",\"id\":2,\"query\":{\"workload\":"
+      "{\"layer\":{\"dims\":[8,8,10,10,3,3],\"groups\":8}}}}",
+      "{\"schema\":\"thistle-serve/1\",\"id\":3,\"query\":{\"workload\":"
+      "{\"layer\":{\"dims\":[8,8,10,10,3,3],\"transposed\":true}}}}",
+      "{\"schema\":\"thistle-serve/1\",\"id\":4,\"query\":{\"workload\":"
+      "{\"layer\":{\"dims\":[8,8,10,10,3,3],\"padding\":\"valid\"}}}}"};
+  for (const char *Q : Forms) {
+    std::string Resp = Engine.handleLine(Q);
+    EXPECT_NE(Resp.find("\"status\":\"ok\""), std::string::npos)
+        << Q << " -> " << Resp;
+  }
+  // Four distinct workloads -> four solver jobs, no false sharing.
+  EXPECT_EQ(Engine.stats().Solves, 4u);
+
+  // The plain array form replays the object-form dense solve from the
+  // exact cache tier: same workload, same key.
+  std::uint64_t HitsBefore = Engine.stats().CacheHits;
+  std::string Arr = Engine.handleLine(
+      "{\"schema\":\"thistle-serve/1\",\"id\":5,\"query\":{\"workload\":"
+      "{\"layer\":[8,8,10,10,3,3]}}}");
+  EXPECT_NE(Arr.find("\"status\":\"ok\""), std::string::npos);
+  EXPECT_GT(Engine.stats().CacheHits, HitsBefore);
+  Engine.shutdown();
+}
+
+TEST(ServeEngine, GeneralConvValidationUsesTheErrorEnvelope) {
+  ServeEngine Engine{ServeOptions{}};
+  ASSERT_TRUE(Engine.start().isOk());
+  struct Case {
+    const char *Query;
+    const char *Needle;
+  } Cases[] = {
+      // 8 channels are not divisible into 3 groups.
+      {"{\"schema\":\"thistle-serve/1\",\"query\":{\"workload\":"
+       "{\"layer\":{\"dims\":[8,8,10,10,3,3],\"groups\":3}}}}",
+       "divisible"},
+      // Dilation 0 in the long array form.
+      {"{\"schema\":\"thistle-serve/1\",\"query\":{\"workload\":"
+       "{\"layer\":[8,8,10,10,3,3,1,0]}}}",
+       "positive"},
+      // Unknown padding token.
+      {"{\"schema\":\"thistle-serve/1\",\"query\":{\"workload\":"
+       "{\"layer\":{\"dims\":[8,8,10,10,3,3],\"padding\":\"diagonal\"}}}}",
+       "padding"},
+      // Unknown field in the layer object (strict parsing).
+      {"{\"schema\":\"thistle-serve/1\",\"query\":{\"workload\":"
+       "{\"layer\":{\"dims\":[8,8,10,10,3,3],\"dilated\":true}}}}",
+       "layer"}};
+  for (const Case &C : Cases) {
+    std::string Resp = Engine.handleLine(C.Query);
+    EXPECT_NE(Resp.find("\"status\":\"invalid\""), std::string::npos)
+        << C.Query << " -> " << Resp;
+    EXPECT_NE(Resp.find("\"exit_code\":2"), std::string::npos) << C.Query;
+    EXPECT_NE(Resp.find(C.Needle), std::string::npos) << Resp;
+  }
+  EXPECT_EQ(Engine.stats().Queries, 0u); // None admitted.
+  Engine.shutdown();
+}
+
+TEST(ServeEngine, NewNetworkNamesAreAdmitted) {
+  ServeEngine Engine{ServeOptions{}};
+  ASSERT_TRUE(Engine.start().isOk());
+  // A 1ms deadline keeps these from running the full sweeps; the point
+  // is that the names parse (degraded/no-design/ok — never invalid).
+  for (const char *Net : {"mobilenetv2", "dcgan"}) {
+    std::string Resp = Engine.handleLine(
+        std::string("{\"schema\":\"thistle-serve/1\",\"query\":{\"workload\":"
+                    "{\"network\":\"") +
+        Net + "\"},\"deadline_ms\":1}}");
+    EXPECT_EQ(Resp.find("\"status\":\"invalid\""), std::string::npos)
+        << Net << " -> " << Resp;
+  }
+  std::string Bad = Engine.handleLine(
+      "{\"schema\":\"thistle-serve/1\",\"query\":{\"workload\":"
+      "{\"network\":\"vgg\"}}}");
+  EXPECT_NE(Bad.find("\"status\":\"invalid\""), std::string::npos) << Bad;
+  Engine.shutdown();
+}
+
 TEST(ServeEngine, ShutdownCommandOnlySetsTheFlag) {
   ServeEngine Engine{ServeOptions{}};
   ASSERT_TRUE(Engine.start().isOk());

@@ -77,3 +77,85 @@ TEST(Workloads, EyerissBaseline) {
   EXPECT_EQ(A.SramWords, 65536);
   EXPECT_GT(eyerissAreaUm2(TechParams::cgo45nm()), 0.0);
 }
+
+TEST(Workloads, MobileNetV2TableShape) {
+  std::vector<ConvLayer> Shapes = mobilenetV2Layers();
+  std::vector<ConvLayer> Net = mobilenetV2NetworkLayers();
+  EXPECT_EQ(Shapes.size(), 30u);
+  EXPECT_EQ(Net.size(), 52u);
+  // Every layer in both tables is well-formed.
+  for (const ConvLayer &L : Net)
+    EXPECT_TRUE(L.validate().isOk()) << L.Name;
+  // Unique names within the shape table.
+  for (std::size_t I = 0; I < Shapes.size(); ++I)
+    for (std::size_t J = I + 1; J < Shapes.size(); ++J)
+      EXPECT_NE(Shapes[I].Name, Shapes[J].Name);
+}
+
+TEST(Workloads, MobileNetV2SpotChecks) {
+  std::vector<ConvLayer> L = mobilenetV2Layers();
+  // Stem: 32 output channels over RGB at 224x224, stride 2.
+  EXPECT_EQ(L[0].K, 32);
+  EXPECT_EQ(L[0].C, 3);
+  EXPECT_EQ(L[0].Hin, 224);
+  EXPECT_EQ(L[0].StrideX, 2);
+  EXPECT_STREQ(L[0].layerClass(), "dense");
+  // The table mixes depthwise 3x3s with pointwise expand/project 1x1s.
+  std::size_t Depthwise = 0, Pointwise = 0;
+  for (const ConvLayer &Layer : L) {
+    if (std::string(Layer.layerClass()) == "depthwise") {
+      ++Depthwise;
+      EXPECT_EQ(Layer.Groups, Layer.C);
+      EXPECT_EQ(Layer.K, Layer.C);
+      EXPECT_EQ(Layer.R, 3);
+      // Depthwise MACs drop the cross-channel reduction: one input
+      // channel per output channel.
+      EXPECT_EQ(Layer.numMacs(),
+                Layer.N * Layer.K * 9 * Layer.outH() * Layer.outW())
+          << Layer.Name;
+    } else if (Layer.R == 1 && Layer.Groups == 1) {
+      ++Pointwise;
+    }
+  }
+  EXPECT_EQ(Depthwise, 10u);
+  EXPECT_GT(Pointwise, 15u);
+  // Head: 1280-channel 1x1 at 7x7.
+  EXPECT_EQ(L.back().K, 1280);
+  EXPECT_EQ(L.back().C, 320);
+  EXPECT_EQ(L.back().Hin, 7);
+}
+
+TEST(Workloads, DcganTableShape) {
+  std::vector<ConvLayer> L = dcganLayers();
+  EXPECT_EQ(L.size(), 6u);
+  EXPECT_EQ(dcganNetworkLayers().size(), 6u);
+  std::size_t Transposed = 0, Dilated = 0;
+  for (const ConvLayer &Layer : L) {
+    EXPECT_TRUE(Layer.validate().isOk()) << Layer.Name;
+    if (Layer.Transposed)
+      ++Transposed;
+    else if (Layer.DilationX > 1)
+      ++Dilated;
+  }
+  EXPECT_EQ(Transposed, 4u);
+  EXPECT_EQ(Dilated, 2u);
+  // Generator stage 1: 1024 -> 512 channels, 4x4 kernel, stride 2;
+  // full transposed output is Stride*(Hin-1) + (R-1) + 1 = 10.
+  EXPECT_EQ(L[0].K, 512);
+  EXPECT_EQ(L[0].C, 1024);
+  EXPECT_EQ(L[0].Hin, 4);
+  EXPECT_TRUE(L[0].Transposed);
+  EXPECT_EQ(L[0].outH(), 2 * (4 - 1) + (4 - 1) + 1);
+  // Transposed MACs iterate the *input* spatial extent.
+  EXPECT_EQ(L[0].numMacs(), 512ll * 1024 * 4 * 4 * 4 * 4);
+}
+
+TEST(Workloads, GeneralTablesBuildProblemsWithExactMacs) {
+  std::vector<ConvLayer> All = mobilenetV2NetworkLayers();
+  std::vector<ConvLayer> D = dcganLayers();
+  All.insert(All.end(), D.begin(), D.end());
+  for (const ConvLayer &L : All) {
+    Problem P = makeConvProblem(L);
+    EXPECT_EQ(P.numOps(), L.numMacs()) << L.Name;
+  }
+}

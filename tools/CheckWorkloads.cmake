@@ -1,0 +1,121 @@
+# End-to-end checks of the general-conv workload tables
+# (docs/WORKLOADS.md). Invoked by ctest as:
+#   cmake -DTOOL=<thistle-opt> -DWORK_DIR=<dir> -DCHECK=smoke|demo|cache
+#         [-DCHECKER=<check_run_report.py> -DPYTHON=<python3>]
+#         -P CheckWorkloads.cmake
+#
+#  smoke: the MobileNetV2 driver run resolves all 52 conv instances
+#         (depthwise and pointwise stages included), dedupes them to the
+#         30 unique shapes, and writes a schema-valid run report.
+#  demo:  a dilated and a transposed custom layer plus the DCGAN table
+#         run under --evaluator both with zero nest/maestro divergence.
+#  cache: THISTLE_CACHE=off reproduces the cached MobileNetV2 run byte
+#         for byte (modulo the cache-stats line) — the dense-box
+#         counting convention keeps the new layer classes deterministic
+#         through the cache exactly like the Table II networks.
+
+if(CHECK STREQUAL "smoke")
+  set(REPORT ${WORK_DIR}/mobilenetv2-report.json)
+  execute_process(
+    COMMAND ${TOOL} --network mobilenetv2 --threads 2 --trace-json ${REPORT}
+    OUTPUT_VARIABLE OUT
+    ERROR_VARIABLE ERR
+    RESULT_VARIABLE CODE)
+  if(NOT CODE EQUAL 0)
+    message(FATAL_ERROR
+      "mobilenetv2 run: expected exit 0, got '${CODE}'\n${OUT}\n${ERR}")
+  endif()
+  # MobileNetV2 (width 1.0, 224x224) has 52 conv instances collapsing
+  # to 30 unique shapes; the dedup counts are user-facing contract.
+  if(NOT OUT MATCHES "network: 52 layers, 30 unique shapes")
+    message(FATAL_ERROR "mobilenetv2 run: wrong dedup summary\n${OUT}")
+  endif()
+  if(NOT OUT MATCHES "network totals:")
+    message(FATAL_ERROR "mobilenetv2 run: missing totals line\n${OUT}")
+  endif()
+  if(NOT EXISTS ${REPORT})
+    message(FATAL_ERROR "mobilenetv2 run: ${REPORT} was not written")
+  endif()
+  if(PYTHON)
+    execute_process(
+      COMMAND ${PYTHON} ${CHECKER} ${REPORT}
+      OUTPUT_VARIABLE OUT
+      ERROR_VARIABLE ERR
+      RESULT_VARIABLE CODE)
+    if(NOT CODE EQUAL 0)
+      message(FATAL_ERROR "schema check failed:\n${OUT}\n${ERR}")
+    endif()
+  else()
+    file(READ ${REPORT} JSON)
+    foreach(FIELD
+        "\"schema\": \"thistle-run-report/1\"" "\"exit_code\": 0"
+        "\"network\"" "\"layers_total\": 52" "\"unique_shapes\": 30")
+      if(NOT JSON MATCHES "${FIELD}")
+        message(FATAL_ERROR "report missing ${FIELD}\n${JSON}")
+      endif()
+    endforeach()
+  endif()
+
+elseif(CHECK STREQUAL "demo")
+  # One dilated and one transposed custom layer, then the DCGAN table
+  # (4 transposed generator stages + 2 dilated discriminator stages),
+  # all scored by nest while maestro cross-checks every evaluation.
+  set(RUNS
+    "--layer=8,4,28,28,3,3,1,2=--evaluator=both"
+    "--layer=4,8,14,14,3,3,2=--transposed=--evaluator=both"
+    "--network=dcgan=--threads=2=--evaluator=both")
+  foreach(RUN ${RUNS})
+    string(REPLACE "=" ";" ARGS "${RUN}")
+    execute_process(
+      COMMAND ${TOOL} ${ARGS}
+      OUTPUT_VARIABLE OUT
+      ERROR_VARIABLE ERR
+      RESULT_VARIABLE CODE)
+    if(NOT CODE EQUAL 0)
+      message(FATAL_ERROR
+        "demo '${RUN}': expected exit 0, got '${CODE}'\n${OUT}\n${ERR}")
+    endif()
+    if(NOT OUT MATCHES "evaluator cross-check \\(nest vs maestro\\)")
+      message(FATAL_ERROR "demo '${RUN}': missing cross-check line\n${OUT}")
+    endif()
+    if(NOT OUT MATCHES ", 0 divergent;")
+      message(FATAL_ERROR
+        "demo '${RUN}': nest and maestro diverged on a general-conv "
+        "layer\n${OUT}")
+    endif()
+    if(NOT OUT MATCHES ", 0 mismatches")
+      message(FATAL_ERROR
+        "demo '${RUN}': per-counter mismatch between backends\n${OUT}")
+    endif()
+  endforeach()
+
+elseif(CHECK STREQUAL "cache")
+  set(NETWORK --network mobilenetv2 --threads 2)
+  execute_process(
+    COMMAND ${TOOL} ${NETWORK}
+    OUTPUT_VARIABLE CACHED_OUT
+    ERROR_VARIABLE ERR
+    RESULT_VARIABLE CODE)
+  if(NOT CODE EQUAL 0)
+    message(FATAL_ERROR "cached run: expected exit 0, got '${CODE}'\n${ERR}")
+  endif()
+  execute_process(
+    COMMAND ${CMAKE_COMMAND} -E env THISTLE_CACHE=off ${TOOL} ${NETWORK}
+    OUTPUT_VARIABLE PLAIN_OUT
+    ERROR_VARIABLE ERR
+    RESULT_VARIABLE CODE)
+  if(NOT CODE EQUAL 0)
+    message(FATAL_ERROR
+      "cache-off run: expected exit 0, got '${CODE}'\n${ERR}")
+  endif()
+  string(REGEX REPLACE "cache:[^\n]*\n" "" CACHED_OUT "${CACHED_OUT}")
+  string(REGEX REPLACE "cache:[^\n]*\n" "" PLAIN_OUT "${PLAIN_OUT}")
+  if(NOT CACHED_OUT STREQUAL PLAIN_OUT)
+    message(FATAL_ERROR
+      "cache changed the mobilenetv2 results\n"
+      "---- cached ----\n${CACHED_OUT}\n---- off ----\n${PLAIN_OUT}")
+  endif()
+
+else()
+  message(FATAL_ERROR "unknown CHECK '${CHECK}'")
+endif()

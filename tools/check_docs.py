@@ -9,11 +9,12 @@ Two checks, both cheap enough to run on every ctest invocation:
    heading in the target document. External (http/https/mailto) links
    are skipped.
 
-2. Flag coverage: every command-line flag the thistle-serve and
-   thistle-query parsers accept — scraped from the `Arg == "--x"`
-   chains in their sources, the same convention CheckUsage.cmake audits
-   for thistle-opt — must be mentioned in docs/SERVING.md, so a new
-   serving flag cannot land undocumented.
+2. Flag coverage: every command-line flag the thistle-opt,
+   thistle-serve and thistle-query parsers accept — scraped from the
+   `Arg == "--x"` chains in their sources, the same convention
+   CheckUsage.cmake audits for the --help texts — must be mentioned in
+   docs/THISTLE_OPT.md respectively docs/SERVING.md, so a new flag
+   cannot land undocumented.
 
 Usage: check_docs.py [--root REPO_ROOT]
 Exits 0 when clean, 1 with one `error:` line per problem otherwise.
@@ -30,6 +31,8 @@ DOC_DIRS = ("docs",)
 # (source file scraped for `Arg == "--x"`, document that must mention
 # every scraped flag)
 FLAG_AUDITS = (
+    (os.path.join("tools", "thistle-opt.cpp"),
+     os.path.join("docs", "THISTLE_OPT.md")),
     (os.path.join("tools", "thistle-serve.cpp"),
      os.path.join("docs", "SERVING.md")),
     (os.path.join("tools", "thistle-query.cpp"),

@@ -127,6 +127,10 @@ SWEEP_FIELDS = {
     "incidents": list,
 }
 
+# Every name `thistle-opt --network` accepts (docs/WORKLOADS.md):
+# the Table II pipelines plus the general-conv tables.
+NETWORK_NAMES = {"resnet18", "yolo9000", "all", "mobilenetv2", "dcgan"}
+
 NETWORK_FIELDS = {
     "layers_total": int,
     "layers_found": int,
@@ -267,6 +271,14 @@ def validate(report, embedded=False):
     if report.get("exit_code") not in (0, 1, 2, 3):
         errors.append(f"$.exit_code: not a documented code: "
                       f"{report.get('exit_code')!r}")
+    workload = report.get("workload")
+    if isinstance(workload, str) and workload.startswith("network:"):
+        name = workload.split(":", 1)[1]
+        if name not in NETWORK_NAMES:
+            errors.append(
+                f"$.workload: unknown network {name!r} (expected one of "
+                f"{sorted(NETWORK_NAMES)})"
+            )
 
     result = report.get("result")
     if isinstance(result, dict):

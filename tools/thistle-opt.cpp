@@ -64,18 +64,39 @@ struct FlagGroup {
 };
 
 const FlagSpec WorkloadFlags[] = {
-    {"--layer", "K,C,H,W,R,S[,stride[,dilation]]", "custom conv2d layer"},
+    {"--layer", "K,C,H,W,R,S[,stride[,dilation]]",
+     "custom conv2d layer; every field is\n"
+     "validated (positive strides/dilations,\n"
+     "divisible groups) before the sweep"},
+    {"--groups", "N",
+     "channel groups for --layer (K and C\n"
+     "must divide by N; N == C is a\n"
+     "depthwise layer; docs/WORKLOADS.md)"},
+    {"--transposed", "",
+     "make --layer a transposed\n"
+     "(fractionally-strided) conv: h/w walk\n"
+     "the input image and Out carries the\n"
+     "strided projection; output is the full\n"
+     "stride*(H-1)+dilation*(R-1)+1 extent"},
+    {"--padding", "same|valid",
+     "output-shape rule for --layer\n"
+     "(default: same, Table II's\n"
+     "ceil(H/stride); valid needs the\n"
+     "dilated kernel to fit)"},
     {"--resnet", "N", "ResNet-18 conv stage N (1-12, Table II)"},
     {"--yolo", "N", "Yolo-9000 conv stage N (1-11, Table II)"},
     {"--pipeline", "resnet|yolo|all",
      "optimize every stage, print a summary"},
-    {"--network", "resnet18|yolo9000|all",
+    {"--network", "resnet18|yolo9000|mobilenetv2|dcgan|all",
      "optimize the full conv pipeline with the\n"
      "network driver: repeated shapes are solved\n"
      "once, GP solutions are cached across runs\n"
      "(disable with THISTLE_CACHE=off), and in\n"
      "codesign mode one architecture is selected\n"
-     "for the whole network (docs/THISTLE_OPT.md)"},
+     "for the whole network (docs/THISTLE_OPT.md).\n"
+     "mobilenetv2 exercises depthwise/grouped\n"
+     "stages, dcgan transposed and dilated ones\n"
+     "(docs/WORKLOADS.md); all = resnet18+yolo9000"},
 };
 
 const FlagSpec OptimizationFlags[] = {
@@ -664,6 +685,9 @@ int main(int Argc, char **Argv) {
   }
   ConvLayer Layer;
   bool HaveLayer = false;
+  std::optional<std::int64_t> LayerGroups;
+  bool LayerTransposed = false;
+  std::optional<ConvPadding> LayerPadding;
   std::vector<ConvLayer> Pipeline;
   std::vector<ConvLayer> Network;
   std::string NetworkName;
@@ -710,6 +734,22 @@ int main(int Argc, char **Argv) {
       Layer.StrideX = Layer.StrideY = V.size() > 6 ? V[6] : 1;
       Layer.DilationX = Layer.DilationY = V.size() > 7 ? V[7] : 1;
       HaveLayer = true;
+    } else if (Arg == "--groups") {
+      std::vector<std::int64_t> V;
+      if (!parseInts(needValue(), V) || V.size() != 1) {
+        std::fprintf(stderr, "error: --groups wants one integer\n");
+        return 2;
+      }
+      LayerGroups = V[0];
+    } else if (Arg == "--transposed") {
+      LayerTransposed = true;
+    } else if (Arg == "--padding") {
+      Expected<ConvPadding> P = parsePadding(needValue());
+      if (!P) {
+        std::fprintf(stderr, "error: %s\n", P.status().toString().c_str());
+        return 2;
+      }
+      LayerPadding = P.value();
     } else if (Arg == "--resnet" || Arg == "--yolo") {
       std::vector<ConvLayer> Layers =
           Arg == "--resnet" ? resnet18Layers() : yolo9000Layers();
@@ -740,6 +780,10 @@ int main(int Argc, char **Argv) {
         Network = resnet18NetworkLayers();
       else if (V == "yolo9000")
         Network = yolo9000NetworkLayers();
+      else if (V == "mobilenetv2")
+        Network = mobilenetV2NetworkLayers();
+      else if (V == "dcgan")
+        Network = dcganNetworkLayers();
       else if (V == "all")
         Network = allNetworkLayers();
       else {
@@ -852,6 +896,22 @@ int main(int Argc, char **Argv) {
                  "error: --network excludes --layer/--resnet/--yolo/"
                  "--pipeline\n");
     return 2;
+  }
+  if ((LayerGroups || LayerTransposed || LayerPadding) && !HaveLayer) {
+    std::fprintf(stderr, "error: --groups/--transposed/--padding modify a "
+                         "--layer workload\n");
+    return 2;
+  }
+  if (HaveLayer) {
+    if (LayerGroups)
+      Layer.Groups = *LayerGroups;
+    Layer.Transposed = LayerTransposed;
+    if (LayerPadding)
+      Layer.Padding = *LayerPadding;
+    if (Status S = Layer.validate(); !S.isOk()) {
+      std::fprintf(stderr, "error: %s\n", S.toString().c_str());
+      return 2;
+    }
   }
   if ((!PC.Dir.empty() || PC.ShardCount > 1 || PC.Merge || HaveCapacity) &&
       Network.empty()) {
@@ -1009,7 +1069,8 @@ int main(int Argc, char **Argv) {
   }
 
   Problem Prob = makeConvProblem(Layer);
-  std::printf("layer %s: %lld MACs, iteration space", Layer.Name.c_str(),
+  std::printf("layer %s (%s): %lld MACs, iteration space",
+              Layer.Name.c_str(), Layer.layerClass(),
               static_cast<long long>(Prob.numOps()));
   for (const Iterator &It : Prob.iterators())
     std::printf(" %s=%lld", It.Name.c_str(),
